@@ -1,0 +1,53 @@
+// Command raccdreport compares two archived sweep result files (written by
+// `sweep -csv`), reporting metric changes beyond a tolerance — a regression
+// gate for changes to the simulator or the workloads.
+//
+//	sweep -q -csv before.csv
+//	... hack hack hack ...
+//	sweep -q -csv after.csv
+//	raccdreport -old before.csv -new after.csv -tol 0.02
+//
+// Exit status 1 when differences beyond tolerance exist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"raccd/internal/report"
+)
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "baseline CSV (required)")
+		newPath = flag.String("new", "", "candidate CSV (required)")
+		tol     = flag.Float64("tol", 0.01, "relative tolerance before a change is reported")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "raccdreport: -old and -new are required")
+		os.Exit(2)
+	}
+	load := func(path string) *report.Set {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "raccdreport:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		set, err := report.ParseCSV(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "raccdreport: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return set
+	}
+	oldSet := load(*oldPath)
+	newSet := load(*newPath)
+	diffs := report.Diff(oldSet, newSet, *tol)
+	fmt.Print(report.FormatDiff(diffs))
+	if len(diffs) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+// Command raccdsim runs one benchmark under one system configuration and
+// prints every collected metric.
+//
+// Usage:
+//
+//	raccdsim -bench Jacobi -system raccd -ratio 64 [-adr] [-scale 1.0]
+//	         [-sched fifo|lifo|locality] [-ncrt-latency 1] [-writethrough]
+//	         [-contiguity 1.0]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"raccd"
+)
+
+func main() {
+	var (
+		bench       = flag.String("bench", "Jacobi", "benchmark name (see -list)")
+		system      = flag.String("system", "raccd", "system: fullcoh, pt, ptro, raccd")
+		ratio       = flag.Int("ratio", 1, "directory reduction 1:N (1,2,4,8,16,64,256)")
+		adr         = flag.Bool("adr", false, "enable adaptive directory reduction")
+		scale       = flag.Float64("scale", 1.0, "problem scale (1.0 = Table II ÷ 16)")
+		sched       = flag.String("sched", "fifo", "scheduler: fifo, lifo, locality")
+		ncrtLatency = flag.Uint64("ncrt-latency", 1, "NCRT lookup latency in cycles")
+		wt          = flag.Bool("writethrough", false, "write-through private caches")
+		contiguity  = flag.Float64("contiguity", 1.0, "physical page contiguity 0..1")
+		novalidate  = flag.Bool("novalidate", false, "skip golden-memory validation")
+		smt         = flag.Int("smt", 1, "hardware threads per core (SMT ways)")
+		asJSON      = flag.Bool("json", false, "emit the result as JSON")
+		list        = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(raccd.Benchmarks(), "\n"))
+		return
+	}
+
+	var sys raccd.System
+	switch strings.ToLower(*system) {
+	case "fullcoh", "full":
+		sys = raccd.FullCoh
+	case "pt":
+		sys = raccd.PT
+	case "raccd":
+		sys = raccd.RaCCD
+	case "ptro", "pt-ro":
+		sys = raccd.PTRO
+	default:
+		fmt.Fprintf(os.Stderr, "raccdsim: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	w, err := raccd.NewWorkload(*bench, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raccdsim:", err)
+		os.Exit(2)
+	}
+
+	cfg := raccd.DefaultConfig(sys, *ratio)
+	cfg.ADR = *adr
+	cfg.Scheduler = *sched
+	cfg.NCRTLatency = *ncrtLatency
+	cfg.WriteThrough = *wt
+	cfg.Contiguity = *contiguity
+	cfg.Validate = !*novalidate
+	cfg.SMTWays = *smt
+
+	res, err := raccd.Run(w, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raccdsim:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "raccdsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("benchmark        %s (scale %.2f)\n", res.Workload, *scale)
+	fmt.Printf("system           %v  directory 1:%d  ADR %v  scheduler %s\n", res.System, res.DirRatio, res.ADR, *sched)
+	fmt.Printf("tasks            %d (%d dependence edges)\n", res.TasksRun, res.GraphEdges)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("dir accesses     %d\n", res.DirAccesses)
+	fmt.Printf("dir occupancy    %.1f%% (access-weighted average)\n", res.DirOccupancy*100)
+	fmt.Printf("dir size         %.1f KB", res.DirKB)
+	if res.ADR {
+		fmt.Printf(" (final; %d reconfigurations)", res.ADRReconfigs)
+	}
+	fmt.Println()
+	fmt.Printf("dir energy       %.1f (model units)\n", res.DirEnergy)
+	fmt.Printf("L1 hit ratio     %.1f%%\n", res.L1HitRatio*100)
+	fmt.Printf("LLC hit ratio    %.1f%%\n", res.LLCHitRatio*100)
+	fmt.Printf("NoC traffic      %d byte-hops (energy %.1f)\n", res.NoCByteHops, res.NoCEnergy)
+	fmt.Printf("memory           %d reads, %d writes\n", res.MemReads, res.MemWrites)
+	fmt.Printf("non-coherent     %.1f%% of touched blocks (Fig 2 metric)\n", res.NCFraction*100)
+	if !*novalidate {
+		fmt.Println("validation       OK (protocol invariants + golden final memory)")
+	}
+}

@@ -1,0 +1,107 @@
+// Command sweep regenerates the paper's evaluation: every figure (2, 6,
+// 7a-7d, 8, 9, 10), Table III, and the §V-C NCRT latency sensitivity study.
+//
+// Usage:
+//
+//	sweep                  # everything at full (÷16-scaled) size
+//	sweep -fig 6           # a single figure
+//	sweep -table 3         # Table III only
+//	sweep -fig vc          # NCRT latency study
+//	sweep -scale 0.25      # faster, smaller problems
+//	sweep -csv results.csv # also dump raw results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"raccd/internal/report"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "only this figure: 2, 6, 7a, 7b, 7c, 7d, 8, 9, 10, vc")
+		tbl     = flag.String("table", "", "only this table: 1, 2, 3")
+		scale   = flag.Float64("scale", 1.0, "problem scale (1.0 = Table II ÷ 16)")
+		csvPath = flag.String("csv", "", "write raw results as CSV to this file")
+		quiet   = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	switch *tbl {
+	case "1":
+		fmt.Println(report.Table1())
+		return
+	case "2":
+		fmt.Println(report.Table2())
+		return
+	case "3":
+		fmt.Println(report.Table3())
+		return
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown table %q (want 1, 2 or 3)\n", *tbl)
+		os.Exit(2)
+	}
+
+	m := report.DefaultMatrix()
+	m.Scale = *scale
+	if !*quiet {
+		m.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	if *fig == "vc" {
+		cycles, err := m.RunNCRTSweep()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Println(report.NCRTLatencyTable(report.NCRTLatencies, cycles))
+		return
+	}
+
+	// Figures 2 and 8 only need 1:1 runs; trim the matrix when possible.
+	switch *fig {
+	case "2", "8":
+		m.Ratios = []int{1}
+		m.ADR = false
+	case "9", "10":
+		m.Ratios = []int{1}
+	}
+
+	set, err := m.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	figures := map[string]func() string{
+		"2": set.Fig2, "6": set.Fig6, "7a": set.Fig7a, "7b": set.Fig7b,
+		"7c": set.Fig7c, "7d": set.Fig7d, "8": set.Fig8, "9": set.Fig9,
+		"10": set.Fig10,
+	}
+	if *fig != "" {
+		f, ok := figures[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sweep: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Println(f())
+	} else {
+		for _, k := range []string{"2", "6", "7a", "7b", "7c", "7d", "8", "9", "10"} {
+			fmt.Println(figures[k]())
+		}
+		fmt.Println(report.Table1())
+		fmt.Println(report.Table2())
+		fmt.Println(report.Table3())
+	}
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(set.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "raw results written to %s\n", *csvPath)
+	}
+}

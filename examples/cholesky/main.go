@@ -1,0 +1,43 @@
+// Cholesky runs the paper's Fig 1 example — a tiled Cholesky factorisation
+// written as potrf/trsm/syrk/gemm tasks with OpenMP-4.0-style dependence
+// clauses — and shows the task dependence graph the runtime discovers plus
+// how the three coherence systems behave on it across directory sizes.
+//
+//	go run ./examples/cholesky
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raccd"
+)
+
+func main() {
+	w, err := raccd.NewWorkload("Cholesky", 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Inspect the TDG the runtime builds from the annotations (Fig 1
+	// right-hand side shows the code; the left-hand side this graph).
+	g := raccd.NewTaskGraph()
+	w.Build(g)
+	fmt.Printf("Cholesky TDG: %d tasks, %d dependence edges, critical path %d tasks\n\n",
+		g.NumTasks(), g.NumEdges(), g.CriticalPathLen())
+
+	fmt.Println("directory   FullCoh cycles   RaCCD cycles   RaCCD dir accesses")
+	for _, ratio := range []int{1, 16, 256} {
+		full, err := raccd.Run(w, raccd.DefaultConfig(raccd.FullCoh, ratio))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rac, err := raccd.Run(w, raccd.DefaultConfig(raccd.RaCCD, ratio))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("1:%-9d %-16d %-14d %d\n", ratio, full.Cycles, rac.Cycles, rac.DirAccesses)
+	}
+	fmt.Println("\nThe factorisation's tiles are all task dependences, so RaCCD keeps")
+	fmt.Println("its performance flat while the baseline collapses at small directories.")
+}

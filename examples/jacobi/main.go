@@ -1,0 +1,73 @@
+// Jacobi sweeps the directory size for the Jacobi heat-diffusion solver and
+// prints the Fig 6 / Fig 7b story for one benchmark: the baseline collapses
+// as the directory shrinks (directory-LLC inclusivity evicts reusable lines)
+// while RaCCD barely notices, because its blocks are never tracked.
+//
+//	go run ./examples/jacobi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raccd"
+)
+
+func main() {
+	w, err := raccd.NewWorkload("Jacobi", 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		cycles map[int]uint64
+		llc    map[int]float64
+	}
+	systems := []raccd.System{raccd.FullCoh, raccd.PT, raccd.RaCCD}
+	ratios := []int{1, 2, 4, 8, 16, 64, 256}
+	data := map[raccd.System]*row{}
+	var base uint64
+	for _, sys := range systems {
+		r := &row{cycles: map[int]uint64{}, llc: map[int]float64{}}
+		data[sys] = r
+		for _, n := range ratios {
+			res, err := raccd.Run(w, raccd.DefaultConfig(sys, n))
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.cycles[n] = res.Cycles
+			r.llc[n] = res.LLCHitRatio
+			if sys == raccd.FullCoh && n == 1 {
+				base = res.Cycles
+			}
+		}
+	}
+
+	fmt.Println("Normalised cycles (Fig 6, Jacobi row):")
+	fmt.Printf("%-9s", "")
+	for _, n := range ratios {
+		fmt.Printf("%9s", fmt.Sprintf("1:%d", n))
+	}
+	fmt.Println()
+	for _, sys := range systems {
+		fmt.Printf("%-9v", sys)
+		for _, n := range ratios {
+			fmt.Printf("%9.3f", float64(data[sys].cycles[n])/float64(base))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nLLC hit ratio (Fig 7b, Jacobi row):")
+	fmt.Printf("%-9s", "")
+	for _, n := range ratios {
+		fmt.Printf("%9s", fmt.Sprintf("1:%d", n))
+	}
+	fmt.Println()
+	for _, sys := range systems {
+		fmt.Printf("%-9v", sys)
+		for _, n := range ratios {
+			fmt.Printf("%9.3f", data[sys].llc[n])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a tiny custom task-parallel program with the public API,
+// run it under all three coherence systems, and compare the directory
+// pressure RaCCD removes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raccd"
+)
+
+func main() {
+	// A producer/transformer/consumer pipeline over two buffers, the
+	// "hello world" of task-based data-flow programming: the runtime
+	// discovers the chain from the in/out annotations alone.
+	const bufBytes = 64 * 1024
+	bufA := raccd.Range{Start: 0x1000_0000, Size: bufBytes}
+	bufB := raccd.Range{Start: 0x1010_0000, Size: bufBytes}
+
+	pipeline := raccd.NewCustomWorkload("pipeline", func(g *raccd.TaskGraph) {
+		for round := 0; round < 8; round++ {
+			g.Add("produce", []raccd.Dep{{Range: bufA, Mode: raccd.Out}},
+				func(ctx *raccd.Ctx) { ctx.StoreRange(bufA) })
+			g.Add("transform", []raccd.Dep{
+				{Range: bufA, Mode: raccd.In},
+				{Range: bufB, Mode: raccd.Out},
+			}, func(ctx *raccd.Ctx) {
+				ctx.LoadRange(bufA)
+				ctx.StoreRange(bufB)
+			})
+			g.Add("consume", []raccd.Dep{{Range: bufB, Mode: raccd.In}},
+				func(ctx *raccd.Ctx) { ctx.LoadRange(bufB) })
+		}
+	})
+
+	fmt.Println("system    cycles     dir accesses   non-coherent blocks")
+	for _, sys := range []raccd.System{raccd.FullCoh, raccd.PT, raccd.RaCCD} {
+		res, err := raccd.Run(pipeline, raccd.DefaultConfig(sys, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8v  %-9d  %-13d  %.0f%%\n",
+			sys, res.Cycles, res.DirAccesses, res.NCFraction*100)
+	}
+	fmt.Println("\nEvery buffer is a task dependence, so RaCCD deactivates")
+	fmt.Println("coherence for nearly all of the data and the directory goes quiet.")
+}

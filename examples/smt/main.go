@@ -1,0 +1,47 @@
+// SMT demonstrates the paper's §III-E hardware extension: NCRT entries and
+// NC cache lines tagged with hardware-thread IDs, letting two threads per
+// core run tasks concurrently — each thread registers and recovers only its
+// own non-coherent regions while sharing the core's L1 and NCRT capacity.
+//
+//	go run ./examples/smt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raccd"
+)
+
+func main() {
+	fmt.Println("benchmark  logical procs  cycles      speedup   dir accesses")
+	for _, name := range []string{"MD5", "Cholesky", "CG"} {
+		var base uint64
+		for _, smt := range []int{1, 2} {
+			w, err := raccd.NewWorkload(name, 1.0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := raccd.DefaultConfig(raccd.RaCCD, 1)
+			cfg.SMTWays = smt
+			res, err := raccd.Run(w, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if smt == 1 {
+				base = res.Cycles
+			}
+			fmt.Printf("%-10s %-14d %-11d %.2fx     %d\n",
+				name, 16*smt, res.Cycles, float64(base)/float64(res.Cycles), res.DirAccesses)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Throughput-bound benchmarks (MD5's independent buffers) gain from the")
+	fmt.Println("extra hardware threads; dependence-limited ones gain less. Validation")
+	fmt.Println("(golden final memory) runs in every case, covering the per-thread")
+	fmt.Println("recovery flushes and the shared, thread-tagged NCRTs.")
+	fmt.Println()
+	fmt.Println("Note: the timing model gives each hardware thread its own issue")
+	fmt.Println("bandwidth (no pipeline contention), so speedups are upper bounds;")
+	fmt.Println("the extension's correctness machinery is what is modelled faithfully.")
+}

@@ -1,0 +1,37 @@
+// Extension benchmarks: features beyond the paper's core evaluation that
+// its §III-E and §VI discuss — the PT-RO classifier (shared read-only
+// deactivation, Cuesta [38]) and the SMT/thread-ID hardware extension.
+package raccd
+
+import "testing"
+
+// BenchmarkExtensionPTROSharedReadOnly compares PT, PT-RO and RaCCD on KNN,
+// whose large training set is shared read-only: plain PT flips it to
+// coherent the moment a second core reads it, PT-RO keeps it non-coherent,
+// and RaCCD covers it through the task annotations.
+func BenchmarkExtensionPTROSharedReadOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sys := range []System{PT, PTRO, RaCCD} {
+			res := runAbl(b, "KNN", DefaultConfig(sys, 1))
+			tag := map[System]string{PT: "pt", PTRO: "ptro", RaCCD: "raccd"}[sys]
+			b.ReportMetric(res.NCFraction, "ncfrac_"+tag)
+			b.ReportMetric(float64(res.DirAccesses), "diracc_"+tag)
+		}
+	}
+}
+
+// BenchmarkExtensionPTROFullSweep measures PT-RO's average non-coherent
+// coverage over the paper benchmarks against PT's (Fig 2 with the [38]
+// extension applied).
+func BenchmarkExtensionPTROFullSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sumPT, sumRO float64
+		names := PaperBenchmarks()
+		for _, name := range names {
+			sumPT += runAbl(b, name, DefaultConfig(PT, 1)).NCFraction
+			sumRO += runAbl(b, name, DefaultConfig(PTRO, 1)).NCFraction
+		}
+		b.ReportMetric(sumPT/float64(len(names)), "ncfrac_pt")
+		b.ReportMetric(sumRO/float64(len(names)), "ncfrac_ptro")
+	}
+}

@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"raccd/internal/mem"
+)
+
+func TestBankedIndexingUsesAllSets(t *testing.T) {
+	// A bank serving blocks ≡ 0 mod 16 (indexShift 4) must spread them
+	// over every set — the bug class that motivated NewBanked: without
+	// the shift, such blocks land in 1/16th of the sets.
+	c := NewBanked(8, 1, 4)
+	for i := 0; i < 8; i++ {
+		b := mem.Block(i * 16) // all in bank 0 of a 16-bank system
+		_, ln := c.Insert(b)
+		ln.State = Shared
+	}
+	if c.Resident() != 8 {
+		t.Fatalf("8 bank-local blocks occupy %d lines, want 8 (one per set)", c.Resident())
+	}
+	if c.Stats.Evictions != 0 {
+		t.Fatalf("bank-local fill caused %d evictions, want 0", c.Stats.Evictions)
+	}
+}
+
+func TestUnbankedIndexingConflicts(t *testing.T) {
+	// The same fill WITHOUT the shift demonstrates the pathology.
+	c := New(8, 1)
+	for i := 0; i < 8; i++ {
+		b := mem.Block(i * 16)
+		if _, hit := c.Peek(b); hit {
+			continue
+		}
+		_, ln := c.Insert(b)
+		ln.State = Shared
+	}
+	if c.Stats.Evictions == 0 {
+		t.Fatal("expected conflicts when bank bits index the sets")
+	}
+}
+
+func TestBankedLookupFindsInserted(t *testing.T) {
+	c := NewBanked(16, 2, 4)
+	for i := 0; i < 30; i++ {
+		b := mem.Block(i*16 + 5) // bank 5 of 16
+		if _, hit := c.Peek(b); hit {
+			continue
+		}
+		_, ln := c.Insert(b)
+		ln.State = Exclusive
+		if _, hit := c.Lookup(b); !hit {
+			t.Fatalf("block %d not found after banked insert", b)
+		}
+	}
+}
+
+// Property: banked and unbanked caches agree on residency semantics — a
+// block is found iff it was inserted and not displaced.
+func TestQuickBankedResidency(t *testing.T) {
+	f := func(raw []uint16) bool {
+		c := NewBanked(8, 2, 4)
+		resident := map[mem.Block]bool{}
+		for _, v := range raw {
+			b := mem.Block(v)
+			if _, hit := c.Peek(b); hit {
+				continue
+			}
+			victim, ln := c.Insert(b)
+			ln.State = Shared
+			if victim.State != Invalid {
+				delete(resident, victim.Block)
+			}
+			resident[b] = true
+		}
+		for b := range resident {
+			if _, hit := c.Peek(b); !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreadFieldRoundTrip(t *testing.T) {
+	c := New(4, 2)
+	_, ln := c.Insert(9)
+	ln.State = Exclusive
+	ln.NC = true
+	ln.Thread = 3
+	got, hit := c.Lookup(9)
+	if !hit || got.Thread != 3 {
+		t.Fatalf("Thread bits lost: %+v", got)
+	}
+}

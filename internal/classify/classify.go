@@ -1,0 +1,85 @@
+// Package classify implements the OS page-table/TLB private-shared data
+// classification (Cuesta et al. [5]) that the paper evaluates as the "PT"
+// baseline for coherence deactivation.
+//
+// PT classifies at page granularity: a page is private on first touch; when
+// a second core accesses it, the page flips to shared — triggering a flush
+// of the page's cache blocks from the first core's private cache — and it
+// never transitions back to private. That last property is PT's fundamental
+// inaccuracy: temporarily-private data that migrates between cores under a
+// dynamic task scheduler is classified shared forever, which is exactly the
+// opportunity RaCCD recovers (Fig 2).
+package classify
+
+import "raccd/internal/mem"
+
+// Stats counts classifier events.
+type Stats struct {
+	FirstTouches uint64
+	Flips        uint64 // private → shared transitions
+}
+
+// Flip describes a private→shared transition. The coherence engine must
+// flush the page's blocks from the previous owner's private cache.
+type Flip struct {
+	Page      mem.Page // virtual page
+	PrevOwner int
+}
+
+// Classifier tracks the sharing status of every virtual page.
+type Classifier struct {
+	owner  map[mem.Page]int // private pages: first-touch core
+	shared map[mem.Page]struct{}
+
+	Stats Stats
+}
+
+// New returns an empty classifier.
+func New() *Classifier {
+	return &Classifier{
+		owner:  make(map[mem.Page]int),
+		shared: make(map[mem.Page]struct{}),
+	}
+}
+
+// Access records an access by core to virtual page vp and returns whether
+// the access may proceed non-coherently (page private to this core). When
+// the access flips the page to shared, the flip is returned so the caller
+// can flush the previous owner's cached blocks.
+func (c *Classifier) Access(core int, vp mem.Page) (nonCoherent bool, flip *Flip) {
+	if _, isShared := c.shared[vp]; isShared {
+		return false, nil
+	}
+	owner, seen := c.owner[vp]
+	if !seen {
+		c.owner[vp] = core
+		c.Stats.FirstTouches++
+		return true, nil
+	}
+	if owner == core {
+		return true, nil
+	}
+	// Second core: page becomes shared, forever.
+	delete(c.owner, vp)
+	c.shared[vp] = struct{}{}
+	c.Stats.Flips++
+	return false, &Flip{Page: vp, PrevOwner: owner}
+}
+
+// IsPrivate reports whether vp is currently classified private (to any core).
+func (c *Classifier) IsPrivate(vp mem.Page) bool {
+	_, ok := c.owner[vp]
+	return ok
+}
+
+// IsShared reports whether vp has flipped to shared.
+func (c *Classifier) IsShared(vp mem.Page) bool {
+	_, ok := c.shared[vp]
+	return ok
+}
+
+// PrivatePages returns the number of pages currently classified private.
+func (c *Classifier) PrivatePages() int { return len(c.owner) }
+
+// SharedPages returns the number of pages classified shared.
+func (c *Classifier) SharedPages() int { return len(c.shared) }

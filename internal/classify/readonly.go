@@ -1,0 +1,109 @@
+package classify
+
+import "raccd/internal/mem"
+
+// ROClassifier extends the PT scheme with shared read-only detection
+// (Cuesta et al. [38], discussed in §VI-B of the paper): pages read by
+// multiple cores but never written after becoming shared stay non-coherent,
+// recovering workloads like KNN whose large training set is shared
+// read-only. The page state machine is:
+//
+//	private(owner) --other core reads--> sharedRO --any write--> shared
+//	private(owner) --other core writes--------------------------> shared
+//
+// Transitions out of non-coherent states require flushing the page's cached
+// blocks: from the previous owner on leaving private, and from every core on
+// leaving sharedRO (copies are untracked, so all private caches must be
+// swept). Once shared, a page never returns, as in PT.
+type ROClassifier struct {
+	owner    map[mem.Page]int
+	writable map[mem.Page]bool // private page was written by its owner
+	sharedRO map[mem.Page]struct{}
+	shared   map[mem.Page]struct{}
+
+	Stats ROStats
+}
+
+// ROStats counts RO-classifier events.
+type ROStats struct {
+	FirstTouches  uint64
+	ToSharedRO    uint64
+	ToShared      uint64
+	WriteDemotion uint64 // sharedRO pages demoted by a write
+}
+
+// ROFlip describes a transition requiring cache flushes.
+type ROFlip struct {
+	Page mem.Page
+	// PrevOwner is the core to flush when leaving private state;
+	// -1 when every core must be flushed (leaving sharedRO).
+	PrevOwner int
+}
+
+// NewRO returns an empty read-only-aware classifier.
+func NewRO() *ROClassifier {
+	return &ROClassifier{
+		owner:    make(map[mem.Page]int),
+		writable: make(map[mem.Page]bool),
+		sharedRO: make(map[mem.Page]struct{}),
+		shared:   make(map[mem.Page]struct{}),
+	}
+}
+
+// Access records an access and returns whether it may proceed non-coherently
+// plus any flush-requiring transition.
+func (c *ROClassifier) Access(core int, vp mem.Page, write bool) (nonCoherent bool, flip *ROFlip) {
+	if _, isShared := c.shared[vp]; isShared {
+		return false, nil
+	}
+	if _, isRO := c.sharedRO[vp]; isRO {
+		if !write {
+			return true, nil
+		}
+		// A write demotes the page to fully shared; every core may hold
+		// untracked copies.
+		delete(c.sharedRO, vp)
+		c.shared[vp] = struct{}{}
+		c.Stats.ToShared++
+		c.Stats.WriteDemotion++
+		return false, &ROFlip{Page: vp, PrevOwner: -1}
+	}
+	owner, seen := c.owner[vp]
+	if !seen {
+		c.owner[vp] = core
+		c.writable[vp] = write
+		c.Stats.FirstTouches++
+		return true, nil
+	}
+	if owner == core {
+		if write {
+			c.writable[vp] = true
+		}
+		return true, nil
+	}
+	// Second core touches a private page.
+	delete(c.owner, vp)
+	delete(c.writable, vp)
+	if write {
+		c.shared[vp] = struct{}{}
+		c.Stats.ToShared++
+		return false, &ROFlip{Page: vp, PrevOwner: owner}
+	}
+	// A read: the page becomes shared read-only and STAYS non-coherent;
+	// the previous owner may hold dirty private copies that must reach
+	// the LLC first.
+	c.sharedRO[vp] = struct{}{}
+	c.Stats.ToSharedRO++
+	return true, &ROFlip{Page: vp, PrevOwner: owner}
+}
+
+// State reporting for tests and statistics.
+
+// IsPrivate reports whether vp is private to some core.
+func (c *ROClassifier) IsPrivate(vp mem.Page) bool { _, ok := c.owner[vp]; return ok }
+
+// IsSharedRO reports whether vp is shared read-only (non-coherent).
+func (c *ROClassifier) IsSharedRO(vp mem.Page) bool { _, ok := c.sharedRO[vp]; return ok }
+
+// IsShared reports whether vp is fully shared (coherent).
+func (c *ROClassifier) IsShared(vp mem.Page) bool { _, ok := c.shared[vp]; return ok }

@@ -1,0 +1,205 @@
+package coherence
+
+// Edge-case protocol tests covering the less-travelled paths of the engine:
+// stale-owner resolution after silent evictions, write-through corner cases,
+// drain idempotence, and accounting details.
+
+import (
+	"testing"
+
+	"raccd/internal/cache"
+	"raccd/internal/mem"
+)
+
+func TestStaleOwnerAfterSilentEviction(t *testing.T) {
+	h := tiny(FullCoh)
+	// Core 0 gets block in E, then silently loses it to a conflict
+	// eviction (clean E lines evict silently per Table I).
+	h.Access(0, 0x1000, false, 0)
+	pa, _ := h.MMU(0).Translate(0x1000)
+	b := mem.BlockOf(pa)
+	if ln, ok := h.L1(0).Peek(b); !ok || ln.State != cache.Exclusive {
+		t.Fatalf("precondition: E line expected, got %+v", ln)
+	}
+	h.L1(0).Invalidate(b) // model the silent eviction
+	// The directory still believes core 0 owns the block. A remote read
+	// must resolve the stale owner and still return correct data.
+	h.Access(1, 0x1000, false, 0)
+	ln, ok := h.L1(1).Peek(b)
+	if !ok {
+		t.Fatal("remote read failed under stale owner")
+	}
+	_ = ln
+	mustOK(t, h)
+}
+
+func TestWriteThroughNCWriteWithLLCLineEvicted(t *testing.T) {
+	// A write-through store to an NC line whose LLC copy has been evicted
+	// must fall through to memory.
+	p := tiny(RaCCD).Params
+	p.WriteThrough = true
+	p.LLCSetsPerBank = 1 // 2-entry LLC banks force evictions
+	h := New(RaCCD, p)
+	h.RegisterRegion(0, mem.Range{Start: 0, Size: 64 * 1024})
+	// Fill several blocks of the same bank to evict earlier LLC lines;
+	// bank = block & 3, so blocks 0,4,8,... share bank 0 (1 set × 2 ways).
+	h.Access(0, 0*64, true, 1)
+	h.Access(0, 4*64, true, 2)
+	h.Access(0, 8*64, true, 3) // evicts bank-0 LLC line of block 0
+	// Write again to block 0: L1 hit (NC), write-through finds no LLC
+	// line and must write memory directly.
+	h.Access(0, 0*64, true, 9)
+	h.DrainAll()
+	if got := h.VirtValue(0); got != 9 {
+		t.Fatalf("WT fallback value = %d, want 9", got)
+	}
+}
+
+func TestDrainAllIdempotent(t *testing.T) {
+	h := tiny(RaCCD)
+	h.RegisterRegion(0, mem.Range{Start: 0, Size: 4096})
+	h.Access(0, 0, true, 5)
+	h.Access(1, 0x9000, true, 6)
+	h.DrainAll()
+	v1 := h.VirtValue(0)
+	h.DrainAll() // second drain must be a no-op
+	if h.VirtValue(0) != v1 {
+		t.Fatal("second DrainAll changed memory")
+	}
+	for c := 0; c < 4; c++ {
+		if h.L1(c).Resident() != 0 {
+			t.Fatalf("core %d L1 not empty after drain", c)
+		}
+	}
+	for bk := 0; bk < 4; bk++ {
+		if h.LLCBank(bk).Resident() != 0 {
+			t.Fatalf("LLC bank %d not empty after drain", bk)
+		}
+	}
+	if h.Dir().Occupancy() != 0 {
+		t.Fatal("directory not empty after drain")
+	}
+}
+
+func TestReadAfterRemoteCleanExclusive(t *testing.T) {
+	// Remote read of an E (clean) line: forward without a writeback, both
+	// end shared.
+	h := tiny(FullCoh)
+	h.Access(0, 0x1000, false, 0)
+	h.Access(1, 0x1000, false, 0)
+	pa, _ := h.MMU(0).Translate(0x1000)
+	b := mem.BlockOf(pa)
+	ln0, _ := h.L1(0).Peek(b)
+	ln1, _ := h.L1(1).Peek(b)
+	if ln0.State != cache.Shared || ln1.State != cache.Shared {
+		t.Fatalf("states %v/%v, want S/S", ln0.State, ln1.State)
+	}
+	if ln0.Dirty {
+		t.Fatal("clean forward marked dirty")
+	}
+	mustOK(t, h)
+}
+
+func TestUpgradeAfterDirectoryLostEntry(t *testing.T) {
+	// An S line whose directory entry disappeared (ADR drop processed
+	// lazily in other designs; here we force it) must still upgrade
+	// correctly via the defensive re-allocation path.
+	h := tiny(FullCoh)
+	h.Access(0, 0x1000, false, 0)
+	h.Access(1, 0x1000, false, 0)
+	pa, _ := h.MMU(0).Translate(0x1000)
+	b := mem.BlockOf(pa)
+	h.Dir().Free(b) // simulate entry loss
+	h.Access(0, 0x1000, true, 3)
+	h.DrainAll()
+	if got := h.VirtValue(0x1000); got != 3 {
+		t.Fatalf("upgrade after lost entry: value %d, want 3", got)
+	}
+}
+
+func TestLatencyIncludesNoCDistance(t *testing.T) {
+	// Two cold reads of blocks homed at different distances must cost
+	// different latency (XY-hop model).
+	h := tiny(FullCoh)
+	// Warm the TLB for the page so translation costs cancel out.
+	h.Access(0, 10*64, false, 0)
+	// Core 0's local bank is 0 (blocks ≡ 0 mod 4); bank 3 is farthest in
+	// a 2×2 mesh from tile 0.
+	latNear := h.Access(0, 0*64, false, 0) // bank 0: self
+	latFar := h.Access(0, 3*64, false, 0)  // bank 3: diagonal
+	if latFar <= latNear {
+		t.Fatalf("far bank latency %d not above near bank %d", latFar, latNear)
+	}
+}
+
+func TestStatsReadWriteSplit(t *testing.T) {
+	h := tiny(FullCoh)
+	h.Access(0, 0, false, 0)
+	h.Access(0, 64, true, 1)
+	h.Access(0, 128, true, 2)
+	if h.Stats.Reads != 1 || h.Stats.Writes != 2 || h.Stats.Accesses != 3 {
+		t.Fatalf("stats %+v", h.Stats)
+	}
+}
+
+func TestNonCoherentFractionEmptyRun(t *testing.T) {
+	h := tiny(RaCCD)
+	if h.NonCoherentFraction() != 0 {
+		t.Fatal("empty run NC fraction must be 0")
+	}
+}
+
+func TestVirtValueUnmappedPage(t *testing.T) {
+	h := tiny(FullCoh)
+	if h.VirtValue(0xdead000) != 0 {
+		t.Fatal("unmapped page must read as 0")
+	}
+}
+
+func TestRecoveryOnCleanLinesIsSilent(t *testing.T) {
+	h := tiny(RaCCD)
+	h.RegisterRegion(2, mem.Range{Start: 0x8000, Size: 4096})
+	h.Access(2, 0x8000, false, 0) // clean NC line
+	wb := h.Stats.L1Writebacks
+	h.InvalidateNC(2)
+	if h.Stats.L1Writebacks != wb {
+		t.Fatal("clean NC flush generated a writeback")
+	}
+	if h.Stats.FlushedNC != 1 || h.Stats.FlushedNCDirty != 0 {
+		t.Fatalf("flush accounting %+v", h.Stats)
+	}
+}
+
+func TestL1VictimDirtyCoherentWritesBack(t *testing.T) {
+	// Force an L1 conflict eviction of a dirty coherent line; its data
+	// must reach the LLC (and survive to memory).
+	h := tiny(FullCoh)
+	// L1: 4 sets × 2 ways; blocks 0, 4, 8 (×64B) map to L1 set 0.
+	h.Access(0, 0*64, true, 42)
+	h.Access(0, 4*64*4, false, 0)  // block 16: set 0 (16%4==0)
+	h.Access(0, 8*64*4, false, 0)  // block 32: set 0 → evicts one
+	h.Access(0, 12*64*4, false, 0) // block 48: set 0 → evicts another
+	h.DrainAll()
+	if got := h.VirtValue(0); got != 42 {
+		t.Fatalf("dirty L1 victim lost: %d, want 42", got)
+	}
+}
+
+func TestInterleavedRegisterAcrossCores(t *testing.T) {
+	// Different cores registering different regions concurrently must not
+	// interfere: each core's NCRT only answers for its own regions.
+	h := tiny(RaCCD)
+	h.RegisterRegion(0, mem.Range{Start: 0x8000, Size: 4096})
+	h.RegisterRegion(1, mem.Range{Start: 0x20000, Size: 4096})
+	h.Access(0, 0x20000, false, 0) // core 0 touching core 1's region
+	h.Access(1, 0x8000, false, 0)  // and vice versa
+	if h.Stats.NCFills != 0 {
+		t.Fatal("cross-core region accesses must be coherent")
+	}
+	h.Access(0, 0x8000, false, 0)
+	h.Access(1, 0x20000, false, 0)
+	if h.Stats.NCFills != 2 {
+		t.Fatal("own-region accesses must be non-coherent")
+	}
+	mustOK(t, h)
+}

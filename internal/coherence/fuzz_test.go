@@ -1,0 +1,62 @@
+package coherence
+
+import (
+	"testing"
+
+	"raccd/internal/mem"
+)
+
+// FuzzProtocol drives the full hierarchy with an arbitrary byte-encoded
+// access program across all four systems and checks the protocol invariants
+// plus last-write-wins final memory. Run with `go test -fuzz=FuzzProtocol
+// ./internal/coherence` for continuous exploration; the seed corpus runs as
+// a normal test.
+func FuzzProtocol(f *testing.F) {
+	f.Add([]byte{0x01, 0x82, 0x43, 0xc4, 0x05, 0x66})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x10, 0x20, 0x30, 0x40})
+	f.Add([]byte{0x81, 0x81, 0x81, 0x42, 0x42, 0x42})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		for _, mode := range []Mode{FullCoh, PT, PTRO, RaCCD} {
+			h := tiny(mode)
+			last := map[mem.Addr]uint64{}
+			val := uint64(1)
+			for i := 0; i+1 < len(program); i += 2 {
+				op, arg := program[i], program[i+1]
+				c := int(op & 3)
+				addr := mem.Addr(arg&0x3f) * 64
+				switch {
+				case mode == RaCCD && op&0x40 != 0:
+					// Bracketed mini-task, respecting the task memory
+					// model (no concurrent NC writers).
+					h.RegisterRegion(c, mem.Range{Start: addr, Size: 256})
+					h.Access(c, addr, op&0x80 != 0, val)
+					if op&0x80 != 0 {
+						last[addr] = val
+						val++
+					}
+					h.InvalidateNC(c)
+				case op&0x80 != 0:
+					h.Access(c, addr, true, val)
+					last[addr] = val
+					val++
+				default:
+					h.Access(c, addr, false, 0)
+				}
+			}
+			if mode == RaCCD {
+				for c := 0; c < 4; c++ {
+					h.InvalidateNC(c)
+				}
+			}
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("%v: invariant violated: %v", mode, err)
+			}
+			h.DrainAll()
+			for a, want := range last {
+				if got := h.VirtValue(a); got != want {
+					t.Fatalf("%v: addr %#x final value %d, want %d", mode, uint64(a), got, want)
+				}
+			}
+		}
+	})
+}

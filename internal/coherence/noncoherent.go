@@ -1,0 +1,123 @@
+package coherence
+
+import (
+	"raccd/internal/cache"
+	"raccd/internal/mem"
+	"raccd/internal/noc"
+	"raccd/internal/trace"
+)
+
+// --- non-coherent path (§III-C3) ---
+
+// ncFill resolves a private-cache miss non-coherently: the request goes to
+// the home LLC bank and, on an LLC miss, to memory — never to the directory.
+func (h *Hierarchy) ncFill(c, tid int, b mem.Block, write bool, val uint64) (latency uint64) {
+	home := h.bankOf(b)
+	latency += h.mesh.Send(c, home, noc.Ctrl)
+	latency += h.Params.LLCCycles
+	h.Stats.LLCDemand++
+
+	// §III-E transition coherent→non-coherent: if the block still has a
+	// directory entry, deallocate it (recalling any stale L1 copies).
+	if entry, ok := h.dir.Peek(b); ok {
+		h.recallSharers(entry, home, c)
+		h.dir.Free(b)
+		if lline, ok := h.llc[home].Peek(b); ok {
+			lline.NC = true
+		}
+	}
+
+	var v uint64
+	lline, ok := h.llc[home].Lookup(b)
+	if ok {
+		h.Stats.LLCDemandHits++
+		v = lline.Val
+	} else {
+		// LLC miss: non-coherent request to memory.
+		latency += h.Params.MemCycles
+		v = h.mem[b]
+		h.Stats.MemReads++
+		victim, nl := h.llc[home].Insert(b)
+		h.handleLLCVictim(home, victim)
+		nl.State = cache.Shared // LLC-level placeholder state
+		nl.NC = true
+		nl.Val = v
+	}
+
+	// Data response carries the NC bit back to the private cache.
+	latency += h.mesh.Send(home, c, noc.Data)
+	victim, ln := h.l1[c].Insert(b)
+	latency += h.handleL1Victim(c, victim)
+	ln.State = cache.Exclusive
+	ln.NC = true
+	ln.Thread = uint8(tid)
+	ln.Val = v
+	if write {
+		h.writeLine(c, b, ln, val)
+	}
+	return latency
+}
+
+// --- RaCCD coherence recovery (§III-C4) ---
+
+// InvalidateNC executes raccd_invalidate on core c for hardware thread 0.
+func (h *Hierarchy) InvalidateNC(c int) (latency uint64) {
+	return h.InvalidateNCT(c, 0)
+}
+
+// InvalidateNCT executes raccd_invalidate for one SMT hardware thread: walk
+// the private cache and flush every NC line whose thread-ID bits match —
+// silently when clean, via a non-coherent writeback when dirty (§III-C4,
+// §III-E). Returns the cycle cost of the blocking instruction. The thread's
+// NCRT entries are cleared.
+func (h *Hierarchy) InvalidateNCT(c, tid int) (latency uint64) {
+	if h.Mode != RaCCD {
+		return 0
+	}
+	h.Stats.RecoveryFlushes++
+	// Sequential traversal of the private cache: one cycle per line.
+	latency += uint64(h.l1[c].Capacity())
+	h.l1[c].Walk(func(ln *cache.Line) {
+		if !ln.NC || ln.Thread != uint8(tid) {
+			return
+		}
+		h.Stats.FlushedNC++
+		h.event(trace.RecoveryFlush, c, ln.Block, uint64(tid))
+		if ln.Dirty {
+			h.Stats.FlushedNCDirty++
+			h.writebackToLLC(c, ln.Block, ln.Val)
+			latency += h.Params.L1HitCycles
+		}
+		ln.State = cache.Invalid
+	})
+	h.ncrts[c].Clear(tid)
+	return latency
+}
+
+// MigrateThread models the OS moving hardware thread tid from core src to
+// core dst (§III-E): the thread's NCRT entries move to the destination
+// core's NCRT and its non-coherent data is invalidated from the source
+// core's private cache with the raccd_invalidate mechanism.
+func (h *Hierarchy) MigrateThread(tid, src, dst int) (latency uint64) {
+	if h.Mode != RaCCD || src == dst {
+		return 0
+	}
+	h.event(trace.ThreadMigrate, src, 0, uint64(dst))
+	ivs := h.ncrts[src].Take(tid)
+	latency += uint64(h.l1[src].Capacity())
+	h.l1[src].Walk(func(ln *cache.Line) {
+		if !ln.NC || ln.Thread != uint8(tid) {
+			return
+		}
+		h.Stats.FlushedNC++
+		if ln.Dirty {
+			h.Stats.FlushedNCDirty++
+			h.writebackToLLC(src, ln.Block, ln.Val)
+			latency += h.Params.L1HitCycles
+		}
+		ln.State = cache.Invalid
+	})
+	h.ncrts[dst].Put(tid, ivs)
+	latency += h.mesh.Send(src, dst, noc.Ctrl)
+	return latency
+}

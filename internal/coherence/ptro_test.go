@@ -1,0 +1,141 @@
+package coherence
+
+// Tests for the PT-RO extension (§VI-B, Cuesta et al. [38]): page-table
+// classification that also deactivates coherence for shared read-only pages.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"raccd/internal/mem"
+)
+
+func TestPTROSharedReadersStayNonCoherent(t *testing.T) {
+	h := tiny(PTRO)
+	h.Access(0, 0x1000, false, 0)
+	h.Access(1, 0x1000, false, 0)
+	h.Access(2, 0x1000, false, 0)
+	if h.Stats.CohFills != 0 {
+		t.Fatalf("read-only sharing caused coherent fills: %+v", h.Stats)
+	}
+	if h.Dir().Occupancy() != 0 {
+		t.Fatal("read-only shared data allocated directory entries")
+	}
+	mustOK(t, h)
+}
+
+func TestPTROVsPTOnSharedReads(t *testing.T) {
+	// Under plain PT the same pattern flips the page to coherent.
+	run := func(mode Mode) uint64 {
+		h := tiny(mode)
+		h.Access(0, 0x1000, false, 0)
+		h.Access(1, 0x1000, false, 0)
+		h.Access(2, 0x1040, false, 0)
+		return h.Stats.CohFills
+	}
+	if pt := run(PT); pt == 0 {
+		t.Fatal("PT should serve second readers coherently")
+	}
+	if ro := run(PTRO); ro != 0 {
+		t.Fatal("PT-RO should keep read-only sharing non-coherent")
+	}
+}
+
+func TestPTROWriteDemotionFlushesAllCopies(t *testing.T) {
+	h := tiny(PTRO)
+	h.Access(0, 0x1000, true, 7)  // private, written by owner
+	h.Access(1, 0x1000, false, 0) // sharedRO; owner's dirty copy flushed
+	h.Access(2, 0x1000, false, 0) // third NC copy
+	// Core 1 writes: the page demotes, every core's copy must vanish.
+	h.Access(1, 0x1000, true, 9)
+	pa, _ := h.MMU(0).Translate(0x1000)
+	b := mem.BlockOf(pa)
+	if _, ok := h.L1(0).Peek(b); ok {
+		t.Fatal("core 0 kept a stale copy across demotion")
+	}
+	if _, ok := h.L1(2).Peek(b); ok {
+		t.Fatal("core 2 kept a stale copy across demotion")
+	}
+	ln, ok := h.L1(1).Peek(b)
+	if !ok || ln.NC || ln.Val != 9 {
+		t.Fatalf("writer's line after demotion: %+v", ln)
+	}
+	h.DrainAll()
+	if got := h.VirtValue(0x1000); got != 9 {
+		t.Fatalf("final value %d, want 9", got)
+	}
+	mustOK(t, h)
+}
+
+func TestPTROWriteHitOnOwnStaleROCopy(t *testing.T) {
+	// The subtle case: the demoting writer itself holds an NC copy from
+	// the page's read-only phase. Classification runs with the TLB access,
+	// so the demotion flush removes that copy before the L1 probe.
+	h := tiny(PTRO)
+	h.Access(0, 0x1000, false, 0) // private read by 0
+	h.Access(1, 0x1000, false, 0) // sharedRO; core 1 has NC copy
+	h.Access(1, 0x1000, true, 5)  // core 1 writes ITS OWN cached block
+	pa, _ := h.MMU(0).Translate(0x1000)
+	ln, ok := h.L1(1).Peek(mem.BlockOf(pa))
+	if !ok || ln.NC {
+		t.Fatalf("write after demotion left an NC line: %+v", ln)
+	}
+	h.DrainAll()
+	if got := h.VirtValue(0x1000); got != 5 {
+		t.Fatalf("final value %d, want 5", got)
+	}
+	mustOK(t, h)
+}
+
+func TestPTROPrivateWritesStayNonCoherent(t *testing.T) {
+	h := tiny(PTRO)
+	h.Access(3, 0x1000, true, 1)
+	h.Access(3, 0x1040, true, 2)
+	if h.Stats.CohFills != 0 {
+		t.Fatal("private writes should be non-coherent under PT-RO")
+	}
+	mustOK(t, h)
+}
+
+func TestPTROModeString(t *testing.T) {
+	if PTRO.String() != "PT-RO" {
+		t.Fatalf("PTRO.String() = %q", PTRO.String())
+	}
+}
+
+// Property: under arbitrary storms, PT-RO maintains the invariants and the
+// final memory equals the last write per block — the demotion flushes make
+// this hold even with read-only copies spread across every L1.
+func TestQuickPTROStorm(t *testing.T) {
+	f := func(ops []uint16) bool {
+		h := tiny(PTRO)
+		last := map[mem.Addr]uint64{}
+		val := uint64(1)
+		for _, op := range ops {
+			c := int(op & 3)
+			addr := mem.Addr(op>>2&0x3f) * 64
+			if op&0x8000 != 0 {
+				h.Access(c, addr, true, val)
+				last[mem.AlignDown(addr, 64)] = val
+				val++
+			} else {
+				h.Access(c, addr, false, 0)
+			}
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Logf("invariant: %v", err)
+			return false
+		}
+		h.DrainAll()
+		for a, v := range last {
+			if got := h.VirtValue(a); got != v {
+				t.Logf("addr %#x: got %d want %d", uint64(a), got, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package coherence
+
+import (
+	"testing"
+
+	"raccd/internal/mem"
+	"raccd/internal/trace"
+)
+
+func TestTracerRecordsProtocolEvents(t *testing.T) {
+	h := tiny(RaCCD)
+	h.Tracer = trace.New(1024)
+
+	h.RegisterRegion(0, mem.Range{Start: 0x8000, Size: 4096})
+	h.Access(0, 0x8000, true, 1) // NC fill
+	h.Access(0, 0x100, false, 0) // coherent fill
+	h.InvalidateNC(0)            // recovery flush of the dirty NC line
+
+	if h.Tracer.Count(trace.NCFill) != 1 {
+		t.Fatalf("NCFill events = %d, want 1", h.Tracer.Count(trace.NCFill))
+	}
+	if h.Tracer.Count(trace.CohFill) != 1 {
+		t.Fatalf("CohFill events = %d, want 1", h.Tracer.Count(trace.CohFill))
+	}
+	if h.Tracer.Count(trace.RecoveryFlush) != 1 {
+		t.Fatalf("RecoveryFlush events = %d, want 1", h.Tracer.Count(trace.RecoveryFlush))
+	}
+	// The flushed line was dirty: a writeback must have been traced.
+	if h.Tracer.Count(trace.Writeback) == 0 {
+		t.Fatal("no Writeback event for the dirty NC flush")
+	}
+}
+
+func TestTracerRecordsPTFlips(t *testing.T) {
+	h := tiny(PT)
+	h.Tracer = trace.New(64)
+	h.Access(0, 0x1000, true, 1)
+	h.Access(1, 0x1040, false, 0) // flip
+	if h.Tracer.Count(trace.PTFlip) != 1 {
+		t.Fatalf("PTFlip events = %d, want 1", h.Tracer.Count(trace.PTFlip))
+	}
+}
+
+func TestTracerRecordsDirRecalls(t *testing.T) {
+	h := tiny(FullCoh)
+	h.Tracer = trace.New(64)
+	// Same conflict pattern as TestDirectoryEvictionInvalidatesLLC.
+	for _, a := range []mem.Addr{0, 128 * 64, 256 * 64} {
+		h.Access(0, a, false, 0)
+	}
+	if h.Tracer.Count(trace.DirRecall) == 0 {
+		t.Fatal("no DirRecall traced for a directory capacity eviction")
+	}
+}
+
+func TestTracerRecordsMigration(t *testing.T) {
+	h := tiny(RaCCD)
+	h.Tracer = trace.New(64)
+	h.RegisterRegionT(0, 1, mem.Range{Start: 0x8000, Size: 64})
+	h.MigrateThread(1, 0, 2)
+	if h.Tracer.Count(trace.ThreadMigrate) != 1 {
+		t.Fatal("migration not traced")
+	}
+	evs := h.Tracer.Events()
+	found := false
+	for _, e := range evs {
+		if e.Kind == trace.ThreadMigrate && e.Core == 0 && e.Aux == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("migration event lacks src/dst detail: %v", evs)
+	}
+}
+
+func TestTracingDoesNotChangeResults(t *testing.T) {
+	run := func(traced bool) (uint64, Stats) {
+		h := tiny(RaCCD)
+		if traced {
+			h.Tracer = trace.New(16)
+		}
+		var cycles uint64
+		h.RegisterRegion(0, mem.Range{Start: 0x8000, Size: 4096})
+		for i := 0; i < 100; i++ {
+			cycles += h.Access(i%4, mem.Addr(0x8000+i*64), i%2 == 0, uint64(i))
+		}
+		cycles += h.InvalidateNC(0)
+		return cycles, h.Stats
+	}
+	c1, s1 := run(false)
+	c2, s2 := run(true)
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("tracing perturbed the simulation: %d/%d", c1, c2)
+	}
+}

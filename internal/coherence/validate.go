@@ -1,0 +1,146 @@
+package coherence
+
+import (
+	"fmt"
+
+	"raccd/internal/cache"
+	"raccd/internal/directory"
+	"raccd/internal/mem"
+)
+
+// --- draining and validation ---
+
+// DrainAll flushes every L1 and every LLC bank to memory, leaving the whole
+// hierarchy empty. Used at end of run to validate final memory contents.
+func (h *Hierarchy) DrainAll() {
+	for c := range h.l1 {
+		h.l1[c].Walk(func(ln *cache.Line) {
+			if ln.Dirty {
+				h.writebackToLLC(c, ln.Block, ln.Val)
+			}
+			ln.State = cache.Invalid
+		})
+	}
+	for bank := range h.llc {
+		h.llc[bank].Walk(func(ln *cache.Line) {
+			if ln.Dirty {
+				h.mem[ln.Block] = ln.Val
+				h.Stats.MemWrites++
+			}
+			ln.State = cache.Invalid
+		})
+	}
+	h.dir.Clear()
+}
+
+// VirtValue returns the final value of the block containing virtual address
+// va, reading memory after DrainAll. Unmapped pages read as zero.
+func (h *Hierarchy) VirtValue(va mem.Addr) uint64 {
+	pp, ok := h.pageTable.Lookup(mem.PageOf(va))
+	if !ok {
+		return 0
+	}
+	pa := pp.Addr() | (va & (mem.PageSize - 1))
+	return h.mem[mem.BlockOf(pa)]
+}
+
+// NonCoherentFraction returns the Fig 2 metric: the fraction of touched
+// blocks that were never accessed coherently.
+func (h *Hierarchy) NonCoherentFraction() float64 {
+	if len(h.blockSeen) == 0 {
+		return 0
+	}
+	return 1 - float64(len(h.blockCoh))/float64(len(h.blockSeen))
+}
+
+// --- invariant checking (used by tests) ---
+
+// CheckInvariants verifies the protocol invariants described in the package
+// comment. It is O(total lines) and intended for tests.
+func (h *Hierarchy) CheckInvariants() error {
+	// SWMR: at most one M/E copy per block; M/E excludes S copies.
+	type holders struct {
+		m, e, s int
+	}
+	perBlock := map[mem.Block]*holders{}
+	for c := range h.l1 {
+		cc := c
+		h.l1[cc].Walk(func(ln *cache.Line) {
+			if ln.NC {
+				return // NC copies are exempt by construction
+			}
+			hd := perBlock[ln.Block]
+			if hd == nil {
+				hd = &holders{}
+				perBlock[ln.Block] = hd
+			}
+			switch ln.State {
+			case cache.Modified:
+				hd.m++
+			case cache.Exclusive:
+				hd.e++
+			case cache.Shared:
+				hd.s++
+			}
+		})
+	}
+	for b, hd := range perBlock {
+		if hd.m+hd.e > 1 {
+			return fmt.Errorf("block %d: %d M + %d E copies", b, hd.m, hd.e)
+		}
+		if (hd.m > 0 || hd.e > 0) && hd.s > 0 {
+			return fmt.Errorf("block %d: M/E copy coexists with %d S copies", b, hd.s)
+		}
+	}
+	// Inclusion: coherent L1 line ⇒ LLC line ⇒ directory entry; NC lines
+	// have no directory entry.
+	for c := range h.l1 {
+		var err error
+		h.l1[c].Walk(func(ln *cache.Line) {
+			if err != nil || ln.NC {
+				return
+			}
+			bank := h.bankOf(ln.Block)
+			if _, ok := h.llc[bank].Peek(ln.Block); !ok {
+				err = fmt.Errorf("coherent L1 line %d (core %d) missing from LLC", ln.Block, c)
+				return
+			}
+			if _, ok := h.dir.Peek(ln.Block); !ok {
+				err = fmt.Errorf("coherent L1 line %d (core %d) missing from directory", ln.Block, c)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for bank := range h.llc {
+		var err error
+		h.llc[bank].Walk(func(ln *cache.Line) {
+			if err != nil {
+				return
+			}
+			_, hasDir := h.dir.Peek(ln.Block)
+			if ln.NC && hasDir {
+				err = fmt.Errorf("NC LLC line %d has a directory entry", ln.Block)
+			}
+			if !ln.NC && !hasDir {
+				err = fmt.Errorf("coherent LLC line %d has no directory entry", ln.Block)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Directory entries must correspond to LLC-resident blocks.
+	var err error
+	h.dir.Walk(func(e *directory.Entry) {
+		if err != nil {
+			return
+		}
+		bank := h.bankOf(e.Block)
+		if _, ok := h.llc[bank].Peek(e.Block); !ok {
+			err = fmt.Errorf("directory entry for %d has no LLC line", e.Block)
+		}
+	})
+	return err
+}

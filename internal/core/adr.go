@@ -1,0 +1,121 @@
+package core
+
+import (
+	"raccd/internal/directory"
+)
+
+// ADRStats counts Adaptive Directory Reduction events.
+type ADRStats struct {
+	Reconfigs     uint64
+	Grows         uint64
+	Shrinks       uint64
+	EntriesMoved  uint64
+	BlockedCycles uint64 // cycles the directory was blocked during moves
+}
+
+// ADR is the Adaptive Directory Reduction controller (§III-D). It monitors
+// directory occupancy and, when it crosses the hysteresis thresholds
+// θinc = 80 % and θdec = 20 % of the *current* capacity, doubles or halves
+// the number of sets (keeping associativity constant, as the paper does to
+// keep the indexing function simple). Reconfigurations move the surviving
+// entries to their new sets, cost cycles and energy, and block the directory
+// while in progress; entries that no longer fit are dropped and must be
+// invalidated by the caller exactly like capacity evictions.
+type ADR struct {
+	Dir *directory.Directory
+
+	// ThetaInc and ThetaDec are the grow/shrink occupancy thresholds as
+	// fractions of current capacity (paper: 0.8 and 0.2).
+	ThetaInc, ThetaDec float64
+
+	// MinInterval is the minimum number of monitor evaluations (Tick
+	// calls) between two reconfigurations, providing the "reduced number
+	// of reconfigurations" reaction time the paper reports for the 80/20
+	// hysteresis loop. The hierarchy evaluates the monitor periodically
+	// on the access stream and on every directory allocation/free.
+	MinInterval uint64
+
+	// MoveCyclesPerEntry is the directory-blocking cost of relocating one
+	// entry during a reconfiguration.
+	MoveCyclesPerEntry uint64
+
+	// ShrinkStreak is how many consecutive monitor evaluations must see
+	// occupancy below ThetaDec before a shrink, so the warm-up ramp of a
+	// large working set does not trigger a shrink it will immediately
+	// regret.
+	ShrinkStreak uint64
+	// GrowBackoff multiplies MinInterval for shrinks after a grow: a grow
+	// means the previous shrink thrashed, so be conservative for a while.
+	GrowBackoff uint64
+
+	tickCount        uint64
+	lastReconfigTick uint64
+	lastGrowTick     uint64
+	grewOnce         bool
+	lowStreak        uint64
+	Stats            ADRStats
+}
+
+// NewADR returns an ADR controller over dir with the paper's thresholds.
+func NewADR(dir *directory.Directory) *ADR {
+	return &ADR{
+		Dir:                dir,
+		ThetaInc:           0.8,
+		ThetaDec:           0.2,
+		MinInterval:        128,
+		MoveCyclesPerEntry: 2,
+		ShrinkStreak:       8,
+		GrowBackoff:        8,
+	}
+}
+
+// Tick evaluates the occupancy monitor and performs at most one
+// reconfiguration. It returns the entries dropped by a shrink (the caller
+// invalidates their LLC lines and L1 copies) and the cycles the directory
+// was blocked. Call it after directory allocations and frees.
+func (a *ADR) Tick() (dropped []directory.Entry, blockedCycles uint64) {
+	d := a.Dir
+	a.tickCount++
+	occ := float64(d.Occupancy())
+	cap := float64(d.Capacity())
+	low := occ < a.ThetaDec*cap
+	if low {
+		a.lowStreak++
+	} else {
+		a.lowStreak = 0
+	}
+	switch {
+	case occ > a.ThetaInc*cap && d.CanDouble():
+		// Growing is a safety action and is never rate-limited: an
+		// undersized directory thrashes like the FullCoh worst case.
+		dropped = a.resize(d.SetsPerBank() * 2)
+		a.Stats.Grows++
+		a.lastGrowTick = a.tickCount
+		a.grewOnce = true
+	case low && d.CanHalve():
+		if a.lowStreak < a.ShrinkStreak {
+			return nil, 0
+		}
+		if a.tickCount-a.lastReconfigTick < a.MinInterval {
+			return nil, 0
+		}
+		if a.grewOnce && a.tickCount-a.lastGrowTick < a.MinInterval*a.GrowBackoff {
+			return nil, 0
+		}
+		dropped = a.resize(d.SetsPerBank() / 2)
+		a.Stats.Shrinks++
+	default:
+		return nil, 0
+	}
+	a.Stats.Reconfigs++
+	a.lastReconfigTick = a.tickCount
+	moved := uint64(d.Occupancy())
+	a.Stats.EntriesMoved += moved
+	blockedCycles = moved * a.MoveCyclesPerEntry
+	a.Stats.BlockedCycles += blockedCycles
+	return dropped, blockedCycles
+}
+
+func (a *ADR) resize(sets int) []directory.Entry {
+	return a.Dir.Resize(sets)
+}

@@ -1,0 +1,64 @@
+package directory
+
+import (
+	"testing"
+
+	"raccd/internal/mem"
+)
+
+func TestClear(t *testing.T) {
+	d := New(Config{Banks: 2, Ways: 2, SetsPerBank: 4, MinSets: 1})
+	for b := mem.Block(0); b < 10; b++ {
+		if _, ok := d.Peek(b); !ok {
+			d.Allocate(b)
+		}
+	}
+	if d.Occupancy() == 0 {
+		t.Fatal("precondition: directory should be populated")
+	}
+	d.Clear()
+	if d.Occupancy() != 0 {
+		t.Fatalf("Occupancy after Clear = %d", d.Occupancy())
+	}
+	n := 0
+	d.Walk(func(*Entry) { n++ })
+	if n != 0 {
+		t.Fatalf("Walk found %d entries after Clear", n)
+	}
+	// The directory must be fully reusable afterwards.
+	d.Allocate(3)
+	if d.Occupancy() != 1 {
+		t.Fatal("allocation after Clear broken")
+	}
+}
+
+func TestResizePreservesSharersAndOwner(t *testing.T) {
+	d := New(Config{Banks: 1, Ways: 2, SetsPerBank: 4, MinSets: 1})
+	_, e := d.Allocate(5)
+	e.AddSharer(2)
+	e.AddSharer(7)
+	e.Owner = 7
+	d.Resize(2)
+	got, ok := d.Peek(5)
+	if !ok {
+		t.Fatal("entry lost across resize")
+	}
+	if !got.HasSharer(2) || !got.HasSharer(7) || got.Owner != 7 {
+		t.Fatalf("sharer/owner state lost across resize: %+v", got)
+	}
+}
+
+func TestOccupancyAfterEvictionChain(t *testing.T) {
+	d := New(Config{Banks: 1, Ways: 1, SetsPerBank: 2, MinSets: 1})
+	// Capacity 2 (2 sets × 1 way); blocks alternate sets, so each new
+	// allocation beyond the first two evicts: occupancy stays <= 2.
+	for _, b := range []mem.Block{0, 1, 2, 3, 4} {
+		d.Allocate(b)
+		if d.Occupancy() > 2 {
+			t.Fatalf("occupancy %d exceeds capacity 2", d.Occupancy())
+		}
+	}
+	if d.Stats.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", d.Stats.Evictions)
+	}
+}

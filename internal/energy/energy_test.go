@@ -1,0 +1,120 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// Paper Table III ground truth: entries (total) → KB and mm².
+var tableIII = []struct {
+	ratio   int
+	entries int
+	kb      float64
+	mm2     float64
+}{
+	{1, 524288, 4224, 106.08},
+	{2, 262144, 2112, 53.92},
+	{4, 131072, 1056, 34.08},
+	{8, 65536, 528, 21.28},
+	{16, 32768, 264, 14.88},
+	{64, 8192, 66, 6.18},
+	{256, 2048, 16.5, 2.64},
+}
+
+func TestDirectorySizeKBMatchesTableIII(t *testing.T) {
+	for _, row := range tableIII {
+		got := DirectorySizeKB(row.entries)
+		if math.Abs(got-row.kb) > 0.01 {
+			t.Errorf("ratio 1:%d: size = %.2f KB, want %.2f", row.ratio, got, row.kb)
+		}
+	}
+}
+
+func TestAreaWithinTolerance(t *testing.T) {
+	// The analytic fit must be within 20 % of every Table III area.
+	for _, row := range tableIII {
+		got := SRAMAreaMM2(row.kb)
+		rel := math.Abs(got-row.mm2) / row.mm2
+		if rel > 0.20 {
+			t.Errorf("ratio 1:%d: area = %.2f mm², paper %.2f (off %.0f%%)", row.ratio, got, row.mm2, rel*100)
+		}
+	}
+}
+
+func TestAreaMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, row := range tableIII {
+		got := SRAMAreaMM2(row.kb)
+		if got >= prev {
+			t.Errorf("area not monotone: %.2f mm² at %.1f KB >= %.2f", got, row.kb, prev)
+		}
+		prev = got
+	}
+}
+
+func TestAreaReductionAt256(t *testing.T) {
+	// Paper: "97.5% reduction of the directory area for 1:256".
+	full := SRAMAreaMM2(tableIII[0].kb)
+	small := SRAMAreaMM2(tableIII[6].kb)
+	reduction := 1 - small/full
+	if reduction < 0.90 || reduction > 0.995 {
+		t.Errorf("area reduction at 1:256 = %.1f%%, paper 97.5%%", reduction*100)
+	}
+}
+
+func TestPerAccessSublinear(t *testing.T) {
+	m := AccessModel{E0: 1, RefKB: 4224}
+	if got := m.PerAccess(4224); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("reference energy = %v, want 1", got)
+	}
+	// Quartering the size must halve the per-access energy (sqrt model).
+	if got := m.PerAccess(1056); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("quarter-size energy = %v, want 0.5", got)
+	}
+	if m.PerAccess(0) != 0 || m.PerAccess(-5) != 0 {
+		t.Fatal("non-positive capacity must cost 0")
+	}
+}
+
+func TestDirDynamicFlat(t *testing.T) {
+	m := Default(264, 2048)
+	u := Usage{DirAccesses: 1000, DirKB: 264}
+	if got := m.DirDynamic(u); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("DirDynamic = %v, want 1000 (1000 accesses × E0)", got)
+	}
+	// Fewer accesses at a smaller directory always cost less.
+	smaller := Usage{DirAccesses: 1000, DirKB: 66}
+	if m.DirDynamic(smaller) >= m.DirDynamic(u) {
+		t.Fatal("smaller directory must cost less per access")
+	}
+}
+
+func TestDirDynamicWeightedOverride(t *testing.T) {
+	m := Default(264, 2048)
+	u := Usage{DirAccesses: 1000, DirKB: 264, WeightedDirAccessEnergy: 123}
+	if got := m.DirDynamic(u); math.Abs(got-123) > 1e-9 {
+		t.Fatalf("weighted override ignored: %v", got)
+	}
+}
+
+func TestDirDynamicMoveCost(t *testing.T) {
+	m := Default(264, 2048)
+	base := m.DirDynamic(Usage{DirAccesses: 100, DirKB: 264})
+	moved := m.DirDynamic(Usage{DirAccesses: 100, DirKB: 264, DirEntriesMoved: 50})
+	if moved <= base {
+		t.Fatal("entry moves must add energy")
+	}
+	if math.Abs((moved-base)-100) > 1e-9 { // 50 moves × 2 accesses × E0
+		t.Fatalf("move cost = %v, want 100", moved-base)
+	}
+}
+
+func TestLLCAndNoCDynamic(t *testing.T) {
+	m := Default(264, 2048)
+	if m.LLCDynamic(Usage{LLCAccesses: 10, LLCKB: 2048}) != 25 {
+		t.Fatal("LLC dynamic at reference size should be accesses × 2.5")
+	}
+	if m.NoCDynamic(Usage{NoCByteHops: 1000}) != 10 {
+		t.Fatal("NoC dynamic should be byte-hops × 0.01")
+	}
+}

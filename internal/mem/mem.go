@@ -1,0 +1,166 @@
+// Package mem defines the address-space primitives shared by every layer of
+// the simulator: byte addresses, cache blocks, pages, and address ranges.
+//
+// The simulated machine uses 64 B cache blocks and 4 KiB pages, matching the
+// configuration in Table I of the RaCCD paper. Physical addresses are 42 bits
+// as in the paper's experimental setup, although nothing in the simulator
+// depends on that width beyond the sanity checks here.
+package mem
+
+import "fmt"
+
+// Fundamental geometry of the simulated memory system.
+const (
+	// BlockBits is log2 of the cache block size.
+	BlockBits = 6
+	// BlockSize is the cache block (line) size in bytes.
+	BlockSize = 1 << BlockBits
+	// PageBits is log2 of the page size.
+	PageBits = 12
+	// PageSize is the virtual-memory page size in bytes.
+	PageSize = 1 << PageBits
+	// BlocksPerPage is the number of cache blocks in one page.
+	BlocksPerPage = PageSize / BlockSize
+	// PhysAddrBits is the simulated physical address width (Table I: 42 bits).
+	PhysAddrBits = 42
+	// MaxPhysAddr is the first address beyond the physical address space.
+	MaxPhysAddr = Addr(1) << PhysAddrBits
+)
+
+// Addr is a byte address, virtual or physical depending on context.
+type Addr uint64
+
+// Block is a cache-block number: an address with the low BlockBits removed.
+type Block uint64
+
+// Page is a page number: an address with the low PageBits removed.
+type Page uint64
+
+// BlockOf returns the cache block containing address a.
+func BlockOf(a Addr) Block { return Block(a >> BlockBits) }
+
+// PageOf returns the page containing address a.
+func PageOf(a Addr) Page { return Page(a >> PageBits) }
+
+// Addr returns the first byte address of block b.
+func (b Block) Addr() Addr { return Addr(b) << BlockBits }
+
+// Page returns the page containing block b.
+func (b Block) Page() Page { return Page(b >> (PageBits - BlockBits)) }
+
+// Addr returns the first byte address of page p.
+func (p Page) Addr() Addr { return Addr(p) << PageBits }
+
+// FirstBlock returns the first cache block of page p.
+func (p Page) FirstBlock() Block { return Block(p) << (PageBits - BlockBits) }
+
+// Range is a half-open byte range [Start, Start+Size). Task dependences
+// (in/out/inout annotations) are expressed as ranges of the virtual address
+// space, exactly like the array sections of OpenMP 4.0 depend clauses.
+type Range struct {
+	Start Addr
+	Size  uint64
+}
+
+// End returns the first address past the range.
+func (r Range) End() Addr { return r.Start + Addr(r.Size) }
+
+// Empty reports whether the range contains no bytes.
+func (r Range) Empty() bool { return r.Size == 0 }
+
+// Contains reports whether address a lies inside the range.
+func (r Range) Contains(a Addr) bool { return a >= r.Start && a < r.End() }
+
+// Overlaps reports whether the two ranges share at least one byte.
+func (r Range) Overlaps(o Range) bool {
+	if r.Empty() || o.Empty() {
+		return false
+	}
+	return r.Start < o.End() && o.Start < r.End()
+}
+
+// FirstBlock returns the first cache block the range touches.
+func (r Range) FirstBlock() Block { return BlockOf(r.Start) }
+
+// LastBlock returns the last cache block the range touches.
+// It must not be called on an empty range.
+func (r Range) LastBlock() Block { return BlockOf(r.End() - 1) }
+
+// NumBlocks returns how many cache blocks the range touches.
+func (r Range) NumBlocks() uint64 {
+	if r.Empty() {
+		return 0
+	}
+	return uint64(r.LastBlock()) - uint64(r.FirstBlock()) + 1
+}
+
+// NumPages returns how many pages the range touches.
+func (r Range) NumPages() uint64 {
+	if r.Empty() {
+		return 0
+	}
+	return uint64(PageOf(r.End()-1)) - uint64(PageOf(r.Start)) + 1
+}
+
+// Blocks calls fn for every cache block the range touches, in ascending
+// order, stopping early if fn returns false.
+func (r Range) Blocks(fn func(Block) bool) {
+	if r.Empty() {
+		return
+	}
+	for b := r.FirstBlock(); b <= r.LastBlock(); b++ {
+		if !fn(b) {
+			return
+		}
+	}
+}
+
+// Pages calls fn for every page the range touches, in ascending order.
+func (r Range) Pages(fn func(Page) bool) {
+	if r.Empty() {
+		return
+	}
+	last := PageOf(r.End() - 1)
+	for p := PageOf(r.Start); p <= last; p++ {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+func (r Range) String() string {
+	return fmt.Sprintf("[%#x,%#x)", uint64(r.Start), uint64(r.End()))
+}
+
+// Interval is a half-open physical address interval [Start, End). The NCRT
+// stores intervals because a contiguous virtual range may map to several
+// discontiguous physical intervals (Fig 5 of the paper).
+type Interval struct {
+	Start, End Addr
+}
+
+// Empty reports whether the interval contains no bytes.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Contains reports whether address a lies inside the interval.
+func (iv Interval) Contains(a Addr) bool { return a >= iv.Start && a < iv.End }
+
+// ContainsBlock reports whether the whole cache block b lies inside.
+func (iv Interval) ContainsBlock(b Block) bool {
+	return iv.Contains(b.Addr()) && iv.Contains(b.Addr()+BlockSize-1)
+}
+
+// Len returns the interval length in bytes.
+func (iv Interval) Len() uint64 { return uint64(iv.End - iv.Start) }
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%#x,%#x)", uint64(iv.Start), uint64(iv.End))
+}
+
+// AlignDown rounds a down to a multiple of align (a power of two).
+func AlignDown(a Addr, align uint64) Addr { return a &^ Addr(align-1) }
+
+// AlignUp rounds a up to a multiple of align (a power of two).
+func AlignUp(a Addr, align uint64) Addr {
+	return (a + Addr(align-1)) &^ Addr(align-1)
+}

@@ -1,0 +1,277 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want Block
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 1},
+		{65, 1},
+		{127, 1},
+		{128, 2},
+		{4096, 64},
+	}
+	for _, c := range cases {
+		if got := BlockOf(c.addr); got != c.want {
+			t.Errorf("BlockOf(%d) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want Page
+	}{
+		{0, 0},
+		{4095, 0},
+		{4096, 1},
+		{8191, 1},
+		{8192, 2},
+	}
+	for _, c := range cases {
+		if got := PageOf(c.addr); got != c.want {
+			t.Errorf("PageOf(%d) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestBlockAddrRoundTrip(t *testing.T) {
+	for _, b := range []Block{0, 1, 17, 1 << 30} {
+		if got := BlockOf(b.Addr()); got != b {
+			t.Errorf("BlockOf(%v.Addr()) = %v", b, got)
+		}
+	}
+}
+
+func TestBlockPage(t *testing.T) {
+	// 64 blocks per 4 KiB page.
+	if BlocksPerPage != 64 {
+		t.Fatalf("BlocksPerPage = %d, want 64", BlocksPerPage)
+	}
+	if got := Block(63).Page(); got != 0 {
+		t.Errorf("Block(63).Page() = %d, want 0", got)
+	}
+	if got := Block(64).Page(); got != 1 {
+		t.Errorf("Block(64).Page() = %d, want 1", got)
+	}
+	if got := Page(3).FirstBlock(); got != 192 {
+		t.Errorf("Page(3).FirstBlock() = %d, want 192", got)
+	}
+}
+
+func TestRangeEnd(t *testing.T) {
+	r := Range{Start: 100, Size: 28}
+	if r.End() != 128 {
+		t.Errorf("End = %d, want 128", r.End())
+	}
+	if r.Empty() {
+		t.Error("range should not be empty")
+	}
+	if !(Range{Start: 5}).Empty() {
+		t.Error("zero-size range should be empty")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Start: 64, Size: 64}
+	for _, a := range []Addr{64, 100, 127} {
+		if !r.Contains(a) {
+			t.Errorf("Contains(%d) = false, want true", a)
+		}
+	}
+	for _, a := range []Addr{0, 63, 128, 1000} {
+		if r.Contains(a) {
+			t.Errorf("Contains(%d) = true, want false", a)
+		}
+	}
+}
+
+func TestRangeOverlaps(t *testing.T) {
+	a := Range{Start: 100, Size: 100} // [100,200)
+	cases := []struct {
+		b    Range
+		want bool
+	}{
+		{Range{Start: 0, Size: 100}, false},   // adjacent below
+		{Range{Start: 200, Size: 10}, false},  // adjacent above
+		{Range{Start: 0, Size: 101}, true},    // one byte overlap low
+		{Range{Start: 199, Size: 10}, true},   // one byte overlap high
+		{Range{Start: 120, Size: 10}, true},   // contained
+		{Range{Start: 50, Size: 300}, true},   // containing
+		{Range{Start: 150, Size: 0}, false},   // empty never overlaps
+		{Range{Start: 100, Size: 100}, true},  // identical
+		{Range{Start: 1000, Size: 10}, false}, // disjoint
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v (symmetry)", c.b, a, got, c.want)
+		}
+	}
+}
+
+func TestRangeNumBlocks(t *testing.T) {
+	cases := []struct {
+		r    Range
+		want uint64
+	}{
+		{Range{Start: 0, Size: 0}, 0},
+		{Range{Start: 0, Size: 1}, 1},
+		{Range{Start: 0, Size: 64}, 1},
+		{Range{Start: 0, Size: 65}, 2},
+		{Range{Start: 63, Size: 2}, 2}, // straddles a block boundary
+		{Range{Start: 64, Size: 128}, 2},
+		{Range{Start: 60, Size: 8}, 2},
+	}
+	for _, c := range cases {
+		if got := c.r.NumBlocks(); got != c.want {
+			t.Errorf("%v.NumBlocks() = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRangeNumPages(t *testing.T) {
+	cases := []struct {
+		r    Range
+		want uint64
+	}{
+		{Range{Start: 0, Size: 0}, 0},
+		{Range{Start: 0, Size: 4096}, 1},
+		{Range{Start: 0, Size: 4097}, 2},
+		{Range{Start: 4095, Size: 2}, 2},
+		{Range{Start: 0x1000, Size: 3 * 4096}, 3},
+	}
+	for _, c := range cases {
+		if got := c.r.NumPages(); got != c.want {
+			t.Errorf("%v.NumPages() = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRangeBlocksIteration(t *testing.T) {
+	r := Range{Start: 60, Size: 200} // blocks 0..4
+	var got []Block
+	r.Blocks(func(b Block) bool {
+		got = append(got, b)
+		return true
+	})
+	want := []Block{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangeBlocksEarlyStop(t *testing.T) {
+	r := Range{Start: 0, Size: 64 * 100}
+	n := 0
+	r.Blocks(func(Block) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop after %d iterations, want 3", n)
+	}
+}
+
+func TestRangePagesIteration(t *testing.T) {
+	r := Range{Start: 4090, Size: 4200} // [4090,8290) spans pages 0..2
+	var got []Page
+	r.Pages(func(p Page) bool {
+		got = append(got, p)
+		return true
+	})
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("got %v, want [0 1 2]", got)
+	}
+}
+
+func TestIntervalContainsBlock(t *testing.T) {
+	iv := Interval{Start: 64, End: 192}
+	if !iv.ContainsBlock(1) || !iv.ContainsBlock(2) {
+		t.Error("blocks 1,2 should be contained")
+	}
+	if iv.ContainsBlock(0) || iv.ContainsBlock(3) {
+		t.Error("blocks 0,3 should not be contained")
+	}
+	// Partial coverage does not count: [64, 100) holds only part of block 1.
+	part := Interval{Start: 64, End: 100}
+	if part.ContainsBlock(1) {
+		t.Error("partially covered block must not be contained")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	if AlignDown(4097, 4096) != 4096 {
+		t.Error("AlignDown(4097, 4096) != 4096")
+	}
+	if AlignUp(4097, 4096) != 8192 {
+		t.Error("AlignUp(4097, 4096) != 8192")
+	}
+	if AlignUp(4096, 4096) != 4096 {
+		t.Error("AlignUp(4096, 4096) != 4096")
+	}
+	if AlignDown(4096, 4096) != 4096 {
+		t.Error("AlignDown(4096, 4096) != 4096")
+	}
+}
+
+// Property: NumBlocks equals the count produced by Blocks iteration.
+func TestQuickNumBlocksMatchesIteration(t *testing.T) {
+	f := func(start uint32, size uint16) bool {
+		r := Range{Start: Addr(start), Size: uint64(size)}
+		n := uint64(0)
+		r.Blocks(func(Block) bool { n++; return true })
+		return n == r.NumBlocks()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every block visited by Blocks intersects the range.
+func TestQuickBlocksIntersectRange(t *testing.T) {
+	f := func(start uint32, size uint16) bool {
+		r := Range{Start: Addr(start), Size: uint64(size)}
+		ok := true
+		r.Blocks(func(b Block) bool {
+			blk := Range{Start: b.Addr(), Size: BlockSize}
+			if !blk.Overlaps(r) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: overlap is symmetric and consistent with Contains.
+func TestQuickOverlapSymmetry(t *testing.T) {
+	f := func(s1 uint16, z1 uint8, s2 uint16, z2 uint8) bool {
+		a := Range{Start: Addr(s1), Size: uint64(z1)}
+		b := Range{Start: Addr(s2), Size: uint64(z2)}
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

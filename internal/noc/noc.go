@@ -1,0 +1,121 @@
+// Package noc models the 4×4 mesh network-on-chip of the simulated machine
+// (Table I: 4x4 mesh, link 1 cycle, router 1 cycle).
+//
+// The simulator does not model contention or per-flit pipelining; it accounts
+// traffic (message count and bytes × hops, the metric behind Fig 7c) and
+// charges a deterministic latency of (router+link) cycles per hop, which is
+// what the paper's normalised comparisons depend on.
+package noc
+
+import "fmt"
+
+// MsgClass categorises messages for traffic accounting.
+type MsgClass uint8
+
+// Message classes. Control messages (requests, invalidations, acks) carry no
+// data payload; data messages carry a full cache block.
+const (
+	Ctrl MsgClass = iota
+	Data
+	numClasses
+)
+
+func (c MsgClass) String() string {
+	switch c {
+	case Ctrl:
+		return "ctrl"
+	case Data:
+		return "data"
+	}
+	return fmt.Sprintf("MsgClass(%d)", uint8(c))
+}
+
+// Message sizes in bytes: 8 B header for control, header + 64 B block for
+// data responses and writebacks.
+const (
+	CtrlBytes = 8
+	DataBytes = 8 + 64
+)
+
+// Bytes returns the size of a message of class c.
+func (c MsgClass) Bytes() uint64 {
+	if c == Data {
+		return DataBytes
+	}
+	return CtrlBytes
+}
+
+// Stats accumulates NoC traffic.
+type Stats struct {
+	Messages  [numClasses]uint64
+	ByteHops  [numClasses]uint64 // bytes × hops, the Fig 7c metric
+	TotalHops uint64
+}
+
+// TotalMessages returns the message count across classes.
+func (s *Stats) TotalMessages() uint64 { return s.Messages[Ctrl] + s.Messages[Data] }
+
+// TotalByteHops returns bytes×hops across classes.
+func (s *Stats) TotalByteHops() uint64 { return s.ByteHops[Ctrl] + s.ByteHops[Data] }
+
+// Net accounts traffic and latency over a Topology (a mesh by default —
+// Table I — or a ring for the topology ablation).
+type Net struct {
+	topo Topology
+	// HopCycles is the per-hop latency: link 1 + router 1 (Table I).
+	HopCycles uint64
+
+	Stats Stats
+}
+
+// Mesh is the historical name of Net; the default topology is a mesh.
+type Mesh = Net
+
+// NewMesh builds a mesh network for n tiles; n must be a square power of two
+// (16 → 4×4).
+func NewMesh(n int) *Net { return NewNet(NewMeshTopology(n)) }
+
+// NewNet builds a network over an arbitrary topology.
+func NewNet(t Topology) *Net { return &Net{topo: t, HopCycles: 2} }
+
+// Side returns the mesh edge length in tiles (0 for non-mesh topologies).
+func (m *Net) Side() int {
+	if mt, ok := m.topo.(MeshTopology); ok {
+		return mt.side
+	}
+	return 0
+}
+
+// Topology returns the underlying topology.
+func (m *Net) Topology() Topology { return m.topo }
+
+// Tiles returns the number of tiles.
+func (m *Net) Tiles() int { return m.topo.Tiles() }
+
+// Hops returns the routing hop count between two tiles. A message from a
+// tile to itself still traverses the local router once (1 hop), matching the
+// usual NoC accounting where injection passes one router.
+func (m *Net) Hops(from, to int) uint64 { return m.topo.Hops(from, to) }
+
+// Send accounts one message of class c from tile `from` to tile `to` and
+// returns its network latency in cycles.
+func (m *Net) Send(from, to int, c MsgClass) uint64 {
+	h := m.Hops(from, to)
+	m.Stats.Messages[c]++
+	m.Stats.ByteHops[c] += c.Bytes() * h
+	m.Stats.TotalHops += h
+	return h * m.HopCycles
+}
+
+// RoundTrip accounts a request (ctrl) and its response of class resp, and
+// returns the combined latency.
+func (m *Net) RoundTrip(from, to int, resp MsgClass) uint64 {
+	return m.Send(from, to, Ctrl) + m.Send(to, from, resp)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,121 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshGeometry(t *testing.T) {
+	m := NewMesh(16)
+	if m.Side() != 4 || m.Tiles() != 16 {
+		t.Fatalf("side=%d tiles=%d, want 4/16", m.Side(), m.Tiles())
+	}
+	for _, bad := range []int{0, 3, 8, -4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMesh(%d) did not panic", bad)
+				}
+			}()
+			NewMesh(bad)
+		}()
+	}
+}
+
+func TestHops(t *testing.T) {
+	m := NewMesh(16) // tiles: 0..15 in row-major 4×4
+	cases := []struct {
+		from, to int
+		want     uint64
+	}{
+		{0, 0, 1},  // self: one local router
+		{0, 1, 1},  // adjacent x
+		{0, 4, 1},  // adjacent y
+		{0, 5, 2},  // diagonal
+		{0, 15, 6}, // opposite corners: 3+3
+		{3, 12, 6},
+		{5, 6, 1},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.from, c.to); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestSendAccounting(t *testing.T) {
+	m := NewMesh(16)
+	lat := m.Send(0, 15, Data)
+	if lat != 6*m.HopCycles {
+		t.Fatalf("latency = %d, want %d", lat, 6*m.HopCycles)
+	}
+	if m.Stats.Messages[Data] != 1 || m.Stats.Messages[Ctrl] != 0 {
+		t.Fatalf("message counts %+v", m.Stats.Messages)
+	}
+	if m.Stats.ByteHops[Data] != DataBytes*6 {
+		t.Fatalf("byte-hops = %d, want %d", m.Stats.ByteHops[Data], DataBytes*6)
+	}
+	if m.Stats.TotalHops != 6 {
+		t.Fatalf("TotalHops = %d, want 6", m.Stats.TotalHops)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := NewMesh(16)
+	lat := m.RoundTrip(1, 2, Data)
+	if lat != 2*m.HopCycles {
+		t.Fatalf("round trip latency = %d, want %d", lat, 2*m.HopCycles)
+	}
+	if m.Stats.Messages[Ctrl] != 1 || m.Stats.Messages[Data] != 1 {
+		t.Fatalf("round trip message mix %+v", m.Stats.Messages)
+	}
+	if m.Stats.TotalByteHops() != CtrlBytes+DataBytes {
+		t.Fatalf("TotalByteHops = %d", m.Stats.TotalByteHops())
+	}
+}
+
+func TestMsgClassBytes(t *testing.T) {
+	if Ctrl.Bytes() != 8 || Data.Bytes() != 72 {
+		t.Fatalf("message sizes: ctrl=%d data=%d", Ctrl.Bytes(), Data.Bytes())
+	}
+	if Ctrl.String() != "ctrl" || Data.String() != "data" {
+		t.Fatal("MsgClass String wrong")
+	}
+}
+
+// Property: hops are symmetric and satisfy the triangle inequality.
+func TestQuickHopsMetric(t *testing.T) {
+	m := NewMesh(16)
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a%16), int(b%16), int(c%16)
+		if m.Hops(x, y) != m.Hops(y, x) {
+			return false
+		}
+		if x != y && x != z && z != y {
+			if m.Hops(x, y) > m.Hops(x, z)+m.Hops(z, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total byte-hops increases monotonically with each send.
+func TestQuickTrafficMonotone(t *testing.T) {
+	m := NewMesh(4)
+	f := func(a, b uint8, data bool) bool {
+		before := m.Stats.TotalByteHops()
+		cl := Ctrl
+		if data {
+			cl = Data
+		}
+		m.Send(int(a%4), int(b%4), cl)
+		return m.Stats.TotalByteHops() > before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package noc
+
+import "math/bits"
+
+// Topology computes hop distances between tiles. The mesh of Table I is the
+// default; a bidirectional ring is provided as an architectural ablation
+// (rings are common in smaller core counts and stress the traffic model
+// with longer average distances).
+type Topology interface {
+	// Tiles returns the number of network endpoints.
+	Tiles() int
+	// Hops returns the routing distance between two tiles; a message to
+	// the local tile still traverses its router once.
+	Hops(from, to int) uint64
+	// Name identifies the topology.
+	Name() string
+}
+
+// MeshTopology is a square 2D mesh with XY routing.
+type MeshTopology struct{ side int }
+
+// NewMeshTopology builds a mesh for n tiles (a square power of two).
+func NewMeshTopology(n int) MeshTopology {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("noc: tile count must be a positive power of two")
+	}
+	lg := bits.Len(uint(n)) - 1
+	if lg%2 != 0 {
+		panic("noc: tile count must be a square (4, 16, 64, ...)")
+	}
+	return MeshTopology{side: 1 << (lg / 2)}
+}
+
+// Tiles implements Topology.
+func (m MeshTopology) Tiles() int { return m.side * m.side }
+
+// Name implements Topology.
+func (m MeshTopology) Name() string { return "mesh" }
+
+// Hops implements Topology.
+func (m MeshTopology) Hops(from, to int) uint64 {
+	fx, fy := from%m.side, from/m.side
+	tx, ty := to%m.side, to/m.side
+	h := abs(fx-tx) + abs(fy-ty)
+	if h == 0 {
+		return 1
+	}
+	return uint64(h)
+}
+
+// RingTopology is a bidirectional ring: messages take the shorter way round.
+type RingTopology struct{ n int }
+
+// NewRingTopology builds a ring of n tiles (any positive power of two).
+func NewRingTopology(n int) RingTopology {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("noc: tile count must be a positive power of two")
+	}
+	return RingTopology{n: n}
+}
+
+// Tiles implements Topology.
+func (r RingTopology) Tiles() int { return r.n }
+
+// Name implements Topology.
+func (r RingTopology) Name() string { return "ring" }
+
+// Hops implements Topology.
+func (r RingTopology) Hops(from, to int) uint64 {
+	d := abs(from - to)
+	if d == 0 {
+		return 1
+	}
+	if r.n-d < d {
+		d = r.n - d
+	}
+	return uint64(d)
+}
+
+// NewTopology builds a topology by name ("mesh", "ring").
+func NewTopology(name string, tiles int) Topology {
+	switch name {
+	case "", "mesh":
+		return NewMeshTopology(tiles)
+	case "ring":
+		return NewRingTopology(tiles)
+	}
+	panic("noc: unknown topology " + name)
+}

@@ -1,0 +1,104 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingHops(t *testing.T) {
+	r := NewRingTopology(8)
+	cases := []struct {
+		from, to int
+		want     uint64
+	}{
+		{0, 0, 1}, // local router
+		{0, 1, 1},
+		{0, 4, 4}, // halfway: either direction
+		{0, 5, 3}, // shorter way round
+		{0, 7, 1}, // wraparound neighbour
+		{6, 1, 3},
+	}
+	for _, c := range cases {
+		if got := r.Hops(c.from, c.to); got != c.want {
+			t.Errorf("ring Hops(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestRingVsMeshAverageDistance(t *testing.T) {
+	// For 16 tiles the ring's average distance must exceed the mesh's —
+	// the property the topology ablation demonstrates.
+	ring := NewRingTopology(16)
+	mesh := NewMeshTopology(16)
+	var ringSum, meshSum uint64
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if i == j {
+				continue
+			}
+			ringSum += ring.Hops(i, j)
+			meshSum += mesh.Hops(i, j)
+		}
+	}
+	if ringSum <= meshSum {
+		t.Fatalf("ring total distance %d not above mesh %d", ringSum, meshSum)
+	}
+}
+
+func TestNewTopologyByName(t *testing.T) {
+	if NewTopology("", 16).Name() != "mesh" {
+		t.Fatal("default topology should be mesh")
+	}
+	if NewTopology("ring", 16).Name() != "ring" {
+		t.Fatal("ring not constructed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown topology did not panic")
+		}
+	}()
+	NewTopology("torus", 16)
+}
+
+func TestNetOverRing(t *testing.T) {
+	n := NewNet(NewRingTopology(8))
+	if n.Side() != 0 {
+		t.Fatal("Side() must be 0 for non-mesh topologies")
+	}
+	if n.Tiles() != 8 {
+		t.Fatal("Tiles wrong")
+	}
+	lat := n.Send(0, 4, Data)
+	if lat != 4*n.HopCycles {
+		t.Fatalf("ring latency %d, want %d", lat, 4*n.HopCycles)
+	}
+	if n.Topology().Name() != "ring" {
+		t.Fatal("Topology accessor wrong")
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRingTopology(6) did not panic")
+		}
+	}()
+	NewRingTopology(6)
+}
+
+// Property: ring distance is symmetric and at most n/2 (plus the local-hop
+// floor of 1).
+func TestQuickRingMetric(t *testing.T) {
+	r := NewRingTopology(16)
+	f := func(a, b uint8) bool {
+		x, y := int(a%16), int(b%16)
+		h := r.Hops(x, y)
+		if h != r.Hops(y, x) {
+			return false
+		}
+		return h >= 1 && h <= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

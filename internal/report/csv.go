@@ -1,0 +1,173 @@
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"raccd/internal/coherence"
+	"raccd/internal/sim"
+)
+
+// ParseCSV reads results written by Set.CSV back into a Set, so sweeps can
+// be archived and compared across simulator versions (cmd/raccdreport).
+func ParseCSV(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	set := NewSet(nil)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 {
+			if !strings.HasPrefix(text, "workload,") {
+				return nil, fmt.Errorf("report: line 1: missing CSV header")
+			}
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) != 15 {
+			return nil, fmt.Errorf("report: line %d: %d fields, want 15", line, len(f))
+		}
+		var res sim.Result
+		res.Workload = f[0]
+		switch f[1] {
+		case "FullCoh":
+			res.System = coherence.FullCoh
+		case "PT":
+			res.System = coherence.PT
+		case "PT-RO":
+			res.System = coherence.PTRO
+		case "RaCCD":
+			res.System = coherence.RaCCD
+		default:
+			return nil, fmt.Errorf("report: line %d: unknown system %q", line, f[1])
+		}
+		var err error
+		parseU := func(s string) uint64 {
+			if err != nil {
+				return 0
+			}
+			var v uint64
+			v, err = strconv.ParseUint(s, 10, 64)
+			return v
+		}
+		parseF := func(s string) float64 {
+			if err != nil {
+				return 0
+			}
+			var v float64
+			v, err = strconv.ParseFloat(s, 64)
+			return v
+		}
+		ratio := parseU(f[2])
+		res.DirRatio = int(ratio)
+		res.ADR = f[3] == "true"
+		res.Cycles = parseU(f[4])
+		res.DirAccesses = parseU(f[5])
+		res.LLCHitRatio = parseF(f[6])
+		res.NoCByteHops = parseU(f[7])
+		res.DirEnergy = parseF(f[8])
+		res.DirOccupancy = parseF(f[9])
+		res.NCFraction = parseF(f[10])
+		res.L1HitRatio = parseF(f[11])
+		res.MemReads = parseU(f[12])
+		res.MemWrites = parseU(f[13])
+		res.TasksRun = parseU(f[14])
+		if err != nil {
+			return nil, fmt.Errorf("report: line %d: %v", line, err)
+		}
+		set.Add(res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// DiffEntry is one metric change between two sweeps.
+type DiffEntry struct {
+	Key    Key
+	Metric string
+	Old    float64
+	New    float64
+}
+
+// Rel returns the relative change (new/old - 1); ±Inf when old is zero and
+// new is not.
+func (d DiffEntry) Rel() float64 {
+	if d.Old == 0 {
+		if d.New == 0 {
+			return 0
+		}
+		return 1e18
+	}
+	return d.New/d.Old - 1
+}
+
+// Diff compares two sweeps and returns the metric changes exceeding the
+// relative tolerance, sorted by the iteration order of the old sweep.
+func Diff(old, new *Set, tolerance float64) []DiffEntry {
+	var out []DiffEntry
+	metrics := []struct {
+		name string
+		get  func(sim.Result) float64
+	}{
+		{"cycles", func(r sim.Result) float64 { return float64(r.Cycles) }},
+		{"dir_accesses", func(r sim.Result) float64 { return float64(r.DirAccesses) }},
+		{"llc_hit_ratio", func(r sim.Result) float64 { return r.LLCHitRatio }},
+		{"noc_byte_hops", func(r sim.Result) float64 { return float64(r.NoCByteHops) }},
+		{"dir_energy", func(r sim.Result) float64 { return r.DirEnergy }},
+		{"nc_fraction", func(r sim.Result) float64 { return r.NCFraction }},
+	}
+	for _, w := range old.Workloads() {
+		for _, sys := range []coherence.Mode{coherence.FullCoh, coherence.PT, coherence.PTRO, coherence.RaCCD} {
+			for _, ratio := range Ratios {
+				for _, adr := range []bool{false, true} {
+					o, ok1 := old.Get(w, sys, ratio, adr)
+					n, ok2 := new.Get(w, sys, ratio, adr)
+					if !ok1 || !ok2 {
+						continue
+					}
+					for _, m := range metrics {
+						d := DiffEntry{
+							Key:    Key{w, sys, ratio, adr},
+							Metric: m.name,
+							Old:    m.get(o),
+							New:    m.get(n),
+						}
+						rel := d.Rel()
+						if rel < 0 {
+							rel = -rel
+						}
+						if rel > tolerance {
+							out = append(out, d)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FormatDiff renders diff entries for humans.
+func FormatDiff(entries []DiffEntry) string {
+	if len(entries) == 0 {
+		return "no differences beyond tolerance\n"
+	}
+	var b strings.Builder
+	for _, d := range entries {
+		adr := ""
+		if d.Key.ADR {
+			adr = "+ADR"
+		}
+		fmt.Fprintf(&b, "%-10s %-8v%-4s 1:%-4d %-14s %14.3f -> %14.3f (%+.1f%%)\n",
+			d.Key.Workload, d.Key.System, adr, d.Key.Ratio, d.Metric, d.Old, d.New, d.Rel()*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"fmt"
+
+	"raccd/internal/coherence"
+	"raccd/internal/sim"
+	"raccd/internal/workloads"
+)
+
+// Matrix describes a full evaluation sweep: which benchmarks, systems and
+// directory ratios to run, at which problem scale.
+type Matrix struct {
+	Workloads []string
+	Systems   []coherence.Mode
+	Ratios    []int
+	// ADR adds RaCCD+ADR (and PT+ADR if PT is in Systems) runs at 1:1.
+	ADR   bool
+	Scale float64
+	// Validate enables golden-memory and invariant checking on every run.
+	Validate bool
+	// Progress, if non-nil, receives a line per completed run.
+	Progress func(msg string)
+}
+
+// DefaultMatrix is the paper's full evaluation at the scaled problem sizes.
+func DefaultMatrix() Matrix {
+	return Matrix{
+		Workloads: workloads.PaperSet(),
+		Systems:   Systems,
+		Ratios:    Ratios,
+		ADR:       true,
+		Scale:     1.0,
+		Validate:  true,
+	}
+}
+
+// Run executes the sweep and returns the indexed result set.
+func (m Matrix) Run() (*Set, error) {
+	set := NewSet(nil)
+	runOne := func(name string, sys coherence.Mode, ratio int, adr bool) error {
+		cfg := sim.DefaultConfig(sys, ratio)
+		cfg.ADR = adr
+		cfg.Validate = m.Validate
+		res, err := sim.Run(workloads.MustGet(name, m.Scale), cfg)
+		if err != nil {
+			return err
+		}
+		set.Add(res)
+		if m.Progress != nil {
+			adrTag := ""
+			if adr {
+				adrTag = "+ADR"
+			}
+			m.Progress(fmt.Sprintf("%-9s %-8v%s 1:%-3d cycles=%d", name, sys, adrTag, ratio, res.Cycles))
+		}
+		return nil
+	}
+	for _, name := range m.Workloads {
+		for _, sys := range m.Systems {
+			for _, ratio := range m.Ratios {
+				if err := runOne(name, sys, ratio, false); err != nil {
+					return nil, err
+				}
+			}
+			if m.ADR && sys != coherence.FullCoh {
+				if err := runOne(name, sys, 1, true); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return set, nil
+}
+
+// NCRTLatencies is the §V-C sensitivity sweep.
+var NCRTLatencies = []uint64{1, 2, 3, 5, 10}
+
+// RunNCRTSweep measures RaCCD cycles at each NCRT lookup latency.
+func (m Matrix) RunNCRTSweep() (map[uint64]map[string]uint64, error) {
+	out := make(map[uint64]map[string]uint64)
+	for _, lat := range NCRTLatencies {
+		out[lat] = make(map[string]uint64)
+		for _, name := range m.Workloads {
+			cfg := sim.DefaultConfig(coherence.RaCCD, 1)
+			cfg.Params.NCRTLookupCycles = lat
+			cfg.Validate = m.Validate
+			res, err := sim.Run(workloads.MustGet(name, m.Scale), cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[lat][name] = res.Cycles
+			if m.Progress != nil {
+				m.Progress(fmt.Sprintf("%-9s RaCCD ncrt=%d cycles=%d", name, lat, res.Cycles))
+			}
+		}
+	}
+	return out, nil
+}

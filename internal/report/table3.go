@@ -1,0 +1,74 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"raccd/internal/energy"
+)
+
+// Table3 regenerates the paper's Table III — directory storage and area per
+// 1:N configuration — at the PAPER's full scale (524288 entries at 1:1),
+// since storage and area are analytic properties of the design, not of the
+// capacity-scaled simulation.
+func Table3() string {
+	const fullEntries = 524288 // Table I: 32768 entries/core × 16 cores
+	var b strings.Builder
+	b.WriteString("Table III: directory size and area\n")
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, n := range Ratios {
+		fmt.Fprintf(&b, "%10s", fmt.Sprintf("1:%d", n))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-12s", "Entries")
+	for _, n := range Ratios {
+		fmt.Fprintf(&b, "%10d", fullEntries/n)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-12s", "KB")
+	for _, n := range Ratios {
+		fmt.Fprintf(&b, "%10.1f", energy.DirectorySizeKB(fullEntries/n))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-12s", "Area (mm2)")
+	for _, n := range Ratios {
+		fmt.Fprintf(&b, "%10.2f", energy.SRAMAreaMM2(energy.DirectorySizeKB(fullEntries/n)))
+	}
+	b.WriteString("\n(paper: 4224…16.5 KB and 106.08…2.64 mm²; area model fitted within ~15 %)\n")
+	return b.String()
+}
+
+// NCRTLatencyTable renders the §V-C NCRT latency sensitivity sweep: average
+// RaCCD slowdown versus the 1-cycle NCRT, over the supplied per-latency
+// cycle counts (map latency → per-workload cycles).
+func NCRTLatencyTable(latencies []uint64, cycles map[uint64]map[string]uint64) string {
+	var b strings.Builder
+	b.WriteString("§V-C: RaCCD overhead vs NCRT latency (slowdown relative to 1-cycle NCRT)\n")
+	base, ok := cycles[1]
+	if !ok {
+		return b.String() + "(missing 1-cycle baseline)\n"
+	}
+	fmt.Fprintf(&b, "%-10s", "latency")
+	for _, l := range latencies {
+		fmt.Fprintf(&b, "%10d", l)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-10s", "slowdown")
+	for _, l := range latencies {
+		sum, n := 0.0, 0
+		for w, c := range cycles[l] {
+			if base[w] == 0 {
+				continue
+			}
+			sum += float64(c) / float64(base[w])
+			n++
+		}
+		if n == 0 {
+			fmt.Fprintf(&b, "%10s", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%10.4f", sum/float64(n))
+	}
+	b.WriteString("\n(paper: 1.000 / 1.005 / 1.007 / 1.012 / 1.035 for 1/2/3/5/10 cycles)\n")
+	return b.String()
+}

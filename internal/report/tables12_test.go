@@ -1,0 +1,27 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Renders(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"Table I", "MESI", "32 entries/core", "4x4 mesh", "2 MB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2CoversPaperSet(t *testing.T) {
+	out := Table2()
+	for _, name := range []string{"CG", "Gauss", "Histo", "Jacobi", "JPEG", "Kmeans", "KNN", "MD5", "RedBlack"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table2 missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "884736") || !strings.Contains(out, "55296") {
+		t.Fatal("Table2 missing paper/scaled size pair")
+	}
+}

@@ -1,0 +1,48 @@
+package rts
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the task dependence graph in Graphviz DOT format, like
+// the TDG drawing of the paper's Fig 1. Tasks are grouped by kernel name
+// (the part of the task name before '['), each group getting one of a small
+// palette of colours, matching how the paper colours potrf/trsm/syrk/gemm.
+func WriteDOT(w io.Writer, g *Graph, title string) error {
+	var palette = []string{
+		"lightblue", "lightyellow", "lightpink", "lightgreen",
+		"lightsalmon", "lightcyan", "plum", "wheat",
+	}
+	colour := map[string]string{}
+	kind := func(name string) string {
+		if i := strings.IndexByte(name, '['); i >= 0 {
+			return name[:i]
+		}
+		return name
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [style=filled, shape=ellipse];\n", title); err != nil {
+		return err
+	}
+	for _, t := range g.Tasks() {
+		k := kind(t.Name)
+		c, ok := colour[k]
+		if !ok {
+			c = palette[len(colour)%len(palette)]
+			colour[k] = c
+		}
+		if _, err := fmt.Fprintf(w, "  t%d [label=%q, fillcolor=%q];\n", t.ID, t.Name, c); err != nil {
+			return err
+		}
+	}
+	for _, t := range g.Tasks() {
+		for _, s := range t.Succs() {
+			if _, err := fmt.Fprintf(w, "  t%d -> t%d;\n", t.ID, s.ID); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

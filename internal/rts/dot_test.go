@@ -1,0 +1,47 @@
+package rts
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := NewGraph()
+	a := g.Add("potrf[0]", []Dep{{rng(0, 64), InOut}}, nil)
+	b := g.Add("trsm[0,1]", []Dep{{rng(0, 64), In}, {rng(64, 64), InOut}}, nil)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, "cholesky"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "cholesky"`,
+		`t1 [label="potrf[0]"`,
+		`t2 [label="trsm[0,1]"`,
+		"t1 -> t2;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	_ = a
+	_ = b
+}
+
+func TestWriteDOTDistinctColoursPerKind(t *testing.T) {
+	g := NewGraph()
+	g.Add("alpha[0]", nil, nil)
+	g.Add("beta[0]", nil, nil)
+	g.Add("alpha[1]", nil, nil)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, "x"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "lightblue") != 2 {
+		t.Fatalf("alpha tasks should share one colour:\n%s", out)
+	}
+	if !strings.Contains(out, "lightyellow") {
+		t.Fatalf("beta should get the second colour:\n%s", out)
+	}
+}

@@ -1,0 +1,167 @@
+package rts
+
+import (
+	"fmt"
+
+	"raccd/internal/mem"
+)
+
+// Graph is the Task Dependence Graph (TDG): a DAG whose nodes are tasks and
+// whose edges are data dependences discovered from the in/out/inout ranges,
+// exactly as the runtime of a task-based data-flow model builds it when the
+// main thread creates tasks (§II-C).
+//
+// Dependence detection runs at cache-block granularity: for every block a
+// task reads it depends on the block's last writer (RAW); for every block it
+// writes it depends on the last writer (WAW) and all readers since (WAR).
+type Graph struct {
+	tasks []*Task
+	edges uint64
+
+	lastWriter map[mem.Block]*Task
+	readers    map[mem.Block][]*Task
+}
+
+// NewGraph returns an empty TDG.
+func NewGraph() *Graph {
+	return &Graph{
+		lastWriter: make(map[mem.Block]*Task),
+		readers:    make(map[mem.Block][]*Task),
+	}
+}
+
+// Tasks returns the created tasks in creation (program) order.
+func (g *Graph) Tasks() []*Task { return g.tasks }
+
+// NumTasks returns the number of tasks.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// NumEdges returns the number of dependence edges.
+func (g *Graph) NumEdges() uint64 { return g.edges }
+
+// Add creates a task with the given dependences and body and inserts it into
+// the TDG. It mirrors #pragma omp task depend(...).
+func (g *Graph) Add(name string, deps []Dep, body Kernel) *Task {
+	t := &Task{
+		ID:       uint64(len(g.tasks) + 1),
+		Name:     name,
+		Deps:     deps,
+		Body:     body,
+		seq:      uint64(len(g.tasks)),
+		affinity: -1,
+	}
+	preds := make(map[*Task]struct{})
+	addPred := func(p *Task) {
+		if p == nil || p == t {
+			return
+		}
+		if _, dup := preds[p]; dup {
+			return
+		}
+		preds[p] = struct{}{}
+		p.succs = append(p.succs, t)
+		t.npreds++
+		g.edges++
+	}
+	for _, d := range deps {
+		d.Range.Blocks(func(b mem.Block) bool {
+			if d.Mode.Reads() {
+				addPred(g.lastWriter[b])
+			}
+			if d.Mode.Writes() {
+				addPred(g.lastWriter[b])
+				for _, r := range g.readers[b] {
+					addPred(r)
+				}
+			}
+			return true
+		})
+	}
+	// Second pass: update block state (kept separate so a task never
+	// depends on itself through an inout range).
+	for _, d := range deps {
+		d.Range.Blocks(func(b mem.Block) bool {
+			if d.Mode.Writes() {
+				g.lastWriter[b] = t
+				g.readers[b] = g.readers[b][:0]
+			}
+			if d.Mode.Reads() {
+				g.readers[b] = append(g.readers[b], t)
+			}
+			return true
+		})
+	}
+	t.waiting = t.npreds
+	g.tasks = append(g.tasks, t)
+	return t
+}
+
+// Roots returns the tasks with no predecessors.
+func (g *Graph) Roots() []*Task {
+	var out []*Task
+	for _, t := range g.tasks {
+		if t.npreds == 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Validate checks that the TDG is acyclic (it is by construction — all edges
+// point from earlier to later creation order — but tests assert it).
+func (g *Graph) Validate() error {
+	for _, t := range g.tasks {
+		for _, s := range t.succs {
+			if s.seq <= t.seq {
+				return fmt.Errorf("rts: edge %v -> %v violates creation order", t, s)
+			}
+		}
+	}
+	return nil
+}
+
+// CriticalPathLen returns the number of tasks on the longest dependence
+// chain, a lower bound on any schedule's task count per core.
+func (g *Graph) CriticalPathLen() int {
+	depth := make(map[*Task]int, len(g.tasks))
+	longest := 0
+	for _, t := range g.tasks { // creation order is topological
+		d := 1
+		for _, s := range t.succs {
+			_ = s
+		}
+		// depth[t] was filled by predecessors via the reverse pass below.
+		if v, ok := depth[t]; ok {
+			d = v
+		}
+		if d > longest {
+			longest = d
+		}
+		for _, s := range t.succs {
+			if d+1 > depth[s] {
+				depth[s] = d + 1
+			}
+		}
+	}
+	return longest
+}
+
+// GoldenWriters returns, for every block covered by a write-mode dependence,
+// the ID of the task that is the final writer in program order. Because
+// writers of a block are totally ordered by WAW edges, this is the unique
+// correct final memory image, used to validate runs end to end.
+func (g *Graph) GoldenWriters() map[mem.Block]uint64 {
+	golden := make(map[mem.Block]uint64)
+	for _, t := range g.tasks {
+		for _, d := range t.Deps {
+			if !d.Mode.Writes() {
+				continue
+			}
+			d.Range.Blocks(func(b mem.Block) bool {
+				golden[b] = t.ID
+				return true
+			})
+		}
+	}
+	return golden
+}

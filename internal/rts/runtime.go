@@ -1,0 +1,301 @@
+package rts
+
+import (
+	"fmt"
+
+	"raccd/internal/mem"
+)
+
+// Machine is the hardware the runtime drives. coherence.Hierarchy implements
+// it; tests substitute lightweight fakes.
+type Machine interface {
+	// Access simulates one block-granular memory reference and returns its
+	// latency in cycles.
+	Access(core int, va mem.Addr, write bool, val uint64) uint64
+	// RegisterRegion executes raccd_register for one dependence range.
+	RegisterRegion(core int, r mem.Range) uint64
+	// InvalidateNC executes raccd_invalidate on the core.
+	InvalidateNC(core int) uint64
+}
+
+// Ctx is the execution context a task body uses to touch memory. Accesses
+// are block-granular: Load/Store touch the cache block containing the
+// address; LoadRange/StoreRange sweep every block of a range.
+type Ctx struct {
+	Core int
+	Task *Task
+
+	machine Machine
+	cycles  uint64 // accumulated latency of this task's execution phase
+	// computePerAccess is added to every access, modelling the arithmetic
+	// done on the block's elements (intra-block locality folded in).
+	computePerAccess uint64
+	strict           bool
+
+	golden map[mem.Block]uint64 // shared across the run; final writers
+}
+
+// Load reads the block containing va.
+func (c *Ctx) Load(va mem.Addr) {
+	c.cycles += c.machine.Access(c.Core, va, false, 0)
+	c.cycles += c.computePerAccess
+}
+
+// Store writes the block containing va; the stored value is the task ID so
+// final memory can be validated against the TDG's golden writers.
+func (c *Ctx) Store(va mem.Addr) {
+	if c.strict && len(c.Task.Deps) > 0 {
+		ok := false
+		for _, d := range c.Task.Deps {
+			if d.Mode.Writes() && d.Range.Contains(va) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			panic(fmt.Sprintf("rts: %v stores %#x outside its declared out/inout ranges", c.Task, uint64(va)))
+		}
+	}
+	c.cycles += c.machine.Access(c.Core, va, true, c.Task.ID)
+	c.cycles += c.computePerAccess
+	if c.golden != nil {
+		c.golden[mem.BlockOf(va)] = c.Task.ID
+	}
+}
+
+// LoadRange reads every block of r.
+func (c *Ctx) LoadRange(r mem.Range) {
+	r.Blocks(func(b mem.Block) bool {
+		c.Load(b.Addr())
+		return true
+	})
+}
+
+// StoreRange writes every block of r.
+func (c *Ctx) StoreRange(r mem.Range) {
+	r.Blocks(func(b mem.Block) bool {
+		c.Store(b.Addr())
+		return true
+	})
+}
+
+// Compute adds pure-compute cycles (no memory traffic).
+func (c *Ctx) Compute(cycles uint64) { c.cycles += cycles }
+
+// Stats aggregates runtime-level events.
+type Stats struct {
+	TasksRun         uint64
+	ScheduleCycles   uint64
+	RegisterCycles   uint64 // raccd_register total
+	ExecCycles       uint64 // task bodies (memory + compute)
+	InvalidateCycles uint64 // raccd_invalidate total
+	WakeupCycles     uint64
+	IdleCycles       uint64 // cores waiting for ready tasks
+}
+
+// Runtime executes a TDG on the simulated machine, reproducing the task
+// life cycle of Fig 3: schedule → deactivate coherence (register) → execute
+// → invalidate non-coherent data → wake-up.
+type Runtime struct {
+	Machine Machine
+	Cores   int
+	Sched   Scheduler
+
+	// ScheduleCycles is the fixed cost of the scheduling phase per task.
+	ScheduleCycles uint64
+	// WakeupCyclesPerSucc is the wake-up phase cost per dependent task.
+	WakeupCyclesPerSucc uint64
+	// ComputePerAccess is added to every block access inside task bodies.
+	ComputePerAccess uint64
+	// StrictAnnotations makes Store panic when a task with dependences
+	// writes outside its declared out/inout ranges — an annotation bug
+	// that would be a data race in a real task-parallel program. Enabled
+	// by workload tests.
+	StrictAnnotations bool
+
+	// The runtime system's own memory traffic. Task descriptors and the
+	// ready queue live in shared memory and are touched coherently by
+	// every scheduling and wake-up phase; task bodies also touch their
+	// core's stack. Neither is covered by dependence annotations, so this
+	// is the residual coherent traffic that keeps RaCCD's directory from
+	// going fully quiet (the paper's Fig 7a shows RaCCD still incurs a
+	// fraction of the baseline's directory accesses).
+	MetaBase           mem.Addr
+	StackBase          mem.Addr
+	StackBlocksPerTask int
+
+	Stats Stats
+
+	golden map[mem.Block]uint64
+}
+
+// NewRuntime returns a runtime with the default overhead costs.
+func NewRuntime(m Machine, cores int, sched Scheduler) *Runtime {
+	if sched == nil {
+		sched = NewFIFO()
+	}
+	return &Runtime{
+		Machine:             m,
+		Cores:               cores,
+		Sched:               sched,
+		ScheduleCycles:      100,
+		WakeupCyclesPerSucc: 20,
+		ComputePerAccess:    8,
+		MetaBase:            0x0800_0000,
+		StackBase:           0x0C00_0000,
+		StackBlocksPerTask:  24,
+		golden:              make(map[mem.Block]uint64),
+	}
+}
+
+// descAddr returns the shared task-descriptor block of task t.
+func (r *Runtime) descAddr(t *Task) mem.Addr {
+	return r.MetaBase + mem.Addr(t.ID)*mem.BlockSize
+}
+
+// queueAddr returns the shared ready-queue head block.
+func (r *Runtime) queueAddr() mem.Addr { return r.MetaBase }
+
+// Golden returns the final writer per block as actually issued by the
+// executed kernels (block-granular virtual addresses).
+func (r *Runtime) Golden() map[mem.Block]uint64 { return r.golden }
+
+// Run executes the graph to completion and returns the makespan: the largest
+// core clock when the last task finishes. It panics on a deadlocked graph
+// (impossible for graphs built by Graph.Add, which are acyclic).
+func (r *Runtime) Run(g *Graph) (makespan uint64) {
+	clocks := make([]uint64, r.Cores)
+	for _, t := range g.Tasks() {
+		t.waiting = t.npreds
+		t.done = false
+		t.ready = false
+		t.ReadyTime = 0
+		t.EndTime = 0
+	}
+	for _, t := range g.Roots() {
+		t.ReadyTime = 0
+		t.ready = true
+		r.Sched.Push(t)
+	}
+	remaining := g.NumTasks()
+	for remaining > 0 {
+		// Pick the core with the smallest clock.
+		c := 0
+		for i := 1; i < r.Cores; i++ {
+			if clocks[i] < clocks[c] {
+				c = i
+			}
+		}
+		t := r.Sched.Pop(c, clocks[c])
+		if t == nil {
+			// Nothing ready at this core's time: advance to the next
+			// ready event. All other cores' clocks are >= clocks[c],
+			// and completions only happen at dispatch in this engine,
+			// so the earliest ready time is the correct next event.
+			minReady, ok := r.Sched.MinReadyTime()
+			if !ok {
+				panic(fmt.Sprintf("rts: deadlock with %d tasks remaining", remaining))
+			}
+			if minReady <= clocks[c] {
+				// Policy refused every ready task (cannot happen with
+				// the provided policies); take any to guarantee
+				// progress.
+				minReady = clocks[c] + 1
+			}
+			r.Stats.IdleCycles += minReady - clocks[c]
+			clocks[c] = minReady
+			continue
+		}
+		clocks[c] = r.execute(c, t, clocks[c])
+		remaining--
+	}
+	for _, cl := range clocks {
+		if cl > makespan {
+			makespan = cl
+		}
+	}
+	return makespan
+}
+
+// execute runs one task on core c starting at time now and returns the
+// core's clock after the wake-up phase.
+func (r *Runtime) execute(c int, t *Task, now uint64) uint64 {
+	r.Stats.TasksRun++
+	t.CoreRun = c
+
+	// Scheduling phase: fixed cost plus the coherent accesses to the
+	// shared ready-queue head and the task's descriptor.
+	now += r.ScheduleCycles
+	r.Stats.ScheduleCycles += r.ScheduleCycles
+	if r.MetaBase != 0 {
+		s := r.Machine.Access(c, r.queueAddr(), true, 0)
+		s += r.Machine.Access(c, r.descAddr(t), true, 0)
+		now += s
+		r.Stats.ScheduleCycles += s
+	}
+
+	// Deactivate coherence: one raccd_register per dependence (§III-B).
+	for _, d := range t.Deps {
+		cyc := r.Machine.RegisterRegion(c, d.Range)
+		now += cyc
+		r.Stats.RegisterCycles += cyc
+	}
+
+	// Task execution phase.
+	ctx := &Ctx{
+		Core:             c,
+		Task:             t,
+		machine:          r.Machine,
+		computePerAccess: r.ComputePerAccess,
+		strict:           r.StrictAnnotations,
+		golden:           r.golden,
+	}
+	if t.Body != nil {
+		t.Body(ctx)
+	}
+	// Per-task stack traffic: spills, locals and call frames on the
+	// executing core's stack. Never annotated: coherent under RaCCD and
+	// FullCoh, private pages under PT.
+	if r.StackBase != 0 {
+		stack := r.StackBase + mem.Addr(c)<<16 // 64 KiB per core
+		for i := 0; i < r.StackBlocksPerTask; i++ {
+			va := stack + mem.Addr(i%32)*mem.BlockSize
+			ctx.cycles += r.Machine.Access(c, va, i%4 == 0, 0)
+		}
+	}
+	now += ctx.cycles
+	r.Stats.ExecCycles += ctx.cycles
+
+	// Invalidate non-coherent data (blocking instruction, §III-C4).
+	inv := r.Machine.InvalidateNC(c)
+	now += inv
+	r.Stats.InvalidateCycles += inv
+
+	// Wake-up phase: notify dependents.
+	t.done = true
+	t.EndTime = now
+	for _, s := range t.succs {
+		now += r.WakeupCyclesPerSucc
+		r.Stats.WakeupCycles += r.WakeupCyclesPerSucc
+		if r.MetaBase != 0 {
+			w := r.Machine.Access(c, r.descAddr(s), true, 0)
+			now += w
+			r.Stats.WakeupCycles += w
+		}
+		s.waiting--
+		// A task is ready when its LAST predecessor completes; readiness
+		// time is the max over predecessors' completion times, not the
+		// processing order of this engine.
+		if now > s.ReadyTime {
+			s.ReadyTime = now
+		}
+		if s.waiting == 0 {
+			s.ready = true
+			if s.affinity < 0 {
+				s.affinity = c
+			}
+			r.Sched.Push(s)
+		}
+	}
+	return now
+}

@@ -1,0 +1,131 @@
+package rts
+
+import (
+	"testing"
+
+	"raccd/internal/mem"
+)
+
+func TestStrictAnnotationsCatchRogueStore(t *testing.T) {
+	g := NewGraph()
+	declared := rng(0, 64)
+	rogue := mem.Addr(0x9000)
+	g.Add("rogue", []Dep{{declared, Out}}, func(ctx *Ctx) {
+		ctx.Store(rogue) // outside the declared range
+	})
+	rt := NewRuntime(&fake{}, 1, NewFIFO())
+	rt.StrictAnnotations = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rogue store did not panic under StrictAnnotations")
+		}
+	}()
+	rt.Run(g)
+}
+
+func TestStrictAnnotationsAllowDeclaredStores(t *testing.T) {
+	g := NewGraph()
+	r := rng(0, 256)
+	g.Add("ok", []Dep{{r, InOut}}, func(ctx *Ctx) {
+		ctx.StoreRange(r)
+	})
+	rt := NewRuntime(&fake{}, 1, NewFIFO())
+	rt.StrictAnnotations = true
+	rt.Run(g) // must not panic
+}
+
+func TestStrictAnnotationsSkipUnannotatedTasks(t *testing.T) {
+	// JPEG-style tasks have no deps; they write wherever they like and
+	// the check must not fire.
+	g := NewGraph()
+	g.Add("free", nil, func(ctx *Ctx) {
+		ctx.Store(0x123456)
+	})
+	rt := NewRuntime(&fake{}, 1, NewFIFO())
+	rt.StrictAnnotations = true
+	rt.Run(g)
+}
+
+// recordingMachine captures the addresses of every access.
+type recordingMachine struct {
+	addrs  []mem.Addr
+	writes []bool
+}
+
+func (m *recordingMachine) Access(core int, va mem.Addr, write bool, val uint64) uint64 {
+	m.addrs = append(m.addrs, va)
+	m.writes = append(m.writes, write)
+	return 1
+}
+func (m *recordingMachine) RegisterRegion(int, mem.Range) uint64 { return 1 }
+func (m *recordingMachine) InvalidateNC(int) uint64              { return 1 }
+
+func TestRuntimeMetadataTraffic(t *testing.T) {
+	// The scheduling phase must touch the shared ready-queue head and the
+	// task descriptor; the wake-up phase the successor's descriptor; the
+	// body adds stack traffic — the unannotated coherent accesses that
+	// keep RaCCD's directory from going silent (Fig 7a).
+	m := &recordingMachine{}
+	g := NewGraph()
+	a := g.Add("a", []Dep{{rng(0x10000000, 64), Out}}, nil)
+	b := g.Add("b", []Dep{{rng(0x10000000, 64), In}}, nil)
+	rt := NewRuntime(m, 1, NewFIFO())
+	rt.StackBlocksPerTask = 4
+	rt.Run(g)
+
+	seen := map[mem.Addr]int{}
+	for _, va := range m.addrs {
+		seen[va]++
+	}
+	if seen[rt.queueAddr()] != 2 {
+		t.Fatalf("queue head touched %d times, want once per task", seen[rt.queueAddr()])
+	}
+	if seen[rt.descAddr(a)] != 1 { // a's descriptor: its own scheduling phase
+		t.Fatalf("task a descriptor touched %d times, want 1 (map %v)", seen[rt.descAddr(a)], seen)
+	}
+	if seen[rt.descAddr(b)] < 2 { // wake-up by a + schedule of b
+		t.Fatalf("task b descriptor touched %d times, want >= 2", seen[rt.descAddr(b)])
+	}
+	// Stack traffic: 4 accesses per task in the per-core stack region.
+	stackTouches := 0
+	for va := range seen {
+		if va >= rt.StackBase && va < rt.StackBase+1<<20 {
+			stackTouches += seen[va]
+		}
+	}
+	if stackTouches != 8 {
+		t.Fatalf("stack accesses = %d, want 8 (4 per task)", stackTouches)
+	}
+}
+
+func TestMetadataTrafficDisablable(t *testing.T) {
+	m := &recordingMachine{}
+	g := NewGraph()
+	g.Add("a", []Dep{{rng(0x10000000, 64), Out}}, nil)
+	rt := NewRuntime(m, 1, NewFIFO())
+	rt.MetaBase = 0
+	rt.StackBase = 0
+	rt.Run(g)
+	if len(m.addrs) != 0 {
+		t.Fatalf("metadata traffic with MetaBase=StackBase=0: %d accesses", len(m.addrs))
+	}
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	g := NewGraph()
+	r := rng(0, 64)
+	for i := 0; i < 5; i++ {
+		g.Add("chain", []Dep{{r, InOut}}, nil)
+	}
+	if got := g.CriticalPathLen(); got != 5 {
+		t.Fatalf("chain critical path = %d, want 5", got)
+	}
+	// A wide independent graph has critical path 1.
+	g2 := NewGraph()
+	for i := 0; i < 5; i++ {
+		g2.Add("wide", []Dep{{rng(uint64(i)*4096, 64), Out}}, nil)
+	}
+	if got := g2.CriticalPathLen(); got != 1 {
+		t.Fatalf("wide critical path = %d, want 1", got)
+	}
+}

@@ -1,0 +1,88 @@
+// Package rts implements the task-based data-flow runtime system that RaCCD
+// co-designs with (§II-C, §III-B): tasks annotated with in/out/inout address
+// ranges, a Task Dependence Graph built from those annotations, ready-queue
+// scheduling over the simulated cores, and the per-task RaCCD hooks
+// (raccd_register before execution, raccd_invalidate after, then wake-up).
+//
+// It plays the role Nanos++/OmpSs plays in the paper's evaluation.
+package rts
+
+import (
+	"fmt"
+
+	"raccd/internal/mem"
+)
+
+// DepMode is the direction of a task dependence annotation.
+type DepMode uint8
+
+// Dependence directions, matching OpenMP 4.0 depend(in/out/inout) clauses.
+const (
+	In DepMode = iota
+	Out
+	InOut
+)
+
+func (m DepMode) String() string {
+	switch m {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	}
+	return fmt.Sprintf("DepMode(%d)", uint8(m))
+}
+
+// Reads reports whether the mode implies reading.
+func (m DepMode) Reads() bool { return m == In || m == InOut }
+
+// Writes reports whether the mode implies writing.
+func (m DepMode) Writes() bool { return m == Out || m == InOut }
+
+// Dep is one task dependence: an address range and its direction.
+type Dep struct {
+	Range mem.Range
+	Mode  DepMode
+}
+
+// Kernel is the body of a task. It receives an execution context bound to
+// the core running the task and issues memory accesses and compute cycles
+// through it.
+type Kernel func(ctx *Ctx)
+
+// Task is a node of the Task Dependence Graph.
+type Task struct {
+	ID   uint64 // 1-based; value 0 is reserved for untouched memory
+	Name string
+	Deps []Dep
+	Body Kernel
+
+	succs    []*Task
+	npreds   int // total predecessors (graph edges in)
+	waiting  int // predecessors not yet completed (run-time state)
+	ready    bool
+	done     bool
+	seq      uint64 // creation order, used for FIFO tie-breaks
+	affinity int    // core that produced this task's first input, or -1
+
+	// ReadyTime and EndTime are filled in by the runtime.
+	ReadyTime uint64
+	EndTime   uint64
+	// CoreRun is the core that executed the task.
+	CoreRun int
+}
+
+// NumPreds returns the number of incoming dependence edges.
+func (t *Task) NumPreds() int { return t.npreds }
+
+// Succs returns the successor tasks (do not mutate).
+func (t *Task) Succs() []*Task { return t.succs }
+
+// Done reports whether the task has executed.
+func (t *Task) Done() bool { return t.done }
+
+func (t *Task) String() string {
+	return fmt.Sprintf("task %d (%s)", t.ID, t.Name)
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"raccd/internal/coherence"
+	"raccd/internal/workloads"
+)
+
+// TestRunsAreDeterministic: two identical runs must produce identical
+// metrics — the simulator has no hidden nondeterminism (wall clock, map
+// iteration affecting results, etc.).
+func TestRunsAreDeterministic(t *testing.T) {
+	for _, sys := range []coherence.Mode{coherence.FullCoh, coherence.PT, coherence.PTRO, coherence.RaCCD} {
+		cfg := DefaultConfig(sys, 4)
+		a, err := Run(workloads.MustGet("Kmeans", testScale), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(workloads.MustGet("Kmeans", testScale), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles != b.Cycles || a.DirAccesses != b.DirAccesses ||
+			a.NoCByteHops != b.NoCByteHops || a.LLCHitRatio != b.LLCHitRatio ||
+			a.MemReads != b.MemReads || a.MemWrites != b.MemWrites {
+			t.Fatalf("%v: nondeterministic runs:\n%+v\n%+v", sys, a, b)
+		}
+	}
+}
+
+// TestADRRunsAreDeterministic covers the reconfiguration machinery too.
+func TestADRRunsAreDeterministic(t *testing.T) {
+	cfg := DefaultConfig(coherence.RaCCD, 1)
+	cfg.ADR = true
+	a, err := Run(workloads.MustGet("Jacobi", 0.3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(workloads.MustGet("Jacobi", 0.3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.ADRReconfigs != b.ADRReconfigs || a.DirEnergy != b.DirEnergy {
+		t.Fatalf("ADR nondeterminism: %+v vs %+v", a, b)
+	}
+}
+
+// TestSchedulerChangesTimingNotCorrectness: different schedulers may change
+// cycles, never the validated final memory (validation runs inside Run).
+func TestSchedulerChangesTimingNotCorrectness(t *testing.T) {
+	var cycles []uint64
+	for _, sched := range []string{"fifo", "lifo", "locality"} {
+		cfg := DefaultConfig(coherence.RaCCD, 1)
+		cfg.Scheduler = sched
+		res, err := Run(workloads.MustGet("Histo", testScale), cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		cycles = append(cycles, res.Cycles)
+	}
+	// All three validated; timings are allowed to differ (and usually do).
+	if cycles[0] == 0 {
+		t.Fatal("no cycles measured")
+	}
+}
+
+// TestPTRODominatesPTInCoverage: PT-RO's non-coherent coverage is a superset
+// of PT's by construction (it only adds the sharedRO state).
+func TestPTRODominatesPTInCoverage(t *testing.T) {
+	for _, name := range []string{"KNN", "Kmeans", "MD5"} {
+		pt := run(t, name, coherence.PT, 1)
+		ro := run(t, name, coherence.PTRO, 1)
+		if ro.NCFraction < pt.NCFraction-1e-9 {
+			t.Errorf("%s: PT-RO coverage %.3f below PT %.3f", name, ro.NCFraction, pt.NCFraction)
+		}
+		if ro.DirAccesses > pt.DirAccesses {
+			t.Errorf("%s: PT-RO dir accesses %d above PT %d", name, ro.DirAccesses, pt.DirAccesses)
+		}
+	}
+}
+
+// TestKNNBenefitsFromPTRO: the shared read-only training set is the case
+// PT-RO exists for.
+func TestKNNBenefitsFromPTRO(t *testing.T) {
+	pt := run(t, "KNN", coherence.PT, 1)
+	ro := run(t, "KNN", coherence.PTRO, 1)
+	if ro.NCFraction <= pt.NCFraction {
+		t.Fatalf("KNN PT-RO coverage %.3f not above PT %.3f", ro.NCFraction, pt.NCFraction)
+	}
+}

@@ -1,0 +1,240 @@
+// Package sim assembles the full simulated machine — coherence hierarchy,
+// task runtime, energy models — runs a workload on it, validates the final
+// memory image, and collects every metric the paper's figures report.
+package sim
+
+import (
+	"fmt"
+
+	"raccd/internal/coherence"
+	"raccd/internal/core"
+	"raccd/internal/energy"
+	"raccd/internal/mem"
+	"raccd/internal/rts"
+)
+
+// Workload is anything that can populate a task graph. The workloads package
+// provides the paper's nine benchmarks plus Cholesky.
+type Workload interface {
+	Name() string
+	Build(g *rts.Graph)
+}
+
+// Config selects the system under test for one run.
+type Config struct {
+	// System is FullCoh, PT or RaCCD.
+	System coherence.Mode
+	// DirRatio is the 1:N directory reduction (1, 2, 4, 8, 16, 64, 256).
+	DirRatio int
+	// ADR enables Adaptive Directory Reduction (starts from DirRatio size,
+	// normally 1, and resizes dynamically).
+	ADR bool
+	// Scheduler is the ready-queue policy: "fifo" (default), "lifo",
+	// "locality".
+	Scheduler string
+	// Params overrides the machine parameters (zero value → DefaultParams).
+	Params coherence.Params
+	// Validate checks the drained memory against the golden writers and
+	// the protocol invariants after the run.
+	Validate bool
+	// ComputePerAccess overrides the per-access compute cost (0 → default).
+	ComputePerAccess uint64
+	// SMTWays runs the machine with N hardware threads per core (§III-E):
+	// the runtime schedules tasks onto Cores×SMTWays logical processors,
+	// threads on a core share its L1 and NCRT (entries tagged by thread),
+	// and recovery flushes are per-thread. 0 or 1 disables SMT.
+	SMTWays int
+}
+
+// DefaultConfig returns a validated baseline configuration.
+func DefaultConfig(system coherence.Mode, dirRatio int) Config {
+	return Config{
+		System:   system,
+		DirRatio: dirRatio,
+		Params:   coherence.DefaultParams(),
+		Validate: true,
+	}
+}
+
+// Result carries every metric needed to regenerate the paper's figures.
+type Result struct {
+	Workload string
+	System   coherence.Mode
+	DirRatio int
+	ADR      bool
+
+	// Fig 6: execution cycles (makespan over the 16 cores).
+	Cycles uint64
+	// Fig 7a: total directory accesses.
+	DirAccesses uint64
+	// Fig 7b: LLC demand hit ratio.
+	LLCHitRatio float64
+	// Fig 7c: NoC traffic in byte-hops.
+	NoCByteHops uint64
+	// Fig 7d / Fig 10: directory dynamic energy (model units).
+	DirEnergy float64
+	// Fig 8: access-weighted average directory occupancy fraction.
+	DirOccupancy float64
+	// Fig 2: fraction of blocks never accessed coherently.
+	NCFraction float64
+
+	// Supporting metrics.
+	L1HitRatio   float64
+	L1Writebacks uint64
+	LLCEnergy    float64
+	NoCEnergy    float64
+	DirKB        float64
+	MemReads     uint64
+	MemWrites    uint64
+	TasksRun     uint64
+	GraphEdges   uint64
+	ADRReconfigs uint64
+	ADRFinalSets int
+
+	Hierarchy rts.Machine `json:"-"` // retained for test inspection
+	HStats    coherence.Stats
+	RStats    rts.Stats
+}
+
+// Run executes workload w under cfg and returns the collected metrics.
+func Run(w Workload, cfg Config) (Result, error) {
+	if cfg.Params.Cores == 0 {
+		cfg.Params = coherence.DefaultParams()
+	}
+	if cfg.DirRatio == 0 {
+		cfg.DirRatio = 1
+	}
+	params := cfg.Params.WithDirRatio(cfg.DirRatio)
+
+	h := coherence.New(cfg.System, params)
+	models := energy.Default(
+		energy.DirectorySizeKB(cfg.Params.Cores*cfg.Params.DirSetsPerBank*cfg.Params.DirWays),
+		float64(cfg.Params.Cores*cfg.Params.LLCSetsPerBank*cfg.Params.LLCWays*mem.BlockSize)/1024,
+	)
+	var adrCtl *core.ADR
+	if cfg.ADR {
+		if cfg.System == coherence.FullCoh {
+			return Result{}, fmt.Errorf("sim: ADR requires a coherence-deactivation system (PT or RaCCD)")
+		}
+		adrCtl = h.EnableADR()
+		h.EnergyPerDirAccess = func(entries int) float64 {
+			return models.Dir.PerAccess(energy.DirectorySizeKB(entries))
+		}
+	}
+
+	switch cfg.Scheduler {
+	case "", "fifo", "lifo", "locality":
+	default:
+		return Result{}, fmt.Errorf("sim: unknown scheduler %q (want fifo, lifo or locality)", cfg.Scheduler)
+	}
+
+	g := rts.NewGraph()
+	w.Build(g)
+	if err := g.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", w.Name(), err)
+	}
+
+	var machine rts.Machine = h
+	logical := params.Cores
+	if cfg.SMTWays > 1 {
+		machine = smtMachine{h: h, ways: cfg.SMTWays}
+		logical = params.Cores * cfg.SMTWays
+	}
+	rt := rts.NewRuntime(machine, logical, rts.NewScheduler(cfg.Scheduler))
+	if cfg.ComputePerAccess != 0 {
+		rt.ComputePerAccess = cfg.ComputePerAccess
+	}
+	rt.StrictAnnotations = cfg.Validate
+	cycles := rt.Run(g)
+
+	if cfg.Validate {
+		if err := h.CheckInvariants(); err != nil {
+			return Result{}, fmt.Errorf("sim: %s/%v: invariants: %w", w.Name(), cfg.System, err)
+		}
+	}
+	ncFrac := h.NonCoherentFraction()
+	h.DrainAll()
+	if cfg.Validate {
+		for b, want := range rt.Golden() {
+			if got := h.VirtValue(b.Addr()); got != want {
+				return Result{}, fmt.Errorf("sim: %s/%v: block %#x final value %d, want task %d",
+					w.Name(), cfg.System, uint64(b.Addr()), got, want)
+			}
+		}
+	}
+
+	dir := h.Dir()
+	hs := h.Stats
+	res := Result{
+		Workload:     w.Name(),
+		System:       cfg.System,
+		DirRatio:     cfg.DirRatio,
+		ADR:          adrCtl != nil,
+		Cycles:       cycles,
+		DirAccesses:  dir.Stats.Accesses,
+		NoCByteHops:  h.Mesh().Stats.TotalByteHops(),
+		DirOccupancy: dir.AvgOccupancyFraction(),
+		NCFraction:   ncFrac,
+		L1Writebacks: hs.L1Writebacks,
+		MemReads:     hs.MemReads,
+		MemWrites:    hs.MemWrites,
+		TasksRun:     rt.Stats.TasksRun,
+		GraphEdges:   g.NumEdges(),
+		ADRFinalSets: dir.SetsPerBank(),
+		Hierarchy:    h,
+		HStats:       hs,
+		RStats:       rt.Stats,
+	}
+	if hs.LLCDemand > 0 {
+		res.LLCHitRatio = float64(hs.LLCDemandHits) / float64(hs.LLCDemand)
+	}
+	if tot := hs.L1Hits + hs.L1Misses; tot > 0 {
+		res.L1HitRatio = float64(hs.L1Hits) / float64(tot)
+	}
+	res.DirKB = energy.DirectorySizeKB(dir.Capacity())
+	usage := energy.Usage{
+		DirAccesses:             dir.Stats.Accesses,
+		DirKB:                   res.DirKB,
+		WeightedDirAccessEnergy: h.DirAccessEnergyWeighted,
+		LLCAccesses:             hs.LLCDemand,
+		LLCKB:                   float64(cfg.Params.Cores*cfg.Params.LLCSetsPerBank*cfg.Params.LLCWays*mem.BlockSize) / 1024,
+		NoCByteHops:             res.NoCByteHops,
+	}
+	if adrCtl != nil {
+		res.ADRReconfigs = adrCtl.Stats.Reconfigs
+		usage.DirEntriesMoved = adrCtl.Stats.EntriesMoved
+	}
+	res.DirEnergy = models.DirDynamic(usage)
+	res.LLCEnergy = models.LLCDynamic(usage)
+	res.NoCEnergy = models.NoCDynamic(usage)
+	return res, nil
+}
+
+// smtMachine maps the runtime's logical processors onto (core, hardware
+// thread) pairs of an SMT machine: logical processor p runs as thread
+// p mod ways on core p / ways.
+type smtMachine struct {
+	h    *coherence.Hierarchy
+	ways int
+}
+
+func (s smtMachine) Access(p int, va mem.Addr, write bool, val uint64) uint64 {
+	return s.h.AccessT(p/s.ways, p%s.ways, va, write, val)
+}
+
+func (s smtMachine) RegisterRegion(p int, r mem.Range) uint64 {
+	return s.h.RegisterRegionT(p/s.ways, p%s.ways, r)
+}
+
+func (s smtMachine) InvalidateNC(p int) uint64 {
+	return s.h.InvalidateNCT(p/s.ways, p%s.ways)
+}
+
+// MustRun is Run that panics on error (benchmarks, examples).
+func MustRun(w Workload, cfg Config) Result {
+	r, err := Run(w, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 3; i++ {
+		b.Record(Event{Time: uint64(i), Kind: CohFill, Core: i})
+	}
+	evs := b.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Time != uint64(i) {
+			t.Fatalf("order wrong: %v", evs)
+		}
+	}
+	if b.Count(CohFill) != 3 || b.Count(NCFill) != 0 {
+		t.Fatalf("counts wrong: %d/%d", b.Count(CohFill), b.Count(NCFill))
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	b := New(3)
+	for i := 0; i < 5; i++ {
+		b.Record(Event{Time: uint64(i), Kind: NCFill})
+	}
+	evs := b.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	if evs[0].Time != 2 || evs[2].Time != 4 {
+		t.Fatalf("ring order wrong: %v", evs)
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", b.Dropped())
+	}
+	if b.Count(NCFill) != 5 {
+		t.Fatalf("count must include dropped events: %d", b.Count(NCFill))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := New(8)
+	b.Filter(PTFlip, ADRResize)
+	b.Record(Event{Kind: CohFill})
+	b.Record(Event{Kind: PTFlip})
+	b.Record(Event{Kind: ADRResize})
+	if b.Len() != 2 {
+		t.Fatalf("filter retained %d, want 2", b.Len())
+	}
+	if b.Enabled(CohFill) {
+		t.Fatal("CohFill should be filtered out")
+	}
+	b.Filter() // remove filter
+	if !b.Enabled(CohFill) {
+		t.Fatal("empty Filter() must enable everything")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	b := New(4)
+	b.Record(Event{Time: 7, Kind: RecoveryFlush, Core: 3, Block: 0x10, Aux: 1})
+	var sb strings.Builder
+	if err := b.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"t=7", "recovery-flush", "core=3", "# recovery-flush: 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(200).String(), "Kind(") {
+		t.Fatal("unknown kind should fall back to numeric form")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: Events() always returns at most capacity events, in
+// monotonically non-decreasing Time order when recorded that way, and
+// Count() equals records minus filtered.
+func TestQuickRingConsistency(t *testing.T) {
+	f := func(times []uint8) bool {
+		b := New(8)
+		for i, v := range times {
+			b.Record(Event{Time: uint64(i), Kind: Kind(v % uint8(numKinds))})
+		}
+		evs := b.Events()
+		if len(evs) > 8 {
+			return false
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Time < evs[i-1].Time {
+				return false
+			}
+		}
+		var total uint64
+		for k := Kind(0); k < numKinds; k++ {
+			total += b.Count(k)
+		}
+		return total == uint64(len(times))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

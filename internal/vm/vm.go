@@ -1,0 +1,254 @@
+// Package vm models the virtual-memory substrate the RaCCD paper relies on:
+// an OS page table with first-touch physical allocation, and per-core TLBs.
+//
+// The paper's full-system simulations observe that an unmodified Linux kernel
+// allocates contiguous virtual pages of the benchmark data sets to contiguous
+// physical pages, which lets raccd_register collapse a whole virtual range
+// into one NCRT interval (Fig 5). PageTable reproduces that behaviour and
+// exposes a Contiguity knob so the fragmented case can be exercised too.
+package vm
+
+import (
+	"math/rand"
+
+	"raccd/internal/mem"
+)
+
+// PageTable maps virtual pages to physical pages with first-touch
+// allocation. The zero value is not usable; call NewPageTable.
+type PageTable struct {
+	entries map[mem.Page]mem.Page
+	next    mem.Page // next physical page for contiguous allocation
+	// Contiguity is the probability that a freshly faulted page is placed
+	// immediately after the previously allocated one. 1.0 reproduces the
+	// Linux behaviour the paper reports; lower values fragment the
+	// physical layout and force multi-interval NCRT registrations.
+	contiguity float64
+	rng        *rand.Rand
+
+	// Faults counts demand (first-touch) page allocations.
+	Faults uint64
+	// FaultHook, if non-nil, is invoked on every first-touch fault with
+	// the faulting core and the virtual page. The PT classifier baseline
+	// hooks page faults here, mirroring how the paper implements PT by
+	// intercepting page faults in the simulator.
+	FaultHook func(core int, vp mem.Page)
+}
+
+// NewPageTable returns a page table whose physical allocator starts at
+// physical page 16 (keeping physical address 0 unused aids debugging) and
+// places pages contiguously with the given probability. seed makes the
+// fragmented layout deterministic.
+func NewPageTable(contiguity float64, seed int64) *PageTable {
+	return &PageTable{
+		entries:    make(map[mem.Page]mem.Page),
+		next:       16,
+		contiguity: contiguity,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Translate returns the physical page for virtual page vp, faulting it in on
+// first touch. core identifies the accessing core for the fault hook.
+func (pt *PageTable) Translate(core int, vp mem.Page) mem.Page {
+	if pp, ok := pt.entries[vp]; ok {
+		return pp
+	}
+	pp := pt.allocate()
+	pt.entries[vp] = pp
+	pt.Faults++
+	if pt.FaultHook != nil {
+		pt.FaultHook(core, vp)
+	}
+	return pp
+}
+
+// Lookup returns the physical page for vp without faulting.
+func (pt *PageTable) Lookup(vp mem.Page) (mem.Page, bool) {
+	pp, ok := pt.entries[vp]
+	return pp, ok
+}
+
+// Mapped returns the number of mapped pages.
+func (pt *PageTable) Mapped() int { return len(pt.entries) }
+
+func (pt *PageTable) allocate() mem.Page {
+	if pt.contiguity < 1.0 && pt.rng.Float64() >= pt.contiguity {
+		// Fragment: skip a random gap of 1..8 pages.
+		pt.next += mem.Page(1 + pt.rng.Intn(8))
+	}
+	pp := pt.next
+	pt.next++
+	return pp
+}
+
+// TranslateAddr translates a full virtual address to a physical address,
+// faulting the page in if needed.
+func (pt *PageTable) TranslateAddr(core int, va mem.Addr) mem.Addr {
+	pp := pt.Translate(core, mem.PageOf(va))
+	return pp.Addr() | (va & (mem.PageSize - 1))
+}
+
+// TLB is a fully-associative translation lookaside buffer with true-LRU
+// replacement, one per core (Table I: fully associative, 1-cycle access).
+// It caches virtual-to-physical page translations; the backing page table
+// provides fills on a miss.
+type TLB struct {
+	capacity int
+	slots    map[mem.Page]*tlbEntry
+	// LRU list: head = most recently used.
+	head, tail *tlbEntry
+
+	// Statistics.
+	Hits, Misses, Evictions uint64
+}
+
+type tlbEntry struct {
+	vp         mem.Page
+	pp         mem.Page
+	prev, next *tlbEntry
+}
+
+// NewTLB returns a TLB with the given number of entries.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		panic("vm: TLB capacity must be positive")
+	}
+	return &TLB{capacity: capacity, slots: make(map[mem.Page]*tlbEntry, capacity)}
+}
+
+// Lookup probes the TLB for virtual page vp. On a hit it returns the
+// physical page and hit=true, and refreshes recency. It never fills.
+func (t *TLB) Lookup(vp mem.Page) (pp mem.Page, hit bool) {
+	e, ok := t.slots[vp]
+	if !ok {
+		t.Misses++
+		return 0, false
+	}
+	t.Hits++
+	t.touch(e)
+	return e.pp, true
+}
+
+// Insert fills a translation, evicting the LRU entry if the TLB is full.
+func (t *TLB) Insert(vp, pp mem.Page) {
+	if e, ok := t.slots[vp]; ok {
+		e.pp = pp
+		t.touch(e)
+		return
+	}
+	if len(t.slots) >= t.capacity {
+		t.evictLRU()
+	}
+	e := &tlbEntry{vp: vp, pp: pp}
+	t.slots[vp] = e
+	t.pushFront(e)
+}
+
+// Invalidate removes the translation for vp if present.
+func (t *TLB) Invalidate(vp mem.Page) {
+	if e, ok := t.slots[vp]; ok {
+		t.unlink(e)
+		delete(t.slots, vp)
+	}
+}
+
+// InvalidateAll flushes the TLB.
+func (t *TLB) InvalidateAll() {
+	t.slots = make(map[mem.Page]*tlbEntry, t.capacity)
+	t.head, t.tail = nil, nil
+}
+
+// Len returns the number of resident translations.
+func (t *TLB) Len() int { return len(t.slots) }
+
+// Capacity returns the TLB size in entries.
+func (t *TLB) Capacity() int { return t.capacity }
+
+func (t *TLB) evictLRU() {
+	if t.tail == nil {
+		return
+	}
+	victim := t.tail
+	t.unlink(victim)
+	delete(t.slots, victim.vp)
+	t.Evictions++
+}
+
+func (t *TLB) touch(e *tlbEntry) {
+	if t.head == e {
+		return
+	}
+	t.unlink(e)
+	t.pushFront(e)
+}
+
+func (t *TLB) pushFront(e *tlbEntry) {
+	e.prev = nil
+	e.next = t.head
+	if t.head != nil {
+		t.head.prev = e
+	}
+	t.head = e
+	if t.tail == nil {
+		t.tail = e
+	}
+}
+
+func (t *TLB) unlink(e *tlbEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		t.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		t.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// MMU bundles a core's TLB with the shared page table and models the access
+// costs: a TLB hit costs HitCycles, a miss adds WalkCycles for the page walk.
+type MMU struct {
+	Core int
+	TLB  *TLB
+	PT   *PageTable
+
+	// HitCycles is the TLB access latency (Table I: 1 cycle).
+	HitCycles uint64
+	// WalkCycles is the page-table walk penalty on a TLB miss.
+	WalkCycles uint64
+}
+
+// NewMMU builds an MMU for the given core over a shared page table.
+func NewMMU(core int, tlbEntries int, pt *PageTable) *MMU {
+	return &MMU{Core: core, TLB: NewTLB(tlbEntries), PT: pt, HitCycles: 1, WalkCycles: 40}
+}
+
+// Translate translates virtual address va, returning the physical address
+// and the cycles spent in translation (TLB probe plus walk on a miss).
+func (m *MMU) Translate(va mem.Addr) (pa mem.Addr, cycles uint64) {
+	vp := mem.PageOf(va)
+	pp, hit := m.TLB.Lookup(vp)
+	cycles = m.HitCycles
+	if !hit {
+		cycles += m.WalkCycles
+		pp = m.PT.Translate(m.Core, vp)
+		m.TLB.Insert(vp, pp)
+	}
+	return pp.Addr() | (va & (mem.PageSize - 1)), cycles
+}
+
+// TranslatePage translates a virtual page, modelling the same costs.
+func (m *MMU) TranslatePage(vp mem.Page) (pp mem.Page, cycles uint64) {
+	pp, hit := m.TLB.Lookup(vp)
+	cycles = m.HitCycles
+	if !hit {
+		cycles += m.WalkCycles
+		pp = m.PT.Translate(m.Core, vp)
+		m.TLB.Insert(vp, pp)
+	}
+	return pp, cycles
+}

@@ -1,0 +1,271 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"raccd/internal/mem"
+)
+
+func TestPageTableFirstTouch(t *testing.T) {
+	pt := NewPageTable(1.0, 1)
+	p0 := pt.Translate(0, 100)
+	p1 := pt.Translate(0, 100)
+	if p0 != p1 {
+		t.Fatalf("repeated translation differs: %d vs %d", p0, p1)
+	}
+	if pt.Faults != 1 {
+		t.Fatalf("Faults = %d, want 1", pt.Faults)
+	}
+}
+
+func TestPageTableContiguous(t *testing.T) {
+	pt := NewPageTable(1.0, 1)
+	prev := pt.Translate(0, 10)
+	for vp := mem.Page(11); vp < 40; vp++ {
+		pp := pt.Translate(0, vp)
+		if pp != prev+1 {
+			t.Fatalf("contiguity=1.0 but page %d -> %d (prev %d)", vp, pp, prev)
+		}
+		prev = pp
+	}
+}
+
+func TestPageTableFragmented(t *testing.T) {
+	pt := NewPageTable(0.0, 42)
+	prev := pt.Translate(0, 0)
+	gaps := 0
+	for vp := mem.Page(1); vp < 50; vp++ {
+		pp := pt.Translate(0, vp)
+		if pp != prev+1 {
+			gaps++
+		}
+		prev = pp
+	}
+	if gaps == 0 {
+		t.Fatal("contiguity=0 produced no gaps in 50 allocations")
+	}
+}
+
+func TestPageTableDistinctPhysical(t *testing.T) {
+	pt := NewPageTable(0.5, 7)
+	seen := make(map[mem.Page]mem.Page)
+	for vp := mem.Page(0); vp < 200; vp++ {
+		pp := pt.Translate(0, vp)
+		if other, dup := seen[pp]; dup {
+			t.Fatalf("physical page %d assigned to both vp %d and vp %d", pp, other, vp)
+		}
+		seen[pp] = vp
+	}
+}
+
+func TestPageTableFaultHook(t *testing.T) {
+	pt := NewPageTable(1.0, 1)
+	var cores []int
+	var pages []mem.Page
+	pt.FaultHook = func(core int, vp mem.Page) {
+		cores = append(cores, core)
+		pages = append(pages, vp)
+	}
+	pt.Translate(3, 55)
+	pt.Translate(4, 55) // already mapped: no fault
+	pt.Translate(5, 56)
+	if len(cores) != 2 || cores[0] != 3 || cores[1] != 5 {
+		t.Fatalf("fault hook cores = %v, want [3 5]", cores)
+	}
+	if pages[0] != 55 || pages[1] != 56 {
+		t.Fatalf("fault hook pages = %v, want [55 56]", pages)
+	}
+}
+
+func TestPageTableLookupNoFault(t *testing.T) {
+	pt := NewPageTable(1.0, 1)
+	if _, ok := pt.Lookup(9); ok {
+		t.Fatal("Lookup of unmapped page returned ok")
+	}
+	if pt.Faults != 0 {
+		t.Fatal("Lookup must not fault")
+	}
+	pt.Translate(0, 9)
+	if _, ok := pt.Lookup(9); !ok {
+		t.Fatal("Lookup after Translate failed")
+	}
+}
+
+func TestTranslateAddrOffsetPreserved(t *testing.T) {
+	pt := NewPageTable(1.0, 1)
+	va := mem.Addr(0x12345)
+	pa := pt.TranslateAddr(0, va)
+	if pa&(mem.PageSize-1) != va&(mem.PageSize-1) {
+		t.Fatalf("page offset not preserved: va %#x -> pa %#x", va, pa)
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(4)
+	if _, hit := tlb.Lookup(1); hit {
+		t.Fatal("empty TLB hit")
+	}
+	tlb.Insert(1, 101)
+	pp, hit := tlb.Lookup(1)
+	if !hit || pp != 101 {
+		t.Fatalf("Lookup(1) = %d,%v want 101,true", pp, hit)
+	}
+	if tlb.Hits != 1 || tlb.Misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1,1", tlb.Hits, tlb.Misses)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(1, 101)
+	tlb.Insert(2, 102)
+	tlb.Lookup(1) // make 2 the LRU
+	tlb.Insert(3, 103)
+	if _, hit := tlb.Lookup(2); hit {
+		t.Fatal("LRU entry 2 should have been evicted")
+	}
+	if _, hit := tlb.Lookup(1); !hit {
+		t.Fatal("MRU entry 1 should survive")
+	}
+	if _, hit := tlb.Lookup(3); !hit {
+		t.Fatal("new entry 3 should be resident")
+	}
+	if tlb.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", tlb.Evictions)
+	}
+}
+
+func TestTLBCapacityNeverExceeded(t *testing.T) {
+	tlb := NewTLB(8)
+	for vp := mem.Page(0); vp < 100; vp++ {
+		tlb.Insert(vp, vp+1000)
+		if tlb.Len() > 8 {
+			t.Fatalf("TLB grew to %d entries, capacity 8", tlb.Len())
+		}
+	}
+}
+
+func TestTLBInsertExistingUpdates(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(1, 101)
+	tlb.Insert(1, 201)
+	pp, hit := tlb.Lookup(1)
+	if !hit || pp != 201 {
+		t.Fatalf("update failed: got %d,%v", pp, hit)
+	}
+	if tlb.Len() != 1 {
+		t.Fatalf("duplicate insert grew TLB to %d", tlb.Len())
+	}
+}
+
+func TestTLBInvalidate(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.Insert(1, 101)
+	tlb.Insert(2, 102)
+	tlb.Invalidate(1)
+	if _, hit := tlb.Lookup(1); hit {
+		t.Fatal("invalidated entry still present")
+	}
+	if _, hit := tlb.Lookup(2); !hit {
+		t.Fatal("unrelated entry lost")
+	}
+	tlb.Invalidate(99) // no-op must not crash
+	tlb.InvalidateAll()
+	if tlb.Len() != 0 {
+		t.Fatal("InvalidateAll left entries")
+	}
+}
+
+func TestTLBInvalidateHeadTail(t *testing.T) {
+	tlb := NewTLB(3)
+	tlb.Insert(1, 101)
+	tlb.Insert(2, 102)
+	tlb.Insert(3, 103) // head=3, tail=1
+	tlb.Invalidate(3)  // remove head
+	tlb.Invalidate(1)  // remove tail
+	tlb.Insert(4, 104)
+	tlb.Insert(5, 105)
+	tlb.Insert(6, 106) // should evict 2 (now LRU)
+	if _, hit := tlb.Lookup(2); hit {
+		t.Fatal("entry 2 should have been evicted after head/tail removals")
+	}
+	if tlb.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tlb.Len())
+	}
+}
+
+func TestMMUTranslateCosts(t *testing.T) {
+	pt := NewPageTable(1.0, 1)
+	m := NewMMU(0, 4, pt)
+	_, c1 := m.Translate(0x5000)
+	if c1 != m.HitCycles+m.WalkCycles {
+		t.Fatalf("cold translate cost %d, want %d", c1, m.HitCycles+m.WalkCycles)
+	}
+	_, c2 := m.Translate(0x5008)
+	if c2 != m.HitCycles {
+		t.Fatalf("warm translate cost %d, want %d", c2, m.HitCycles)
+	}
+}
+
+func TestMMUTranslateConsistentWithPageTable(t *testing.T) {
+	pt := NewPageTable(1.0, 1)
+	m := NewMMU(2, 16, pt)
+	va := mem.Addr(0x7abc)
+	pa1, _ := m.Translate(va)
+	pa2 := pt.TranslateAddr(2, va)
+	if pa1 != pa2 {
+		t.Fatalf("MMU and page table disagree: %#x vs %#x", pa1, pa2)
+	}
+}
+
+func TestMMUTranslatePage(t *testing.T) {
+	pt := NewPageTable(1.0, 1)
+	m := NewMMU(0, 4, pt)
+	pp1, c1 := m.TranslatePage(7)
+	pp2, c2 := m.TranslatePage(7)
+	if pp1 != pp2 {
+		t.Fatalf("TranslatePage inconsistent: %d vs %d", pp1, pp2)
+	}
+	if c1 <= c2 {
+		t.Fatalf("cold cost %d should exceed warm cost %d", c1, c2)
+	}
+}
+
+// Property: the TLB never returns a translation that differs from the page
+// table's, under an arbitrary access sequence.
+func TestQuickTLBCoherentWithPageTable(t *testing.T) {
+	f := func(seq []uint8) bool {
+		pt := NewPageTable(1.0, 3)
+		m := NewMMU(0, 4, pt)
+		for _, v := range seq {
+			vp := mem.Page(v % 32)
+			pp, _ := m.TranslatePage(vp)
+			want, ok := pt.Lookup(vp)
+			if !ok || pp != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TLB occupancy never exceeds capacity under arbitrary workloads.
+func TestQuickTLBCapacity(t *testing.T) {
+	f := func(seq []uint16) bool {
+		tlb := NewTLB(6)
+		for _, v := range seq {
+			tlb.Insert(mem.Page(v), mem.Page(v)+1)
+			if tlb.Len() > 6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

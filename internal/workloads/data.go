@@ -1,0 +1,236 @@
+package workloads
+
+import (
+	"fmt"
+
+	"raccd/internal/mem"
+	"raccd/internal/rts"
+)
+
+// NewKmeans builds K-means clustering (Table II: 150000 ÷ 16 = 9216 points,
+// 30 dimensions, 6 clusters, 3 iterations). Each iteration runs one
+// assignment task per point chunk (reading the chunk and the centroids,
+// writing labels and a per-chunk partial sum) and one update task reducing
+// all partials into new centroids. The centroids are re-read by every task,
+// so RaCCD's end-of-task flush of non-coherent data costs it L1 reuse — the
+// mechanism behind Kmeans being the paper's one RaCCD performance outlier
+// (Fig 6, 14.6 % at 1:1).
+func NewKmeans(scale float64) Workload {
+	pts := scaled(9216, scale, 512)
+	const dims = 30
+	const k = 6
+	const iters = 3
+	// 32 points per chunk: a chunk (60 blocks) plus the centroids fits
+	// the scaled L1, so the baseline keeps the centroids hot across
+	// consecutive tasks — exactly the reuse RaCCD's recovery flush
+	// destroys.
+	chunks := int(pts / 32)
+	return New("Kmeans", func(g *rts.Graph) {
+		a := NewArena()
+		points := a.Alloc(pts * dims * 4)
+		labels := a.Alloc(pts * 4)
+		centroids := a.Alloc(k * dims * 4)
+		partialBytes := mem.AlignUp(mem.Addr(k*dims*4), mem.BlockSize)
+		partials := a.Alloc(uint64(partialBytes) * uint64(chunks))
+
+		ptC := Chunks(points, chunks)
+		lbC := Chunks(labels, chunks)
+		paC := Chunks(partials, chunks)
+
+		for t := 0; t < iters; t++ {
+			for c := 0; c < chunks; c++ {
+				pc, lc, prt := ptC[c], lbC[c], paC[c]
+				g.Add(fmt.Sprintf("assign[%d,%d]", t, c),
+					[]rts.Dep{
+						{Range: pc, Mode: rts.In},
+						{Range: centroids, Mode: rts.In},
+						{Range: lc, Mode: rts.Out},
+						{Range: prt, Mode: rts.Out},
+					},
+					func(ctx *rts.Ctx) {
+						ctx.LoadRange(centroids)
+						ctx.LoadRange(pc)
+						ctx.StoreRange(lc)
+						ctx.StoreRange(prt)
+						// Distance arithmetic beyond the per-access
+						// default: k distances per point.
+						ctx.Compute(uint64(pc.NumBlocks()) * k)
+					})
+			}
+			g.Add(fmt.Sprintf("update[%d]", t),
+				[]rts.Dep{
+					{Range: partials, Mode: rts.In},
+					{Range: centroids, Mode: rts.Out},
+				},
+				func(ctx *rts.Ctx) {
+					ctx.LoadRange(partials)
+					ctx.StoreRange(centroids)
+				})
+		}
+	})
+}
+
+// NewKNN builds K-nearest-neighbours (Table II: 16384 ÷ 16 = 1024 training
+// points, 8192 ÷ 16 = 512 points to classify, 4 dimensions, 4 classes). The
+// training set is shared read-only data: every classify task streams all of
+// it. PT classifies it shared (coherent, stays cached across tasks); RaCCD
+// registers it non-coherent and flushes it at task end — the one benchmark
+// where the paper reports PT slightly ahead of RaCCD.
+func NewKNN(scale float64) Workload {
+	train := scaled(1024, scale, 128)
+	queries := scaled(512, scale, 64)
+	const dims = 4
+	const tasks = 32
+	return New("KNN", func(g *rts.Graph) {
+		a := NewArena()
+		trainSet := a.Alloc(train * dims * 4)
+		querySet := a.Alloc(queries * dims * 4)
+		// One result block per task minimum, so every classify task owns
+		// at least one block of output.
+		resBytes := queries * 4
+		if resBytes < tasks*mem.BlockSize {
+			resBytes = tasks * mem.BlockSize
+		}
+		results := a.Alloc(resBytes)
+		qC := Chunks(querySet, tasks)
+		rC := Chunks(results, tasks)
+		n := len(qC)
+		if len(rC) < n {
+			n = len(rC)
+		}
+		for i := 0; i < n; i++ {
+			qc, rc := qC[i], rC[i]
+			g.Add(fmt.Sprintf("classify[%d]", i),
+				[]rts.Dep{
+					{Range: trainSet, Mode: rts.In},
+					{Range: qc, Mode: rts.In},
+					{Range: rc, Mode: rts.Out},
+				},
+				func(ctx *rts.Ctx) {
+					ctx.LoadRange(qc)
+					ctx.LoadRange(trainSet)
+					ctx.StoreRange(rc)
+					// Distance computations dominate: extra compute per
+					// training block.
+					ctx.Compute(uint64(trainSet.NumBlocks()) * 4)
+				})
+		}
+	})
+}
+
+// NewMD5 builds the MD5 benchmark (Table II: 128 buffers of 512 KiB ÷ 16 =
+// 32 KiB each). One task per buffer streams it once and writes a digest:
+// pure streaming reads with no reuse, so its LLC behaviour is dominated by
+// compulsory misses and neither directory capacity nor deactivation moves it
+// much (Fig 6/7b).
+func NewMD5(scale float64) Workload {
+	buffers := int(scaled(128, scale, 16))
+	bufBytes := uint64(32 * 1024)
+	return New("MD5", func(g *rts.Graph) {
+		a := NewArena()
+		input := a.Alloc(uint64(buffers) * bufBytes)
+		digests := a.Alloc(uint64(buffers) * mem.BlockSize)
+		for i := 0; i < buffers; i++ {
+			buf := mem.Range{Start: input.Start + mem.Addr(uint64(i)*bufBytes), Size: bufBytes}
+			dig := mem.Range{Start: digests.Start + mem.Addr(uint64(i)*mem.BlockSize), Size: mem.BlockSize}
+			g.Add(fmt.Sprintf("md5[%d]", i),
+				[]rts.Dep{{Range: buf, Mode: rts.In}, {Range: dig, Mode: rts.Out}},
+				func(ctx *rts.Ctx) {
+					ctx.LoadRange(buf)
+					ctx.StoreRange(dig)
+					ctx.Compute(uint64(buf.NumBlocks()) * 6) // hash rounds
+				})
+		}
+	})
+}
+
+// NewHisto builds the cumulative histogram (Table II: 1000×1000 pixels ÷ 16,
+// 256 bins) with the cross-weave scan the paper describes: a row-scan phase
+// producing per-chunk partial histograms, then a column phase where task b
+// gathers bin-slice b from EVERY partial — an all-to-all exchange whose data
+// is temporarily private and migrates across cores.
+func NewHisto(scale float64) Workload {
+	pixels := scaled(62464, scale, 8192) // bytes, 1 B/pixel, block aligned
+	const chunks = 16
+	const images = 6
+	binBytes := uint64(chunks * mem.BlockSize) // 256 bins × 4 B = 16 blocks
+	return New("Histo", func(g *rts.Graph) {
+		a := NewArena()
+		for img := 0; img < images; img++ {
+			image := a.Alloc(pixels)
+			var partials []mem.Range
+			for c := 0; c < chunks; c++ {
+				partials = append(partials, a.Alloc(binBytes))
+			}
+			hist := a.Alloc(binBytes)
+			imgC := Chunks(image, chunks)
+			// Phase 1: row scans.
+			for c := 0; c < chunks; c++ {
+				in, out := imgC[c], partials[c]
+				g.Add(fmt.Sprintf("scan[%d,%d]", img, c),
+					[]rts.Dep{{Range: in, Mode: rts.In}, {Range: out, Mode: rts.Out}},
+					func(ctx *rts.Ctx) {
+						ctx.LoadRange(in)
+						ctx.StoreRange(out)
+					})
+			}
+			// Phase 2: cross-weave — task b reduces bin-slice b across
+			// all partials into the final histogram slice.
+			histC := Chunks(hist, chunks)
+			for b := 0; b < chunks; b++ {
+				deps := make([]rts.Dep, 0, chunks+1)
+				var slices []mem.Range
+				for c := 0; c < chunks; c++ {
+					sl := mem.Range{
+						Start: partials[c].Start + mem.Addr(uint64(b)*mem.BlockSize),
+						Size:  mem.BlockSize,
+					}
+					slices = append(slices, sl)
+					deps = append(deps, rts.Dep{Range: sl, Mode: rts.In})
+				}
+				out := histC[b]
+				deps = append(deps, rts.Dep{Range: out, Mode: rts.Out})
+				sl := slices
+				g.Add(fmt.Sprintf("weave[%d,%d]", img, b), deps,
+					func(ctx *rts.Ctx) {
+						for _, s := range sl {
+							ctx.LoadRange(s)
+						}
+						ctx.StoreRange(out)
+					})
+			}
+		}
+	})
+}
+
+// NewJPEG builds the JPEG decoder (Table II: 2992×2000 image ÷ 16). Its
+// tasks carry NO dependence annotations — the paper's worst case for RaCCD,
+// which therefore cannot register anything and leaves every access coherent,
+// while PT still classifies the per-task pages private (Fig 2: RaCCD
+// identifies 0 % non-coherent blocks in JPEG).
+func NewJPEG(scale float64) Workload {
+	outBytes := scaled(1_122_000, scale, 65536) // 748×500×3 B
+	const tasks = 32
+	return New("JPEG", func(g *rts.Graph) {
+		a := NewArena()
+		// MCU rows are tens of KiB each: allocate the per-task input and
+		// output slices page-aligned, as a row-major decoder's buffers
+		// land in practice.
+		perOut := outBytes / tasks
+		perIn := perOut / 8
+		if perIn < mem.BlockSize {
+			perIn = mem.BlockSize
+		}
+		for i := 0; i < tasks; i++ {
+			in := a.Alloc(perIn)
+			out := a.Alloc(perOut)
+			// No depend clauses: independent tasks, invisible to RaCCD.
+			g.Add(fmt.Sprintf("mcurow[%d]", i), nil,
+				func(ctx *rts.Ctx) {
+					ctx.LoadRange(in)
+					ctx.StoreRange(out)
+					ctx.Compute(uint64(out.NumBlocks()) * 10) // IDCT etc.
+				})
+		}
+	})
+}

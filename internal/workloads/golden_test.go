@@ -1,0 +1,147 @@
+package workloads
+
+// Cross-checks between what workload kernels DO and what their annotations
+// DECLARE — the soundness property the whole RaCCD idea rests on: a task
+// must only write inside its out/inout ranges (otherwise deactivating
+// coherence for another task's ranges would race), and the final writer of
+// every block must match the dependence-graph prediction.
+
+import (
+	"testing"
+
+	"raccd/internal/mem"
+	"raccd/internal/rts"
+)
+
+// nullMachine executes kernels with zero-latency memory.
+type nullMachine struct{}
+
+func (nullMachine) Access(int, mem.Addr, bool, uint64) uint64 { return 1 }
+func (nullMachine) RegisterRegion(int, mem.Range) uint64      { return 1 }
+func (nullMachine) InvalidateNC(int) uint64                   { return 1 }
+
+func TestKernelsWriteOnlyDeclaredRanges(t *testing.T) {
+	// StrictAnnotations panics on any out-of-range store; running every
+	// workload with it on proves annotation soundness of the kernels.
+	for _, name := range Names() {
+		g := rts.NewGraph()
+		MustGet(name, testScale).Build(g)
+		rt := rts.NewRuntime(nullMachine{}, 4, rts.NewFIFO())
+		rt.StrictAnnotations = true
+		rt.Run(g) // panics on violation
+	}
+}
+
+func TestRuntimeGoldenMatchesGraphGolden(t *testing.T) {
+	// For fully annotated workloads the kernels store exactly their
+	// declared out ranges, so the runtime-observed final writers must
+	// equal the graph-predicted ones.
+	for _, name := range Names() {
+		if name == "JPEG" {
+			continue // unannotated by design
+		}
+		g := rts.NewGraph()
+		MustGet(name, testScale).Build(g)
+		rt := rts.NewRuntime(nullMachine{}, 8, rts.NewFIFO())
+		rt.Run(g)
+		want := g.GoldenWriters()
+		got := rt.Golden()
+		if len(got) != len(want) {
+			t.Errorf("%s: runtime wrote %d blocks, graph declares %d", name, len(got), len(want))
+			continue
+		}
+		mismatches := 0
+		for b, id := range want {
+			if got[b] != id {
+				mismatches++
+				if mismatches < 4 {
+					t.Errorf("%s: block %d final writer %d, graph predicts %d", name, b, got[b], id)
+				}
+			}
+		}
+	}
+}
+
+func TestGoldenIndependentOfSchedulerAndCores(t *testing.T) {
+	// The final memory image must not depend on how tasks were scheduled —
+	// that is exactly what the dependence annotations guarantee.
+	ref := map[mem.Block]uint64{}
+	first := true
+	for _, cores := range []int{1, 3, 16} {
+		for _, sched := range []string{"fifo", "lifo", "locality"} {
+			g := rts.NewGraph()
+			MustGet("CG", testScale).Build(g)
+			rt := rts.NewRuntime(nullMachine{}, cores, rts.NewScheduler(sched))
+			rt.Run(g)
+			got := rt.Golden()
+			if first {
+				ref = got
+				first = false
+				continue
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("cores=%d sched=%s: golden size %d != ref %d", cores, sched, len(got), len(ref))
+			}
+			for b, id := range ref {
+				if got[b] != id {
+					t.Fatalf("cores=%d sched=%s: block %d writer %d != ref %d", cores, sched, b, got[b], id)
+				}
+			}
+		}
+	}
+}
+
+func TestDeclaredReadsCoverKernelLoads(t *testing.T) {
+	// The dual soundness property: kernels must only LOAD inside declared
+	// in/inout ranges (reading outside would make the TDG miss a RAW
+	// dependence). Verified with a recording machine.
+	for _, name := range Names() {
+		if name == "JPEG" {
+			continue
+		}
+		g := rts.NewGraph()
+		MustGet(name, testScale).Build(g)
+		var current *rts.Task
+		bad := 0
+		rec := recorderMachine{onAccess: func(core int, va mem.Addr, write bool) {
+			if current == nil || write {
+				return
+			}
+			for _, d := range current.Deps {
+				if d.Mode.Reads() && d.Range.Contains(va) {
+					return
+				}
+			}
+			bad++
+		}}
+		rt := rts.NewRuntime(rec, 2, rts.NewFIFO())
+		for _, tk := range g.Tasks() {
+			tk := tk
+			body := tk.Body
+			tk.Body = func(ctx *rts.Ctx) {
+				current = tk
+				if body != nil {
+					body(ctx)
+				}
+				current = nil
+			}
+		}
+		rt.Run(g)
+		if bad > 0 {
+			t.Errorf("%s: %d loads outside declared in/inout ranges", name, bad)
+		}
+	}
+}
+
+type recorderMachine struct {
+	onAccess func(core int, va mem.Addr, write bool)
+}
+
+func (m recorderMachine) Access(core int, va mem.Addr, write bool, val uint64) uint64 {
+	if m.onAccess != nil {
+		m.onAccess(core, va, write)
+	}
+	return 1
+}
+func (recorderMachine) RegisterRegion(int, mem.Range) uint64 { return 1 }
+func (recorderMachine) InvalidateNC(int) uint64              { return 1 }

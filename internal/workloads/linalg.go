@@ -1,0 +1,181 @@
+package workloads
+
+import (
+	"fmt"
+
+	"raccd/internal/mem"
+	"raccd/internal/rts"
+)
+
+// NewCG builds the conjugate gradient solver (Table II: 3D matrix with
+// N³ = 884736 ÷ 16 = 55296 unknowns, 3 iterations), matrix-free with a
+// 7-point stencil operator. Each iteration chains five chunked phases
+// (SpMV, dot, axpy, dot, p-update) through scalar reduction tasks, so the
+// same vector chunks are touched by different phases that the dynamic
+// scheduler places on different cores — the temporarily-private pattern
+// where RaCCD shines over PT (Fig 2).
+func NewCG(scale float64) Workload {
+	n := scaled(55296, scale, 4096) // unknowns
+	const iters = 3
+	const chunks = 16
+	return New("CG", func(g *rts.Graph) {
+		a := NewArena()
+		vecBytes := n * 4
+		x := a.Alloc(vecBytes)
+		r := a.Alloc(vecBytes)
+		p := a.Alloc(vecBytes)
+		q := a.Alloc(vecBytes)
+		partA := a.Alloc(chunks * mem.BlockSize) // dot(p,q) partials
+		partB := a.Alloc(chunks * mem.BlockSize) // dot(r,r) partials
+		alpha := a.Alloc(mem.BlockSize)
+		beta := a.Alloc(mem.BlockSize)
+
+		xC := Chunks(x, chunks)
+		rC := Chunks(r, chunks)
+		pC := Chunks(p, chunks)
+		qC := Chunks(q, chunks)
+		partAC := Chunks(partA, chunks)
+		partBC := Chunks(partB, chunks)
+
+		// halo extends a chunk by one block on each side within vec.
+		halo := func(vec mem.Range, c mem.Range) mem.Range {
+			lo, hi := c.Start, c.End()
+			if lo > vec.Start {
+				lo -= mem.BlockSize
+			}
+			if hi < vec.End() {
+				hi += mem.BlockSize
+			}
+			return mem.Range{Start: lo, Size: uint64(hi - lo)}
+		}
+
+		for t := 0; t < iters; t++ {
+			// q = A·p (stencil SpMV).
+			for c := 0; c < chunks; c++ {
+				in, out := halo(p, pC[c]), qC[c]
+				g.Add(fmt.Sprintf("spmv[%d,%d]", t, c),
+					[]rts.Dep{{Range: in, Mode: rts.In}, {Range: out, Mode: rts.Out}},
+					func(ctx *rts.Ctx) { ctx.LoadRange(in); ctx.StoreRange(out) })
+			}
+			// partialA[c] = dot(p_c, q_c)
+			for c := 0; c < chunks; c++ {
+				in1, in2, out := pC[c], qC[c], partAC[c]
+				g.Add(fmt.Sprintf("dotpq[%d,%d]", t, c),
+					[]rts.Dep{{Range: in1, Mode: rts.In}, {Range: in2, Mode: rts.In}, {Range: out, Mode: rts.Out}},
+					func(ctx *rts.Ctx) { ctx.LoadRange(in1); ctx.LoadRange(in2); ctx.StoreRange(out) })
+			}
+			// alpha = rr / Σ partialA
+			g.Add(fmt.Sprintf("alpha[%d]", t),
+				[]rts.Dep{{Range: partA, Mode: rts.In}, {Range: alpha, Mode: rts.Out}},
+				func(ctx *rts.Ctx) { ctx.LoadRange(partA); ctx.StoreRange(alpha) })
+			// x += alpha·p ; r -= alpha·q
+			for c := 0; c < chunks; c++ {
+				pc, qc, xc, rc := pC[c], qC[c], xC[c], rC[c]
+				g.Add(fmt.Sprintf("axpy[%d,%d]", t, c),
+					[]rts.Dep{
+						{Range: alpha, Mode: rts.In},
+						{Range: pc, Mode: rts.In}, {Range: qc, Mode: rts.In},
+						{Range: xc, Mode: rts.InOut}, {Range: rc, Mode: rts.InOut},
+					},
+					func(ctx *rts.Ctx) {
+						ctx.LoadRange(alpha)
+						ctx.LoadRange(pc)
+						ctx.LoadRange(qc)
+						ctx.LoadRange(xc)
+						ctx.StoreRange(xc)
+						ctx.LoadRange(rc)
+						ctx.StoreRange(rc)
+					})
+			}
+			// partialB[c] = dot(r_c, r_c)
+			for c := 0; c < chunks; c++ {
+				in, out := rC[c], partBC[c]
+				g.Add(fmt.Sprintf("dotrr[%d,%d]", t, c),
+					[]rts.Dep{{Range: in, Mode: rts.In}, {Range: out, Mode: rts.Out}},
+					func(ctx *rts.Ctx) { ctx.LoadRange(in); ctx.StoreRange(out) })
+			}
+			// beta = Σ partialB / rr_old
+			g.Add(fmt.Sprintf("beta[%d]", t),
+				[]rts.Dep{{Range: partB, Mode: rts.In}, {Range: beta, Mode: rts.Out}},
+				func(ctx *rts.Ctx) { ctx.LoadRange(partB); ctx.StoreRange(beta) })
+			// p = r + beta·p
+			for c := 0; c < chunks; c++ {
+				rc, pc := rC[c], pC[c]
+				g.Add(fmt.Sprintf("pup[%d,%d]", t, c),
+					[]rts.Dep{
+						{Range: beta, Mode: rts.In}, {Range: rc, Mode: rts.In},
+						{Range: pc, Mode: rts.InOut},
+					},
+					func(ctx *rts.Ctx) {
+						ctx.LoadRange(beta)
+						ctx.LoadRange(rc)
+						ctx.LoadRange(pc)
+						ctx.StoreRange(pc)
+					})
+			}
+		}
+	})
+}
+
+// NewCholesky builds the tiled Cholesky factorisation of Fig 1: an NT×NT
+// grid of tile-major tiles processed by potrf/trsm/syrk/gemm tasks with the
+// exact dependence clauses of the paper's listing.
+func NewCholesky(scale float64) Workload {
+	nt := int(scaled(8, scale, 3))   // tiles per dimension
+	tileBytes := uint64(96 * 96 * 4) // 96×96 float32 tiles, tile-major
+	return New("Cholesky", func(g *rts.Graph) {
+		a := NewArena()
+		matrix := a.Alloc(uint64(nt*nt) * tileBytes)
+		tile := func(i, j int) mem.Range {
+			return mem.Range{
+				Start: matrix.Start + mem.Addr(uint64(i*nt+j)*tileBytes),
+				Size:  tileBytes,
+			}
+		}
+		for j := 0; j < nt; j++ {
+			for k := 0; k < j; k++ {
+				for i := j + 1; i < nt; i++ {
+					aik, ajk, aij := tile(i, k), tile(j, k), tile(i, j)
+					g.Add(fmt.Sprintf("gemm[%d,%d,%d]", i, j, k),
+						[]rts.Dep{
+							{Range: aik, Mode: rts.In}, {Range: ajk, Mode: rts.In},
+							{Range: aij, Mode: rts.InOut},
+						},
+						func(ctx *rts.Ctx) {
+							ctx.LoadRange(aik)
+							ctx.LoadRange(ajk)
+							ctx.LoadRange(aij)
+							ctx.StoreRange(aij)
+						})
+				}
+			}
+			for i := j + 1; i < nt; i++ {
+				aji, ajj := tile(j, i), tile(j, j)
+				g.Add(fmt.Sprintf("syrk[%d,%d]", j, i),
+					[]rts.Dep{{Range: aji, Mode: rts.In}, {Range: ajj, Mode: rts.InOut}},
+					func(ctx *rts.Ctx) {
+						ctx.LoadRange(aji)
+						ctx.LoadRange(ajj)
+						ctx.StoreRange(ajj)
+					})
+			}
+			ajj := tile(j, j)
+			g.Add(fmt.Sprintf("potrf[%d]", j),
+				[]rts.Dep{{Range: ajj, Mode: rts.InOut}},
+				func(ctx *rts.Ctx) {
+					ctx.LoadRange(ajj)
+					ctx.StoreRange(ajj)
+				})
+			for i := j + 1; i < nt; i++ {
+				ajj, aij := tile(j, j), tile(i, j)
+				g.Add(fmt.Sprintf("trsm[%d,%d]", j, i),
+					[]rts.Dep{{Range: ajj, Mode: rts.In}, {Range: aij, Mode: rts.InOut}},
+					func(ctx *rts.Ctx) {
+						ctx.LoadRange(ajj)
+						ctx.LoadRange(aij)
+						ctx.StoreRange(aij)
+					})
+			}
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"fmt"
+
+	"raccd/internal/mem"
+	"raccd/internal/rts"
+)
+
+// Stencil benchmarks (Table II): Jacobi, Gauss and RedBlack all solve the
+// stationary heat diffusion problem on a 2D matrix with N² = 2359296 ÷ 16 =
+// 147456 elements (384×384 float32) for 10 iterations.
+const (
+	stencilRows   = 384
+	stencilCols   = 384
+	stencilElem   = 4 // float32
+	stencilIters  = 10
+	stencilChunks = 16
+)
+
+// NewJacobi builds the Jacobi solver: a 5-point stencil reading grid A and
+// writing grid B, swapping each iteration. Chunk c of iteration t reads its
+// row slab plus one halo row on each side from the source grid and writes
+// its slab in the destination grid. Data migrates between cores across
+// iterations under dynamic scheduling — temporarily private data that PT
+// classifies shared and RaCCD recovers.
+func NewJacobi(scale float64) Workload {
+	rows := int(scaled(stencilRows, scale, 32))
+	iters := stencilIters
+	return New("Jacobi", func(g *rts.Graph) {
+		a := NewArena()
+		rowBytes := uint64(stencilCols * stencilElem)
+		grid := [2]mem.Range{
+			a.Alloc(uint64(rows) * rowBytes),
+			a.Alloc(uint64(rows) * rowBytes),
+		}
+		rowRange := func(gr mem.Range, lo, hi int) mem.Range { // rows [lo,hi)
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > rows {
+				hi = rows
+			}
+			return mem.Range{
+				Start: gr.Start + mem.Addr(uint64(lo)*rowBytes),
+				Size:  uint64(hi-lo) * rowBytes,
+			}
+		}
+		per := rows / stencilChunks
+		for t := 0; t < iters; t++ {
+			src, dst := grid[t%2], grid[(t+1)%2]
+			for c := 0; c < stencilChunks; c++ {
+				lo, hi := c*per, (c+1)*per
+				if c == stencilChunks-1 {
+					hi = rows
+				}
+				in := rowRange(src, lo-1, hi+1)
+				out := rowRange(dst, lo, hi)
+				g.Add(fmt.Sprintf("jacobi[%d,%d]", t, c),
+					[]rts.Dep{{Range: in, Mode: rts.In}, {Range: out, Mode: rts.Out}},
+					func(ctx *rts.Ctx) {
+						ctx.LoadRange(in)
+						ctx.StoreRange(out)
+					})
+			}
+		}
+	})
+}
+
+// NewGauss builds the Gauss-Seidel solver (4-point stencil, in-place): chunk
+// c of iteration t updates its slab in place, reading the last row of the
+// chunk above (already updated THIS iteration — the wavefront dependence)
+// and the first row of the chunk below (previous iteration's value).
+func NewGauss(scale float64) Workload {
+	rows := int(scaled(stencilRows, scale, 32))
+	iters := stencilIters
+	return New("Gauss", func(g *rts.Graph) {
+		a := NewArena()
+		rowBytes := uint64(stencilCols * stencilElem)
+		grid := a.Alloc(uint64(rows) * rowBytes)
+		rowRange := func(lo, hi int) mem.Range {
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > rows {
+				hi = rows
+			}
+			return mem.Range{
+				Start: grid.Start + mem.Addr(uint64(lo)*rowBytes),
+				Size:  uint64(hi-lo) * rowBytes,
+			}
+		}
+		per := rows / stencilChunks
+		for t := 0; t < iters; t++ {
+			for c := 0; c < stencilChunks; c++ {
+				lo, hi := c*per, (c+1)*per
+				if c == stencilChunks-1 {
+					hi = rows
+				}
+				deps := []rts.Dep{{Range: rowRange(lo, hi), Mode: rts.InOut}}
+				if lo > 0 {
+					deps = append(deps, rts.Dep{Range: rowRange(lo-1, lo), Mode: rts.In})
+				}
+				if hi < rows {
+					deps = append(deps, rts.Dep{Range: rowRange(hi, hi+1), Mode: rts.In})
+				}
+				self := rowRange(lo, hi)
+				halo := deps[1:]
+				g.Add(fmt.Sprintf("gauss[%d,%d]", t, c), deps,
+					func(ctx *rts.Ctx) {
+						for _, d := range halo {
+							ctx.LoadRange(d.Range)
+						}
+						ctx.LoadRange(self)
+						ctx.StoreRange(self)
+					})
+			}
+		}
+	})
+}
+
+// NewRedBlack builds the red-black Gauss-Seidel solver: the grid is split
+// into red and black half-grids; each iteration first updates all red chunks
+// reading black halos, then all black chunks reading red halos. All tasks of
+// one colour are independent, giving wide phases whose data migrates between
+// cores — the pattern where Fig 2 shows RaCCD far ahead of PT.
+func NewRedBlack(scale float64) Workload {
+	rows := int(scaled(stencilRows, scale, 32)) // rows per colour grid
+	iters := stencilIters
+	return New("RedBlack", func(g *rts.Graph) {
+		a := NewArena()
+		rowBytes := uint64(stencilCols * stencilElem)
+		half := uint64(rows/2) * rowBytes
+		red := a.Alloc(half)
+		black := a.Alloc(half)
+		halfRows := rows / 2
+		rowRange := func(gr mem.Range, lo, hi int) mem.Range {
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > halfRows {
+				hi = halfRows
+			}
+			return mem.Range{
+				Start: gr.Start + mem.Addr(uint64(lo)*rowBytes),
+				Size:  uint64(hi-lo) * rowBytes,
+			}
+		}
+		per := halfRows / stencilChunks
+		phase := func(t int, upd, other mem.Range, colour string) {
+			for c := 0; c < stencilChunks; c++ {
+				lo, hi := c*per, (c+1)*per
+				if c == stencilChunks-1 {
+					hi = halfRows
+				}
+				self := rowRange(upd, lo, hi)
+				in := rowRange(other, lo-1, hi+1)
+				g.Add(fmt.Sprintf("%s[%d,%d]", colour, t, c),
+					[]rts.Dep{{Range: self, Mode: rts.InOut}, {Range: in, Mode: rts.In}},
+					func(ctx *rts.Ctx) {
+						ctx.LoadRange(in)
+						ctx.LoadRange(self)
+						ctx.StoreRange(self)
+					})
+			}
+		}
+		for t := 0; t < iters; t++ {
+			phase(t, red, black, "red")
+			phase(t, black, red, "black")
+		}
+	})
+}

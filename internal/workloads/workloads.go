@@ -1,0 +1,143 @@
+// Package workloads re-implements the paper's nine task-parallel benchmarks
+// (Table II) plus the Cholesky factorisation of Fig 1 as task graphs over a
+// simulated virtual address space.
+//
+// Every workload reproduces the dependence structure and access pattern that
+// drives the paper's results — streaming reads (MD5), stencil wavefronts
+// (Gauss), phase-migrating data (CG, Kmeans), shared read-only data (KNN),
+// and missing annotations (JPEG, the RaCCD worst case). Problem sizes are
+// Table II divided by 16, matching the ÷16-scaled LLC and directory of the
+// simulated machine (DESIGN.md §4), so every dataset:cache ratio of the
+// paper is preserved.
+//
+// Kernels issue block-granular accesses; per-element arithmetic is folded
+// into the runtime's compute-per-access cost.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"raccd/internal/mem"
+	"raccd/internal/rts"
+)
+
+// Workload is a named task-graph builder (satisfies sim.Workload).
+type Workload struct {
+	name  string
+	build func(g *rts.Graph)
+}
+
+// Name returns the benchmark name as used in the paper's figures.
+func (w Workload) Name() string { return w.name }
+
+// Build populates the task graph.
+func (w Workload) Build(g *rts.Graph) { w.build(g) }
+
+// New wraps a builder function as a Workload.
+func New(name string, build func(g *rts.Graph)) Workload {
+	return Workload{name: name, build: build}
+}
+
+// Arena hands out page-aligned virtual address ranges for workload arrays.
+type Arena struct{ next mem.Addr }
+
+// NewArena returns an arena starting at a fixed virtual base.
+func NewArena() *Arena { return &Arena{next: 0x1000_0000} }
+
+// Alloc reserves bytes of virtual address space, padded to a whole page.
+func (a *Arena) Alloc(bytes uint64) mem.Range {
+	r := mem.Range{Start: a.next, Size: bytes}
+	a.next = mem.AlignUp(a.next+mem.Addr(bytes), mem.PageSize)
+	return r
+}
+
+// Chunks splits r into n contiguous block-aligned pieces covering all of r.
+// Block alignment keeps independent tasks from sharing a cache block, which
+// would create spurious dependence edges at the TDG's block granularity.
+func Chunks(r mem.Range, n int) []mem.Range {
+	if n <= 0 {
+		panic("workloads: non-positive chunk count")
+	}
+	blocks := r.NumBlocks()
+	if uint64(n) > blocks {
+		n = int(blocks)
+	}
+	out := make([]mem.Range, 0, n)
+	start := r.Start
+	per := blocks / uint64(n)
+	extra := blocks % uint64(n)
+	for i := 0; i < n; i++ {
+		nb := per
+		if uint64(i) < extra {
+			nb++
+		}
+		size := nb * mem.BlockSize
+		end := start + mem.Addr(size)
+		if end > r.End() {
+			end = r.End()
+		}
+		out = append(out, mem.Range{Start: start, Size: uint64(end - start)})
+		start = end
+	}
+	out[n-1] = mem.Range{Start: out[n-1].Start, Size: uint64(r.End() - out[n-1].Start)}
+	return out
+}
+
+// scaled multiplies a default size by the scale factor, clamping to min.
+func scaled(def uint64, scale float64, min uint64) uint64 {
+	v := uint64(float64(def) * scale)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// registry maps benchmark names to constructors taking a scale factor
+// (1.0 = the ÷16 Table II default; tests use smaller factors).
+var registry = map[string]func(scale float64) Workload{
+	"CG":       NewCG,
+	"Gauss":    NewGauss,
+	"Histo":    NewHisto,
+	"Jacobi":   NewJacobi,
+	"JPEG":     NewJPEG,
+	"Kmeans":   NewKmeans,
+	"KNN":      NewKNN,
+	"MD5":      NewMD5,
+	"RedBlack": NewRedBlack,
+	"Cholesky": NewCholesky,
+}
+
+// PaperSet is the nine benchmarks of the paper's evaluation, in the order
+// of its figures.
+func PaperSet() []string {
+	return []string{"CG", "Gauss", "Histo", "Jacobi", "JPEG", "Kmeans", "KNN", "MD5", "RedBlack"}
+}
+
+// Names returns every registered workload name, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get constructs a registered workload by name.
+func Get(name string, scale float64) (Workload, error) {
+	f, ok := registry[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, Names())
+	}
+	return f(scale), nil
+}
+
+// MustGet is Get that panics on unknown names.
+func MustGet(name string, scale float64) Workload {
+	w, err := Get(name, scale)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

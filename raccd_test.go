@@ -1,0 +1,103 @@
+package raccd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchmarkRegistry(t *testing.T) {
+	if len(PaperBenchmarks()) != 9 {
+		t.Fatalf("paper benchmarks = %d, want 9", len(PaperBenchmarks()))
+	}
+	if len(Benchmarks()) != 10 {
+		t.Fatalf("benchmarks = %d, want 10", len(Benchmarks()))
+	}
+	if _, err := NewWorkload("Jacobi", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorkload("nope", 0.1); err == nil {
+		t.Fatal("unknown benchmark did not error")
+	}
+}
+
+func TestRunAllSystems(t *testing.T) {
+	for _, sys := range []System{FullCoh, PT, RaCCD} {
+		w, err := NewWorkload("Kmeans", 0.08)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(w, DefaultConfig(sys, 4))
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		if res.Cycles == 0 || res.System != sys || res.DirRatio != 4 {
+			t.Fatalf("%v: bad result %+v", sys, res)
+		}
+	}
+}
+
+func TestCustomWorkload(t *testing.T) {
+	data := Range{Start: 0x1000_0000, Size: 64 * 64}
+	w := NewCustomWorkload("custom", func(g *TaskGraph) {
+		g.Add("produce", []Dep{{Range: data, Mode: Out}}, func(ctx *Ctx) {
+			ctx.StoreRange(data)
+		})
+		g.Add("consume", []Dep{{Range: data, Mode: In}}, func(ctx *Ctx) {
+			ctx.LoadRange(data)
+		})
+	})
+	res, err := Run(w, DefaultConfig(RaCCD, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != 2 {
+		t.Fatalf("tasks run = %d, want 2", res.TasksRun)
+	}
+	if res.NCFraction < 0.5 {
+		t.Fatalf("annotated custom workload NC fraction %.2f, want > 0.5", res.NCFraction)
+	}
+}
+
+func TestConfigKnobs(t *testing.T) {
+	w, _ := NewWorkload("Gauss", 0.08)
+	cfg := DefaultConfig(RaCCD, 1)
+	cfg.Scheduler = "locality"
+	cfg.NCRTLatency = 5
+	cfg.WriteThrough = true
+	cfg.Contiguity = 0.5
+	if _, err := Run(w, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg = DefaultConfig(RaCCD, 1)
+	cfg.ADR = true
+	if _, err := Run(w, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable3Exposed(t *testing.T) {
+	if out := Table3(); !strings.Contains(out, "Table III") {
+		t.Fatalf("Table3 output malformed:\n%s", out)
+	}
+}
+
+func TestSweepSmall(t *testing.T) {
+	m := NewSweep(0.08)
+	m.Workloads = []string{"MD5", "JPEG"}
+	m.Ratios = []int{1, 64}
+	set, err := RunSweep(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, render := range []func() string{set.Fig2, set.Fig6, set.Fig7a, set.Fig7b, set.Fig7c, set.Fig7d, set.Fig8, set.Fig9, set.Fig10} {
+		if out := render(); !strings.Contains(out, "MD5") {
+			t.Fatalf("figure missing benchmark:\n%s", out)
+		}
+	}
+}
+
+func TestValidateSelfCheck(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
