@@ -1,4 +1,4 @@
-// Command raccdsim runs one benchmark under one system configuration and
+// Command raccdsim runs benchmarks under one system configuration and
 // prints every collected metric.
 //
 // Usage:
@@ -6,39 +6,59 @@
 //	raccdsim -bench Jacobi -system raccd -ratio 64 [-adr] [-scale 1.0]
 //	         [-sched fifo|lifo|locality] [-ncrt-latency 1] [-writethrough]
 //	         [-contiguity 1.0]
+//	raccdsim -bench Jacobi,MD5,CG -jobs 3   # several benchmarks, in parallel
+//	raccdsim -bench all                     # every bundled benchmark
+//
+// With more than one benchmark the runs fan out across -jobs workers
+// (default: one per CPU) and results print in the order the benchmarks
+// were named. Ctrl-C cancels cleanly.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"raccd"
+	"raccd/internal/runner"
 )
 
-func main() {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("raccdsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench       = flag.String("bench", "Jacobi", "benchmark name (see -list)")
-		system      = flag.String("system", "raccd", "system: fullcoh, pt, ptro, raccd")
-		ratio       = flag.Int("ratio", 1, "directory reduction 1:N (1,2,4,8,16,64,256)")
-		adr         = flag.Bool("adr", false, "enable adaptive directory reduction")
-		scale       = flag.Float64("scale", 1.0, "problem scale (1.0 = Table II ÷ 16)")
-		sched       = flag.String("sched", "fifo", "scheduler: fifo, lifo, locality")
-		ncrtLatency = flag.Uint64("ncrt-latency", 1, "NCRT lookup latency in cycles")
-		wt          = flag.Bool("writethrough", false, "write-through private caches")
-		contiguity  = flag.Float64("contiguity", 1.0, "physical page contiguity 0..1")
-		novalidate  = flag.Bool("novalidate", false, "skip golden-memory validation")
-		smt         = flag.Int("smt", 1, "hardware threads per core (SMT ways)")
-		asJSON      = flag.Bool("json", false, "emit the result as JSON")
-		list        = flag.Bool("list", false, "list benchmarks and exit")
+		bench       = fs.String("bench", "Jacobi", "benchmark name(s), comma-separated, or \"all\" (see -list)")
+		system      = fs.String("system", "raccd", "system: fullcoh, pt, ptro, raccd")
+		ratio       = fs.Int("ratio", 1, "directory reduction 1:N (1,2,4,8,16,64,256)")
+		adr         = fs.Bool("adr", false, "enable adaptive directory reduction")
+		scale       = fs.Float64("scale", 1.0, "problem scale (1.0 = Table II ÷ 16)")
+		sched       = fs.String("sched", "fifo", "scheduler: fifo, lifo, locality")
+		ncrtLatency = fs.Uint64("ncrt-latency", 1, "NCRT lookup latency in cycles")
+		wt          = fs.Bool("writethrough", false, "write-through private caches")
+		contiguity  = fs.Float64("contiguity", 1.0, "physical page contiguity 0..1")
+		novalidate  = fs.Bool("novalidate", false, "skip golden-memory validation")
+		smt         = fs.Int("smt", 1, "hardware threads per core (SMT ways)")
+		jobs        = fs.Int("jobs", 0, "concurrent runs when several benchmarks are named (0 = one per CPU)")
+		asJSON      = fs.Bool("json", false, "emit the result as JSON")
+		list        = fs.Bool("list", false, "list benchmarks and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
-		fmt.Println(strings.Join(raccd.Benchmarks(), "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(raccd.Benchmarks(), "\n"))
+		return 0
 	}
 
 	var sys raccd.System
@@ -52,14 +72,32 @@ func main() {
 	case "ptro", "pt-ro":
 		sys = raccd.PTRO
 	default:
-		fmt.Fprintf(os.Stderr, "raccdsim: unknown system %q\n", *system)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "raccdsim: unknown system %q\n", *system)
+		return 2
 	}
 
-	w, err := raccd.NewWorkload(*bench, *scale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "raccdsim:", err)
-		os.Exit(2)
+	var names []string
+	if strings.EqualFold(*bench, "all") {
+		names = raccd.Benchmarks()
+	} else {
+		for _, n := range strings.Split(*bench, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(stderr, "raccdsim: no benchmark named")
+		return 2
+	}
+	workloads := make([]raccd.Workload, len(names))
+	for i, n := range names {
+		w, err := raccd.NewWorkload(n, *scale)
+		if err != nil {
+			fmt.Fprintln(stderr, "raccdsim:", err)
+			return 2
+		}
+		workloads[i] = w
 	}
 
 	cfg := raccd.DefaultConfig(sys, *ratio)
@@ -71,40 +109,76 @@ func main() {
 	cfg.Validate = !*novalidate
 	cfg.SMTWays = *smt
 
-	res, err := raccd.Run(w, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "raccdsim:", err)
-		os.Exit(1)
-	}
-
+	var enc *json.Encoder
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc = json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			fmt.Fprintln(os.Stderr, "raccdsim:", err)
-			os.Exit(1)
-		}
-		return
 	}
 
-	fmt.Printf("benchmark        %s (scale %.2f)\n", res.Workload, *scale)
-	fmt.Printf("system           %v  directory 1:%d  ADR %v  scheduler %s\n", res.System, res.DirRatio, res.ADR, *sched)
-	fmt.Printf("tasks            %d (%d dependence edges)\n", res.TasksRun, res.GraphEdges)
-	fmt.Printf("cycles           %d\n", res.Cycles)
-	fmt.Printf("dir accesses     %d\n", res.DirAccesses)
-	fmt.Printf("dir occupancy    %.1f%% (access-weighted average)\n", res.DirOccupancy*100)
-	fmt.Printf("dir size         %.1f KB", res.DirKB)
+	var failed int
+	err := runner.Run(ctx, *jobs, len(names),
+		func(_ context.Context, i int) (raccd.Result, error) {
+			res, err := raccd.Run(workloads[i], cfg)
+			if err != nil {
+				return raccd.Result{}, fmt.Errorf("%s: %w", names[i], err)
+			}
+			return res, nil
+		},
+		func(i int, res raccd.Result) {
+			if enc != nil {
+				if err := enc.Encode(res); err != nil {
+					fmt.Fprintln(stderr, "raccdsim:", err)
+					failed++
+				}
+				return
+			}
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			printResult(stdout, res, *scale, *sched, !*novalidate)
+		})
+	if err != nil {
+		fmt.Fprintln(stderr, "raccdsim:", err)
+		return 1
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printResult renders one run in the traditional human-readable form.
+func printResult(w io.Writer, res raccd.Result, scale float64, sched string, validated bool) {
+	fmt.Fprintf(w, "benchmark        %s (scale %.2f)\n", res.Workload, scale)
+	fmt.Fprintf(w, "system           %v  directory 1:%d  ADR %v  scheduler %s\n", res.System, res.DirRatio, res.ADR, sched)
+	fmt.Fprintf(w, "tasks            %d (%d dependence edges)\n", res.TasksRun, res.GraphEdges)
+	fmt.Fprintf(w, "cycles           %d\n", res.Cycles)
+	fmt.Fprintf(w, "dir accesses     %d\n", res.DirAccesses)
+	fmt.Fprintf(w, "dir occupancy    %.1f%% (access-weighted average)\n", res.DirOccupancy*100)
+	fmt.Fprintf(w, "dir size         %.1f KB", res.DirKB)
 	if res.ADR {
-		fmt.Printf(" (final; %d reconfigurations)", res.ADRReconfigs)
+		fmt.Fprintf(w, " (final; %d reconfigurations)", res.ADRReconfigs)
 	}
-	fmt.Println()
-	fmt.Printf("dir energy       %.1f (model units)\n", res.DirEnergy)
-	fmt.Printf("L1 hit ratio     %.1f%%\n", res.L1HitRatio*100)
-	fmt.Printf("LLC hit ratio    %.1f%%\n", res.LLCHitRatio*100)
-	fmt.Printf("NoC traffic      %d byte-hops (energy %.1f)\n", res.NoCByteHops, res.NoCEnergy)
-	fmt.Printf("memory           %d reads, %d writes\n", res.MemReads, res.MemWrites)
-	fmt.Printf("non-coherent     %.1f%% of touched blocks (Fig 2 metric)\n", res.NCFraction*100)
-	if !*novalidate {
-		fmt.Println("validation       OK (protocol invariants + golden final memory)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "dir energy       %.1f (model units)\n", res.DirEnergy)
+	fmt.Fprintf(w, "L1 hit ratio     %.1f%%\n", res.L1HitRatio*100)
+	fmt.Fprintf(w, "LLC hit ratio    %.1f%%\n", res.LLCHitRatio*100)
+	fmt.Fprintf(w, "NoC traffic      %d byte-hops (energy %.1f)\n", res.NoCByteHops, res.NoCEnergy)
+	fmt.Fprintf(w, "memory           %d reads, %d writes\n", res.MemReads, res.MemWrites)
+	fmt.Fprintf(w, "non-coherent     %.1f%% of touched blocks (Fig 2 metric)\n", res.NCFraction*100)
+	if validated {
+		fmt.Fprintln(w, "validation       OK (protocol invariants + golden final memory)")
 	}
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// First signal: cancel, let in-flight runs finish. Second
+		// signal: default handling, i.e. die now.
+		<-ctx.Done()
+		stop()
+	}()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }

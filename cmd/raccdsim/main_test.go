@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func runSim(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(context.Background(), args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestUnknownSystemRejected(t *testing.T) {
+	code, _, stderr := runSim(t, "-system", "mesi")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown system "mesi"`) {
+		t.Errorf("stderr missing diagnostic: %q", stderr)
+	}
+}
+
+func TestUnknownBenchmarkRejected(t *testing.T) {
+	code, _, stderr := runSim(t, "-bench", "NoSuch")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "NoSuch") {
+		t.Errorf("stderr missing benchmark name: %q", stderr)
+	}
+}
+
+func TestList(t *testing.T) {
+	code, stdout, _ := runSim(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, n := range []string{"Jacobi", "MD5", "Cholesky"} {
+		if !strings.Contains(stdout, n) {
+			t.Errorf("-list output missing %s", n)
+		}
+	}
+}
+
+// Several benchmarks in one invocation print in the named order, even
+// when run in parallel.
+func TestMultiBenchOrdered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	code, stdout, stderr := runSim(t, "-bench", "MD5,Jacobi", "-scale", "0.05", "-jobs", "2", "-ratio", "16")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	md5 := strings.Index(stdout, "benchmark        MD5")
+	jac := strings.Index(stdout, "benchmark        Jacobi")
+	if md5 < 0 || jac < 0 {
+		t.Fatalf("missing result blocks:\n%s", stdout)
+	}
+	if md5 > jac {
+		t.Fatal("results printed out of submission order")
+	}
+}

@@ -8,57 +8,94 @@
 //	sweep -table 3         # Table III only
 //	sweep -fig vc          # NCRT latency study
 //	sweep -scale 0.25      # faster, smaller problems
+//	sweep -jobs 8          # run 8 simulations concurrently (0 = all CPUs)
 //	sweep -csv results.csv # also dump raw results
+//
+// Simulations fan out across -jobs workers (default: one per CPU) with
+// results — figures, CSV, progress lines — identical to a sequential
+// run. Ctrl-C cancels the sweep cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"raccd/internal/report"
 )
 
-func main() {
+// figureOrder is every figure the sweep can render, in print order.
+var figureOrder = []string{"2", "6", "7a", "7b", "7c", "7d", "8", "9", "10"}
+
+// run parses args and executes the sweep, writing figures to stdout and
+// diagnostics to stderr. It returns the process exit code; ctx cancels
+// an in-flight sweep.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig     = flag.String("fig", "", "only this figure: 2, 6, 7a, 7b, 7c, 7d, 8, 9, 10, vc")
-		tbl     = flag.String("table", "", "only this table: 1, 2, 3")
-		scale   = flag.Float64("scale", 1.0, "problem scale (1.0 = Table II ÷ 16)")
-		csvPath = flag.String("csv", "", "write raw results as CSV to this file")
-		quiet   = flag.Bool("q", false, "suppress per-run progress")
+		fig     = fs.String("fig", "", "only this figure: 2, 6, 7a, 7b, 7c, 7d, 8, 9, 10, vc")
+		tbl     = fs.String("table", "", "only this table: 1, 2, 3")
+		scale   = fs.Float64("scale", 1.0, "problem scale (1.0 = Table II ÷ 16)")
+		jobs    = fs.Int("jobs", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
+		csvPath = fs.String("csv", "", "write raw results as CSV to this file")
+		quiet   = fs.Bool("q", false, "suppress per-run progress")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	switch *tbl {
 	case "1":
-		fmt.Println(report.Table1())
-		return
+		fmt.Fprintln(stdout, report.Table1())
+		return 0
 	case "2":
-		fmt.Println(report.Table2())
-		return
+		fmt.Fprintln(stdout, report.Table2())
+		return 0
 	case "3":
-		fmt.Println(report.Table3())
-		return
+		fmt.Fprintln(stdout, report.Table3())
+		return 0
 	case "":
 	default:
-		fmt.Fprintf(os.Stderr, "sweep: unknown table %q (want 1, 2 or 3)\n", *tbl)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "sweep: unknown table %q (want 1, 2 or 3)\n", *tbl)
+		fs.Usage()
+		return 2
+	}
+
+	// Validate -fig before spending hours on the sweep.
+	figures := map[string]bool{"vc": true}
+	for _, k := range figureOrder {
+		figures[k] = true
+	}
+	if *fig != "" && !figures[*fig] {
+		fmt.Fprintf(stderr, "sweep: unknown figure %q (want 2, 6, 7a, 7b, 7c, 7d, 8, 9, 10 or vc)\n", *fig)
+		fs.Usage()
+		return 2
 	}
 
 	m := report.DefaultMatrix()
 	m.Scale = *scale
+	m.Jobs = *jobs
 	if !*quiet {
-		m.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+		m.Progress = func(msg string) { fmt.Fprintln(stderr, msg) }
 	}
 
 	if *fig == "vc" {
-		cycles, err := m.RunNCRTSweep()
+		cycles, err := m.RunNCRTSweepContext(ctx)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
 		}
-		fmt.Println(report.NCRTLatencyTable(report.NCRTLatencies, cycles))
-		return
+		fmt.Fprintln(stdout, report.NCRTLatencyTable(report.NCRTLatencies, cycles))
+		return 0
 	}
 
 	// Figures 2 and 8 only need 1:1 runs; trim the matrix when possible.
@@ -70,38 +107,46 @@ func main() {
 		m.Ratios = []int{1}
 	}
 
-	set, err := m.Run()
+	set, err := m.RunContext(ctx)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "sweep:", err)
+		return 1
 	}
 
-	figures := map[string]func() string{
+	render := map[string]func() string{
 		"2": set.Fig2, "6": set.Fig6, "7a": set.Fig7a, "7b": set.Fig7b,
 		"7c": set.Fig7c, "7d": set.Fig7d, "8": set.Fig8, "9": set.Fig9,
 		"10": set.Fig10,
 	}
 	if *fig != "" {
-		f, ok := figures[*fig]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "sweep: unknown figure %q\n", *fig)
-			os.Exit(2)
-		}
-		fmt.Println(f())
+		fmt.Fprintln(stdout, render[*fig]())
 	} else {
-		for _, k := range []string{"2", "6", "7a", "7b", "7c", "7d", "8", "9", "10"} {
-			fmt.Println(figures[k]())
+		for _, k := range figureOrder {
+			fmt.Fprintln(stdout, render[k]())
 		}
-		fmt.Println(report.Table1())
-		fmt.Println(report.Table2())
-		fmt.Println(report.Table3())
+		fmt.Fprintln(stdout, report.Table1())
+		fmt.Fprintln(stdout, report.Table2())
+		fmt.Fprintln(stdout, report.Table3())
 	}
 
 	if *csvPath != "" {
 		if err := os.WriteFile(*csvPath, []byte(set.CSV()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "raw results written to %s\n", *csvPath)
+		fmt.Fprintf(stderr, "raw results written to %s\n", *csvPath)
 	}
+	return 0
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// First signal: cancel the sweep, let in-flight simulations
+		// finish. Second signal: default handling, i.e. die now.
+		<-ctx.Done()
+		stop()
+	}()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runSweep(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(context.Background(), args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestUnknownFigureRejectedUpFront(t *testing.T) {
+	// Must fail fast with usage, not after running the whole sweep —
+	// use full scale so a regression that runs the sweep first would
+	// hang rather than silently pass.
+	code, _, stderr := runSweep(t, "-fig", "99")
+	if code == 0 {
+		t.Fatal("unknown -fig exited 0")
+	}
+	if !strings.Contains(stderr, `unknown figure "99"`) {
+		t.Errorf("stderr missing diagnostic: %q", stderr)
+	}
+	if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "-fig") {
+		t.Errorf("stderr missing usage message: %q", stderr)
+	}
+}
+
+func TestUnknownTableRejected(t *testing.T) {
+	code, _, stderr := runSweep(t, "-table", "9")
+	if code == 0 {
+		t.Fatal("unknown -table exited 0")
+	}
+	if !strings.Contains(stderr, `unknown table "9"`) {
+		t.Errorf("stderr missing diagnostic: %q", stderr)
+	}
+}
+
+func TestUnknownFlagRejected(t *testing.T) {
+	code, _, _ := runSweep(t, "-no-such-flag")
+	if code == 0 {
+		t.Fatal("unknown flag exited 0")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	for tbl, want := range map[string]string{"1": "", "2": "", "3": "directory"} {
+		code, stdout, _ := runSweep(t, "-table", tbl)
+		if code != 0 {
+			t.Fatalf("-table %s exited %d", tbl, code)
+		}
+		if stdout == "" {
+			t.Fatalf("-table %s printed nothing", tbl)
+		}
+		if want != "" && !strings.Contains(strings.ToLower(stdout), want) {
+			t.Errorf("-table %s output missing %q", tbl, want)
+		}
+	}
+}
+
+// A tiny real sweep through the CLI: figure 2 only needs 1:1 non-ADR
+// runs, and -scale keeps it fast.
+func TestFig2EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	code, stdout, stderr := runSweep(t, "-fig", "2", "-scale", "0.05", "-q", "-jobs", "2", "-csv", csv)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Fig 2") {
+		t.Errorf("missing figure header in output")
+	}
+}
+
+// A cancelled context aborts the sweep with a non-zero exit.
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errw strings.Builder
+	if code := run(ctx, []string{"-scale", "0.05", "-q"}, &out, &errw); code == 0 {
+		t.Fatal("cancelled sweep exited 0")
+	}
+}

@@ -1,0 +1,3 @@
+module raccd
+
+go 1.22

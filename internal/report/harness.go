@@ -1,9 +1,11 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"raccd/internal/coherence"
+	"raccd/internal/runner"
 	"raccd/internal/sim"
 	"raccd/internal/workloads"
 )
@@ -19,7 +21,13 @@ type Matrix struct {
 	Scale float64
 	// Validate enables golden-memory and invariant checking on every run.
 	Validate bool
-	// Progress, if non-nil, receives a line per completed run.
+	// Jobs is the number of simulations run concurrently: 0 selects one
+	// per CPU, 1 runs strictly sequentially. Results are committed in
+	// matrix order either way, so figures, CSV output and the Progress
+	// stream are identical for every Jobs value.
+	Jobs int
+	// Progress, if non-nil, receives a line per completed run, in matrix
+	// order; calls are serialized, never concurrent.
 	Progress func(msg string)
 }
 
@@ -35,40 +43,78 @@ func DefaultMatrix() Matrix {
 	}
 }
 
-// Run executes the sweep and returns the indexed result set.
-func (m Matrix) Run() (*Set, error) {
-	set := NewSet(nil)
-	runOne := func(name string, sys coherence.Mode, ratio int, adr bool) error {
-		cfg := sim.DefaultConfig(sys, ratio)
-		cfg.ADR = adr
-		cfg.Validate = m.Validate
-		res, err := sim.Run(workloads.MustGet(name, m.Scale), cfg)
-		if err != nil {
-			return err
-		}
-		set.Add(res)
-		if m.Progress != nil {
-			adrTag := ""
-			if adr {
-				adrTag = "+ADR"
-			}
-			m.Progress(fmt.Sprintf("%-9s %-8v%s 1:%-3d cycles=%d", name, sys, adrTag, ratio, res.Cycles))
-		}
-		return nil
+// runSpec identifies one simulation of a sweep.
+type runSpec struct {
+	name  string
+	sys   coherence.Mode
+	ratio int
+	adr   bool
+}
+
+func (s runSpec) tag() string {
+	if s.adr {
+		return "+ADR"
 	}
+	return ""
+}
+
+func (s runSpec) String() string {
+	return fmt.Sprintf("%s/%v%s 1:%d", s.name, s.sys, s.tag(), s.ratio)
+}
+
+// specs expands the matrix into its run list, in the order the results
+// are reported.
+func (m Matrix) specs() []runSpec {
+	var out []runSpec
 	for _, name := range m.Workloads {
 		for _, sys := range m.Systems {
 			for _, ratio := range m.Ratios {
-				if err := runOne(name, sys, ratio, false); err != nil {
-					return nil, err
-				}
+				out = append(out, runSpec{name, sys, ratio, false})
 			}
 			if m.ADR && sys != coherence.FullCoh {
-				if err := runOne(name, sys, 1, true); err != nil {
-					return nil, err
-				}
+				out = append(out, runSpec{name, sys, 1, true})
 			}
 		}
+	}
+	return out
+}
+
+// Run executes the sweep and returns the indexed result set.
+func (m Matrix) Run() (*Set, error) {
+	return m.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the sweep
+// stops (in-flight simulations finish, queued ones are skipped) and
+// ctx's error is returned.
+func (m Matrix) RunContext(ctx context.Context) (*Set, error) {
+	specs := m.specs()
+	set := NewSet(nil)
+	err := runner.Run(ctx, m.Jobs, len(specs),
+		func(_ context.Context, i int) (sim.Result, error) {
+			s := specs[i]
+			cfg := sim.DefaultConfig(s.sys, s.ratio)
+			cfg.ADR = s.adr
+			cfg.Validate = m.Validate
+			w, err := workloads.Get(s.name, m.Scale)
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("report: run %v (scale %g): %w", s, m.Scale, err)
+			}
+			res, err := sim.Run(w, cfg)
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("report: run %v (scale %g): %w", s, m.Scale, err)
+			}
+			return res, nil
+		},
+		func(i int, res sim.Result) {
+			set.Add(res)
+			if m.Progress != nil {
+				s := specs[i]
+				m.Progress(fmt.Sprintf("%-9s %-8v%s 1:%-3d cycles=%d", s.name, s.sys, s.tag(), s.ratio, res.Cycles))
+			}
+		})
+	if err != nil {
+		return nil, err
 	}
 	return set, nil
 }
@@ -78,22 +124,51 @@ var NCRTLatencies = []uint64{1, 2, 3, 5, 10}
 
 // RunNCRTSweep measures RaCCD cycles at each NCRT lookup latency.
 func (m Matrix) RunNCRTSweep() (map[uint64]map[string]uint64, error) {
-	out := make(map[uint64]map[string]uint64)
+	return m.RunNCRTSweepContext(context.Background())
+}
+
+// RunNCRTSweepContext is RunNCRTSweep with cancellation, parallelized
+// across m.Jobs workers with deterministic reporting order.
+func (m Matrix) RunNCRTSweepContext(ctx context.Context) (map[uint64]map[string]uint64, error) {
+	type ncrtSpec struct {
+		lat  uint64
+		name string
+	}
+	var specs []ncrtSpec
 	for _, lat := range NCRTLatencies {
-		out[lat] = make(map[string]uint64)
 		for _, name := range m.Workloads {
-			cfg := sim.DefaultConfig(coherence.RaCCD, 1)
-			cfg.Params.NCRTLookupCycles = lat
-			cfg.Validate = m.Validate
-			res, err := sim.Run(workloads.MustGet(name, m.Scale), cfg)
-			if err != nil {
-				return nil, err
-			}
-			out[lat][name] = res.Cycles
-			if m.Progress != nil {
-				m.Progress(fmt.Sprintf("%-9s RaCCD ncrt=%d cycles=%d", name, lat, res.Cycles))
-			}
+			specs = append(specs, ncrtSpec{lat, name})
 		}
+	}
+	out := make(map[uint64]map[string]uint64, len(NCRTLatencies))
+	err := runner.Run(ctx, m.Jobs, len(specs),
+		func(_ context.Context, i int) (sim.Result, error) {
+			s := specs[i]
+			cfg := sim.DefaultConfig(coherence.RaCCD, 1)
+			cfg.Params.NCRTLookupCycles = s.lat
+			cfg.Validate = m.Validate
+			w, err := workloads.Get(s.name, m.Scale)
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("report: run %s/RaCCD 1:1 ncrt=%d (scale %g): %w", s.name, s.lat, m.Scale, err)
+			}
+			res, err := sim.Run(w, cfg)
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("report: run %s/RaCCD 1:1 ncrt=%d (scale %g): %w", s.name, s.lat, m.Scale, err)
+			}
+			return res, nil
+		},
+		func(i int, res sim.Result) {
+			s := specs[i]
+			if out[s.lat] == nil {
+				out[s.lat] = make(map[string]uint64, len(m.Workloads))
+			}
+			out[s.lat][s.name] = res.Cycles
+			if m.Progress != nil {
+				m.Progress(fmt.Sprintf("%-9s RaCCD ncrt=%d cycles=%d", s.name, s.lat, res.Cycles))
+			}
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

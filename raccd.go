@@ -31,6 +31,7 @@
 package raccd
 
 import (
+	"context"
 	"fmt"
 
 	"raccd/internal/coherence"
@@ -182,8 +183,13 @@ func NewSweep(scale float64) Matrix {
 	return m
 }
 
-// RunSweep executes a matrix and indexes the results.
+// RunSweep executes a matrix and indexes the results. Set m.Jobs to
+// parallelize across CPUs; the result set is identical either way.
 func RunSweep(m Matrix) (*ResultSet, error) { return m.Run() }
+
+// RunSweepContext is RunSweep with cancellation: when ctx is cancelled
+// the sweep stops and ctx's error is returned.
+func RunSweepContext(ctx context.Context, m Matrix) (*ResultSet, error) { return m.RunContext(ctx) }
 
 // Table3 regenerates the paper's Table III (directory size and area).
 func Table3() string { return report.Table3() }
