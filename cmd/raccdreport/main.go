@@ -11,43 +11,68 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"raccd/internal/report"
 )
 
-func main() {
+// run parses args and performs the comparison, writing the diff to stdout
+// and diagnostics to stderr. It returns the process exit code: 0 when the
+// sweeps match within tolerance, 1 when differences exist, 2 on usage or
+// input errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("raccdreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		oldPath = flag.String("old", "", "baseline CSV (required)")
-		newPath = flag.String("new", "", "candidate CSV (required)")
-		tol     = flag.Float64("tol", 0.01, "relative tolerance before a change is reported")
+		oldPath = fs.String("old", "", "baseline CSV (required)")
+		newPath = fs.String("new", "", "candidate CSV (required)")
+		tol     = fs.Float64("tol", 0.01, "relative tolerance before a change is reported")
 	)
-	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "raccdreport: -old and -new are required")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	load := func(path string) *report.Set {
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(stderr, "raccdreport: -old and -new are required")
+		fs.Usage()
+		return 2
+	}
+	load := func(path string) (*report.Set, error) {
 		f, err := os.Open(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "raccdreport:", err)
-			os.Exit(2)
+			return nil, err
 		}
 		defer f.Close()
 		set, err := report.ParseCSV(f)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "raccdreport: %s: %v\n", path, err)
-			os.Exit(2)
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		return set
+		return set, nil
 	}
-	oldSet := load(*oldPath)
-	newSet := load(*newPath)
+	oldSet, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "raccdreport:", err)
+		return 2
+	}
+	newSet, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "raccdreport:", err)
+		return 2
+	}
 	diffs := report.Diff(oldSet, newSet, *tol)
-	fmt.Print(report.FormatDiff(diffs))
+	fmt.Fprint(stdout, report.FormatDiff(diffs))
 	if len(diffs) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

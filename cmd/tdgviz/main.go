@@ -6,8 +6,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"raccd"
@@ -15,27 +17,41 @@ import (
 	"raccd/internal/workloads"
 )
 
-func main() {
+// run parses args and writes the DOT graph to stdout, statistics and
+// diagnostics to stderr. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tdgviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench = flag.String("bench", "Cholesky", "benchmark (see raccdsim -list)")
-		scale = flag.Float64("scale", 0.4, "problem scale (small keeps graphs readable)")
-		stats = flag.Bool("stats", false, "print graph statistics to stderr")
+		bench = fs.String("bench", "Cholesky", "benchmark (see raccdsim -list)")
+		scale = fs.Float64("scale", 0.4, "problem scale (small keeps graphs readable)")
+		stats = fs.Bool("stats", false, "print graph statistics to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	w, err := workloads.Get(*bench, *scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tdgviz:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tdgviz:", err)
+		return 2
 	}
 	g := raccd.NewTaskGraph()
 	w.Build(g)
 	if *stats {
-		fmt.Fprintf(os.Stderr, "%s: %d tasks, %d edges, critical path %d\n",
+		fmt.Fprintf(stderr, "%s: %d tasks, %d edges, critical path %d\n",
 			*bench, g.NumTasks(), g.NumEdges(), g.CriticalPathLen())
 	}
-	if err := rts.WriteDOT(os.Stdout, g, *bench); err != nil {
-		fmt.Fprintln(os.Stderr, "tdgviz:", err)
-		os.Exit(1)
+	if err := rts.WriteDOT(stdout, g, *bench); err != nil {
+		fmt.Fprintln(stderr, "tdgviz:", err)
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

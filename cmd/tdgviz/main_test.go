@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runViz(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestWritesDOTGraph(t *testing.T) {
+	code, stdout, _ := runViz(t, "-bench", "Jacobi", "-scale", "0.1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"digraph", "Jacobi", "->", "}"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, head(stdout))
+		}
+	}
+}
+
+func TestStatsGoToStderr(t *testing.T) {
+	code, stdout, stderr := runViz(t, "-bench", "Jacobi", "-scale", "0.1", "-stats")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"tasks", "edges", "critical path"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr = %q, want %q", stderr, want)
+		}
+	}
+	// Statistics must not pollute the DOT stream.
+	if strings.Contains(stdout, "critical path") {
+		t.Error("statistics leaked into stdout")
+	}
+}
+
+func TestBadBenchNameExitsTwo(t *testing.T) {
+	code, stdout, stderr := runViz(t, "-bench", "NoSuchBenchmark")
+	if code != 2 {
+		t.Fatalf("unknown benchmark exited %d, want 2", code)
+	}
+	if stdout != "" {
+		t.Errorf("stdout not empty on error: %q", head(stdout))
+	}
+	if !strings.Contains(stderr, "NoSuchBenchmark") {
+		t.Errorf("stderr = %q, want the bad name", stderr)
+	}
+}
+
+func TestUnknownFlagExitsTwo(t *testing.T) {
+	code, _, _ := runViz(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("unknown flag exited %d, want 2", code)
+	}
+}
+
+func head(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "..."
+	}
+	return s
+}

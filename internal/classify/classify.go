@@ -26,60 +26,57 @@ type Flip struct {
 	PrevOwner int
 }
 
-// Classifier tracks the sharing status of every virtual page.
+// Classifier tracks the sharing status of every virtual page in a paged
+// flat state array (see pagestate.go).
 type Classifier struct {
-	owner  map[mem.Page]int // private pages: first-touch core
-	shared map[mem.Page]struct{}
+	states  pageStates
+	private int
+	shared  int
 
 	Stats Stats
 }
 
 // New returns an empty classifier.
-func New() *Classifier {
-	return &Classifier{
-		owner:  make(map[mem.Page]int),
-		shared: make(map[mem.Page]struct{}),
-	}
-}
+func New() *Classifier { return &Classifier{} }
 
 // Access records an access by core to virtual page vp and returns whether
 // the access may proceed non-coherently (page private to this core). When
 // the access flips the page to shared, the flip is returned so the caller
 // can flush the previous owner's cached blocks.
 func (c *Classifier) Access(core int, vp mem.Page) (nonCoherent bool, flip *Flip) {
-	if _, isShared := c.shared[vp]; isShared {
+	switch st := c.states.get(vp); {
+	case st == psShared:
 		return false, nil
-	}
-	owner, seen := c.owner[vp]
-	if !seen {
-		c.owner[vp] = core
+	case st == psUnseen:
+		c.states.set(vp, privateState(core, false))
+		c.private++
 		c.Stats.FirstTouches++
 		return true, nil
-	}
-	if owner == core {
+	case privateOwner(st) == core:
 		return true, nil
+	default:
+		// Second core: page becomes shared, forever.
+		owner := privateOwner(st)
+		c.states.set(vp, psShared)
+		c.private--
+		c.shared++
+		c.Stats.Flips++
+		return false, &Flip{Page: vp, PrevOwner: owner}
 	}
-	// Second core: page becomes shared, forever.
-	delete(c.owner, vp)
-	c.shared[vp] = struct{}{}
-	c.Stats.Flips++
-	return false, &Flip{Page: vp, PrevOwner: owner}
 }
 
 // IsPrivate reports whether vp is currently classified private (to any core).
 func (c *Classifier) IsPrivate(vp mem.Page) bool {
-	_, ok := c.owner[vp]
-	return ok
+	return c.states.get(vp) > psUnseen
 }
 
 // IsShared reports whether vp has flipped to shared.
 func (c *Classifier) IsShared(vp mem.Page) bool {
-	_, ok := c.shared[vp]
-	return ok
+	return c.states.get(vp) == psShared
 }
 
 // PrivatePages returns the number of pages currently classified private.
-func (c *Classifier) PrivatePages() int { return len(c.owner) }
+func (c *Classifier) PrivatePages() int { return c.private }
 
 // SharedPages returns the number of pages classified shared.
-func (c *Classifier) SharedPages() int { return len(c.shared) }
+func (c *Classifier) SharedPages() int { return c.shared }

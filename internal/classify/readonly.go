@@ -15,11 +15,12 @@ import "raccd/internal/mem"
 // blocks: from the previous owner on leaving private, and from every core on
 // leaving sharedRO (copies are untracked, so all private caches must be
 // swept). Once shared, a page never returns, as in PT.
+//
+// Like Classifier, the per-page state lives in a paged flat array: the
+// private owner and its written-to bit are packed into one int32 (see
+// pagestate.go), so the per-access hot path performs no map operations.
 type ROClassifier struct {
-	owner    map[mem.Page]int
-	writable map[mem.Page]bool // private page was written by its owner
-	sharedRO map[mem.Page]struct{}
-	shared   map[mem.Page]struct{}
+	states pageStates
 
 	Stats ROStats
 }
@@ -41,58 +42,47 @@ type ROFlip struct {
 }
 
 // NewRO returns an empty read-only-aware classifier.
-func NewRO() *ROClassifier {
-	return &ROClassifier{
-		owner:    make(map[mem.Page]int),
-		writable: make(map[mem.Page]bool),
-		sharedRO: make(map[mem.Page]struct{}),
-		shared:   make(map[mem.Page]struct{}),
-	}
-}
+func NewRO() *ROClassifier { return &ROClassifier{} }
 
 // Access records an access and returns whether it may proceed non-coherently
 // plus any flush-requiring transition.
 func (c *ROClassifier) Access(core int, vp mem.Page, write bool) (nonCoherent bool, flip *ROFlip) {
-	if _, isShared := c.shared[vp]; isShared {
+	st := c.states.get(vp)
+	switch st {
+	case psShared:
 		return false, nil
-	}
-	if _, isRO := c.sharedRO[vp]; isRO {
+	case psSharedRO:
 		if !write {
 			return true, nil
 		}
 		// A write demotes the page to fully shared; every core may hold
 		// untracked copies.
-		delete(c.sharedRO, vp)
-		c.shared[vp] = struct{}{}
+		c.states.set(vp, psShared)
 		c.Stats.ToShared++
 		c.Stats.WriteDemotion++
 		return false, &ROFlip{Page: vp, PrevOwner: -1}
-	}
-	owner, seen := c.owner[vp]
-	if !seen {
-		c.owner[vp] = core
-		c.writable[vp] = write
+	case psUnseen:
+		c.states.set(vp, privateState(core, write))
 		c.Stats.FirstTouches++
 		return true, nil
 	}
+	owner := privateOwner(st)
 	if owner == core {
-		if write {
-			c.writable[vp] = true
+		if write && st&psWritableBit == 0 {
+			c.states.set(vp, st|psWritableBit)
 		}
 		return true, nil
 	}
 	// Second core touches a private page.
-	delete(c.owner, vp)
-	delete(c.writable, vp)
 	if write {
-		c.shared[vp] = struct{}{}
+		c.states.set(vp, psShared)
 		c.Stats.ToShared++
 		return false, &ROFlip{Page: vp, PrevOwner: owner}
 	}
 	// A read: the page becomes shared read-only and STAYS non-coherent;
 	// the previous owner may hold dirty private copies that must reach
 	// the LLC first.
-	c.sharedRO[vp] = struct{}{}
+	c.states.set(vp, psSharedRO)
 	c.Stats.ToSharedRO++
 	return true, &ROFlip{Page: vp, PrevOwner: owner}
 }
@@ -100,10 +90,10 @@ func (c *ROClassifier) Access(core int, vp mem.Page, write bool) (nonCoherent bo
 // State reporting for tests and statistics.
 
 // IsPrivate reports whether vp is private to some core.
-func (c *ROClassifier) IsPrivate(vp mem.Page) bool { _, ok := c.owner[vp]; return ok }
+func (c *ROClassifier) IsPrivate(vp mem.Page) bool { return c.states.get(vp) > psUnseen }
 
 // IsSharedRO reports whether vp is shared read-only (non-coherent).
-func (c *ROClassifier) IsSharedRO(vp mem.Page) bool { _, ok := c.sharedRO[vp]; return ok }
+func (c *ROClassifier) IsSharedRO(vp mem.Page) bool { return c.states.get(vp) == psSharedRO }
 
 // IsShared reports whether vp is fully shared (coherent).
-func (c *ROClassifier) IsShared(vp mem.Page) bool { _, ok := c.shared[vp]; return ok }
+func (c *ROClassifier) IsShared(vp mem.Page) bool { return c.states.get(vp) == psShared }

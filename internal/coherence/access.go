@@ -72,10 +72,7 @@ func (h *Hierarchy) AccessT(c, tid int, va mem.Addr, write bool, val uint64) (la
 		nonCoh = nc
 	}
 
-	h.blockSeen[b] = struct{}{}
-	if !nonCoh {
-		h.blockCoh[b] = struct{}{}
-	}
+	h.store.Note(b, !nonCoh)
 
 	if nonCoh {
 		h.Stats.NCFills++
@@ -126,7 +123,7 @@ func (h *Hierarchy) writeLine(c int, b mem.Block, ln *cache.Line, val uint64) {
 			lline.Dirty = true
 		} else {
 			// LLC line gone (possible for NC blocks): write memory.
-			h.mem[b] = val
+			h.store.Store(b, val)
 			h.Stats.MemWrites++
 		}
 		ln.Dirty = false
@@ -145,10 +142,14 @@ func (h *Hierarchy) upgrade(c int, b mem.Block) (latency uint64) {
 	entry, ok := h.dir.Lookup(b)
 	latency += h.Params.LLCCycles // directory bank access
 	if !ok {
-		// Sharer state lost (e.g. resize drop handled lazily): treat as
-		// a fresh allocation.
-		latency += h.dirAllocate(c, b)
-		entry, _ = h.dir.Peek(b)
+		// Sharer state lost (e.g. an ADR resize dropped the entry while
+		// this core still held the line in S): treat as a fresh
+		// allocation. dirAllocate always returns the installed entry, so
+		// the sharer walk below cannot dereference nil even when the
+		// allocation itself had to evict a victim.
+		var lat uint64
+		lat, entry = h.dirAllocate(c, b)
+		latency += lat
 	}
 	var worst uint64
 	entry.EachSharer(func(s int) {

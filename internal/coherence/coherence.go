@@ -177,7 +177,10 @@ type Hierarchy struct {
 	llc  []*cache.Cache // one bank per tile
 	dir  *directory.Directory
 	mesh *noc.Mesh
-	mem  map[mem.Block]uint64 // physical block → last writer value
+	// store holds the physical memory image (block → last writer value)
+	// and the per-block seen/coherent bit-sets behind Fig 2, in paged
+	// flat arrays — the per-access hot path never touches a map.
+	store *mem.BlockStore
 
 	pageTable    *vm.PageTable
 	mmus         []*vm.MMU
@@ -185,11 +188,6 @@ type Hierarchy struct {
 	classifier   *classify.Classifier
 	roClassifier *classify.ROClassifier
 	adr          *core.ADR
-
-	// blockSeen / blockCoh drive Fig 2: a block counts as coherent if it
-	// was EVER accessed coherently during the execution.
-	blockSeen map[mem.Block]struct{}
-	blockCoh  map[mem.Block]struct{}
 
 	// adrPeriod drives periodic occupancy-monitor evaluations from the
 	// access stream (the monitor also runs on directory events).
@@ -222,10 +220,8 @@ func New(mode Mode, p Params) *Hierarchy {
 		Mode:      mode,
 		Params:    p,
 		mesh:      noc.NewNet(noc.NewTopology(p.NoCTopology, p.Cores)),
-		mem:       make(map[mem.Block]uint64),
+		store:     mem.NewBlockStore(),
 		pageTable: vm.NewPageTable(p.Contiguity, p.Seed),
-		blockSeen: make(map[mem.Block]struct{}),
-		blockCoh:  make(map[mem.Block]struct{}),
 	}
 	h.dir = directory.New(directory.Config{
 		Banks:       p.Cores,

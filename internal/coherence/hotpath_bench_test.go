@@ -1,0 +1,46 @@
+package coherence
+
+import (
+	"testing"
+
+	"raccd/internal/mem"
+)
+
+// BenchmarkAccessHotPath measures the cost of one simulated memory
+// reference through the full hierarchy, per mode. The address stream mixes
+// L1 hits (re-touching a small working set) with misses (a strided sweep
+// over a larger footprint), roughly matching the hit ratios of the paper
+// workloads, so the benchmark weights the hit fast path and the fill slow
+// path realistically.
+func BenchmarkAccessHotPath(b *testing.B) {
+	for _, mode := range []Mode{FullCoh, PT, RaCCD} {
+		b.Run(mode.String(), func(b *testing.B) {
+			h := New(mode, DefaultParams())
+			const footprint = 1 << 22 // 4 MiB: larger than the LLC
+			if mode == RaCCD {
+				h.RegisterRegion(0, mem.Range{Start: 0, Size: footprint})
+			}
+			var addr mem.Addr
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Three hits in a page-local window, then one strided
+				// miss advancing through the footprint.
+				h.Access(i&3, addr, i&7 == 0, uint64(i))
+				h.Access(i&3, addr+64, false, 0)
+				h.Access(i&3, addr+128, false, 0)
+				addr = (addr + 8*mem.BlockSize) % footprint
+			}
+		})
+	}
+}
+
+// BenchmarkAccessL1Hit isolates the pure hit path: every access after the
+// first hits the same block in the same core's L1.
+func BenchmarkAccessL1Hit(b *testing.B) {
+	h := New(FullCoh, DefaultParams())
+	h.Access(0, 0x1000, false, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, 0x1000, false, 0)
+	}
+}

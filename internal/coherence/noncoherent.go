@@ -35,7 +35,7 @@ func (h *Hierarchy) ncFill(c, tid int, b mem.Block, write bool, val uint64) (lat
 	} else {
 		// LLC miss: non-coherent request to memory.
 		latency += h.Params.MemCycles
-		v = h.mem[b]
+		v = h.store.Load(b)
 		h.Stats.MemReads++
 		victim, nl := h.llc[home].Insert(b)
 		h.handleLLCVictim(home, victim)

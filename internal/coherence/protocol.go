@@ -21,12 +21,19 @@ func (h *Hierarchy) cohFill(c int, b mem.Block, write bool, val uint64) (latency
 	h.noteDirAccess()
 	entry, dirHit := h.dir.Lookup(b)
 	if !dirHit {
-		latency += h.dirAllocate(c, b)
-		entry, _ = h.dir.Peek(b)
+		var lat uint64
+		lat, entry = h.dirAllocate(c, b)
+		latency += lat
 	}
 
-	// §III-E transition non-coherent→coherent: clear the LLC NC flag.
-	if lline, ok := h.llc[home].Peek(b); ok && lline.NC {
+	// One LLC probe serves the whole fill: the NC-flag clear here and the
+	// data read below. No code in between touches this set's replacement
+	// state (writebacks only Peek), so probing early is observationally
+	// identical to the historical Peek-then-Lookup pair.
+	lline, llcHit := h.llc[home].Lookup(b)
+	if llcHit {
+		h.Stats.LLCDemandHits++
+		// §III-E transition non-coherent→coherent: clear the NC flag.
 		lline.NC = false
 	}
 
@@ -88,9 +95,7 @@ func (h *Hierarchy) cohFill(c int, b mem.Block, write bool, val uint64) (latency
 	}
 
 	// Obtain the data from the LLC or memory if no owner forwarded it.
-	lline, llcHit := h.llc[home].Lookup(b)
 	if llcHit {
-		h.Stats.LLCDemandHits++
 		if !haveData {
 			v = lline.Val
 			haveData = true
@@ -103,7 +108,7 @@ func (h *Hierarchy) cohFill(c int, b mem.Block, write bool, val uint64) (latency
 			fillVal = v
 		} else {
 			latency += h.Params.MemCycles
-			fillVal = h.mem[b]
+			fillVal = h.store.Load(b)
 			h.Stats.MemReads++
 			v = fillVal
 			haveData = true
@@ -120,11 +125,11 @@ func (h *Hierarchy) cohFill(c int, b mem.Block, write bool, val uint64) (latency
 	latency += h.mesh.Send(home, c, noc.Data)
 	victim, ln := h.l1[c].Insert(b)
 	latency += h.handleL1Victim(c, victim)
-	// entry may have been invalidated if dirAllocate/handleLLCVictim
-	// recycled it; re-fetch defensively.
-	if e2, ok := h.dir.Peek(b); ok {
-		entry = e2
-	}
+	// entry stays valid throughout: victim processing (dirAllocate,
+	// handleLLCVictim, handleL1Victim) frees or rewrites only OTHER
+	// blocks' slots — b was absent from every structure it is being
+	// installed into, so no victim can alias it — and the entry array is
+	// only reallocated by ADR resizes, which happen between accesses.
 	entry.AddSharer(c)
 	if write {
 		entry.Owner = c
@@ -146,14 +151,15 @@ func (h *Hierarchy) cohFill(c int, b mem.Block, write bool, val uint64) (latency
 
 // dirAllocate installs a directory entry for b, processing the capacity
 // victim per the inclusion rules (invalidate LLC line + recall L1 copies).
-func (h *Hierarchy) dirAllocate(c int, b mem.Block) (latency uint64) {
-	victim, _ := h.dir.Allocate(b)
+// The returned entry is the freshly installed one; it is never nil.
+func (h *Hierarchy) dirAllocate(c int, b mem.Block) (latency uint64, entry *directory.Entry) {
+	victim, entry := h.dir.Allocate(b)
 	if victim.Valid {
 		h.Stats.DirVictimRecalls++
 		h.event(trace.DirRecall, -1, victim.Block, 0)
 		latency += h.processDirVictim(victim)
 	}
-	return latency
+	return latency, entry
 }
 
 // processDirVictim invalidates the victim's LLC line and recalls its L1
@@ -164,7 +170,7 @@ func (h *Hierarchy) processDirVictim(victim directory.Entry) (latency uint64) {
 	latency += h.recallSharers(&victim, home, -1)
 	if lline, ok := h.llc[home].Invalidate(b); ok {
 		if lline.Dirty {
-			h.mem[b] = lline.Val
+			h.store.Store(b, lline.Val)
 			h.Stats.MemWrites++
 			h.mesh.Send(home, home, noc.Data) // memory writeback
 		}
@@ -210,7 +216,7 @@ func (h *Hierarchy) writebackToLLC(c int, b mem.Block, val uint64) {
 		lline.Dirty = true
 		return
 	}
-	h.mem[b] = val
+	h.store.Store(b, val)
 	h.Stats.MemWrites++
 }
 
@@ -270,7 +276,7 @@ func (h *Hierarchy) handleLLCVictim(bank int, victim cache.Line) {
 		}
 	}
 	if dirty {
-		h.mem[b] = val
+		h.store.Store(b, val)
 		h.Stats.MemWrites++
 		h.mesh.Send(bank, bank, noc.Data)
 	}

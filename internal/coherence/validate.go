@@ -24,7 +24,7 @@ func (h *Hierarchy) DrainAll() {
 	for bank := range h.llc {
 		h.llc[bank].Walk(func(ln *cache.Line) {
 			if ln.Dirty {
-				h.mem[ln.Block] = ln.Val
+				h.store.Store(ln.Block, ln.Val)
 				h.Stats.MemWrites++
 			}
 			ln.State = cache.Invalid
@@ -41,16 +41,17 @@ func (h *Hierarchy) VirtValue(va mem.Addr) uint64 {
 		return 0
 	}
 	pa := pp.Addr() | (va & (mem.PageSize - 1))
-	return h.mem[mem.BlockOf(pa)]
+	return h.store.Load(mem.BlockOf(pa))
 }
 
 // NonCoherentFraction returns the Fig 2 metric: the fraction of touched
 // blocks that were never accessed coherently.
 func (h *Hierarchy) NonCoherentFraction() float64 {
-	if len(h.blockSeen) == 0 {
+	seen := h.store.SeenBlocks()
+	if seen == 0 {
 		return 0
 	}
-	return 1 - float64(len(h.blockCoh))/float64(len(h.blockSeen))
+	return 1 - float64(h.store.CoherentBlocks())/float64(seen)
 }
 
 // --- invariant checking (used by tests) ---

@@ -1,0 +1,89 @@
+package mem
+
+import "math/bits"
+
+// BlockStore is a sparse, paged store of per-cache-block simulation state:
+// the memory image (the last writer value of every block) plus the
+// seen/coherent bit-sets that drive the Fig 2 metric. It replaces three
+// map[Block] structures on the simulator's per-access hot path with flat
+// arrays indexed by page, so the common case — a block on an
+// already-touched page — costs one slice index and a shift, no hashing.
+//
+// Pages are allocated lazily on first touch. Because the simulated OS
+// allocates physical pages almost contiguously from a small base (see
+// vm.NewPageTable), the page-indexed directory stays dense and compact.
+// One chunk covers the BlocksPerPage (64) blocks of a page, so each
+// bit-set is a single uint64 word.
+type BlockStore struct {
+	pages PagedDir[blockPage]
+
+	seen int // blocks with the seen bit set, across all pages
+	coh  int // blocks with the coherent bit set
+}
+
+// blockPage holds the state of one physical page's blocks.
+type blockPage struct {
+	vals    [BlocksPerPage]uint64
+	written uint64 // bit i: block i was ever Stored (drives Each)
+	seen    uint64 // bit i: block i of this page was filled into an L1
+	coh     uint64 // bit i: block i was filled coherently at least once
+}
+
+// NewBlockStore returns an empty store.
+func NewBlockStore() *BlockStore { return &BlockStore{} }
+
+// page returns the chunk for block b, allocating it on first touch.
+func (s *BlockStore) page(b Block) *blockPage {
+	return s.pages.GetOrCreate(uint64(b) / BlocksPerPage)
+}
+
+// Load returns the value of block b; untouched blocks read as zero.
+func (s *BlockStore) Load(b Block) uint64 {
+	bp := s.pages.Get(uint64(b) / BlocksPerPage)
+	if bp == nil {
+		return 0
+	}
+	return bp.vals[uint64(b)%BlocksPerPage]
+}
+
+// Store sets the value of block b.
+func (s *BlockStore) Store(b Block, v uint64) {
+	bp := s.page(b)
+	bp.vals[uint64(b)%BlocksPerPage] = v
+	bp.written |= 1 << (uint64(b) % BlocksPerPage)
+}
+
+// Each calls fn for every block that was ever Stored, in ascending block
+// order with its current value.
+func (s *BlockStore) Each(fn func(b Block, v uint64)) {
+	s.pages.Each(func(p uint64, bp *blockPage) {
+		first := p * BlocksPerPage
+		for w := bp.written; w != 0; w &= w - 1 {
+			i := bits.TrailingZeros64(w)
+			fn(Block(first+uint64(i)), bp.vals[i])
+		}
+	})
+}
+
+// Note records an L1 fill of block b: the block is marked seen, and marked
+// coherent when the fill went through the directory. A block is coherent
+// for the Fig 2 metric if it was EVER filled coherently.
+func (s *BlockStore) Note(b Block, coherent bool) {
+	bp := s.page(b)
+	bit := uint64(1) << (uint64(b) % BlocksPerPage)
+	if bp.seen&bit == 0 {
+		bp.seen |= bit
+		s.seen++
+	}
+	if coherent && bp.coh&bit == 0 {
+		bp.coh |= bit
+		s.coh++
+	}
+}
+
+// SeenBlocks returns how many distinct blocks were filled into an L1.
+func (s *BlockStore) SeenBlocks() int { return s.seen }
+
+// CoherentBlocks returns how many distinct blocks were ever filled
+// coherently.
+func (s *BlockStore) CoherentBlocks() int { return s.coh }

@@ -1,0 +1,95 @@
+package mem
+
+import "testing"
+
+func TestBlockStoreLoadStore(t *testing.T) {
+	s := NewBlockStore()
+	if got := s.Load(12345); got != 0 {
+		t.Fatalf("untouched block reads %d, want 0", got)
+	}
+	s.Store(12345, 7)
+	if got := s.Load(12345); got != 7 {
+		t.Fatalf("Load after Store = %d, want 7", got)
+	}
+	// Neighbouring blocks on the same page stay independent.
+	s.Store(12346, 9)
+	if got := s.Load(12345); got != 7 {
+		t.Fatalf("neighbour write clobbered block: got %d, want 7", got)
+	}
+	// Distant pages, including ones far past the current directory.
+	far := Block(1 << 28)
+	s.Store(far, 42)
+	if got := s.Load(far); got != 42 {
+		t.Fatalf("far block = %d, want 42", got)
+	}
+	if got := s.Load(far + BlocksPerPage); got != 0 {
+		t.Fatalf("unallocated far page reads %d, want 0", got)
+	}
+}
+
+func TestBlockStoreZeroValueDistinctFromStoredZero(t *testing.T) {
+	s := NewBlockStore()
+	s.Store(100, 0)
+	if got := s.Load(100); got != 0 {
+		t.Fatalf("stored zero reads %d", got)
+	}
+}
+
+func TestBlockStoreSeenCoherentCounts(t *testing.T) {
+	s := NewBlockStore()
+	s.Note(10, false)
+	s.Note(10, false) // idempotent
+	s.Note(11, true)
+	s.Note(11, true)
+	s.Note(12, false)
+	s.Note(12, true) // later coherent fill upgrades the block
+	if got := s.SeenBlocks(); got != 3 {
+		t.Errorf("SeenBlocks = %d, want 3", got)
+	}
+	if got := s.CoherentBlocks(); got != 2 {
+		t.Errorf("CoherentBlocks = %d, want 2", got)
+	}
+	// Blocks in different pages count independently.
+	s.Note(10+BlocksPerPage*1000, true)
+	if got, want := s.SeenBlocks(), 4; got != want {
+		t.Errorf("SeenBlocks = %d, want %d", got, want)
+	}
+	if got, want := s.CoherentBlocks(), 3; got != want {
+		t.Errorf("CoherentBlocks = %d, want %d", got, want)
+	}
+}
+
+func TestBlockStoreMatchesMapSemantics(t *testing.T) {
+	// Differential test against the map-based structures the store
+	// replaced, over a pseudo-random access pattern.
+	s := NewBlockStore()
+	img := map[Block]uint64{}
+	seen := map[Block]struct{}{}
+	coh := map[Block]struct{}{}
+	x := uint64(1)
+	for i := 0; i < 20000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		b := Block(x % 5000)
+		switch x >> 62 {
+		case 0:
+			v := x >> 32
+			s.Store(b, v)
+			img[b] = v
+		case 1:
+			if got, want := s.Load(b), img[b]; got != want {
+				t.Fatalf("step %d: Load(%d) = %d, want %d", i, b, got, want)
+			}
+		default:
+			c := x&(1<<40) != 0
+			s.Note(b, c)
+			seen[b] = struct{}{}
+			if c {
+				coh[b] = struct{}{}
+			}
+		}
+	}
+	if s.SeenBlocks() != len(seen) || s.CoherentBlocks() != len(coh) {
+		t.Fatalf("counts (%d, %d), want (%d, %d)",
+			s.SeenBlocks(), s.CoherentBlocks(), len(seen), len(coh))
+	}
+}

@@ -1,0 +1,61 @@
+package mem
+
+// PagedDir is a lazily grown directory of per-page values indexed relative
+// to the first index ever touched. Simulated address spaces start at large
+// bases (workload arenas at 0x1000_0000, physical memory at page 16), so
+// base-relative indexing keeps the directory proportional to the footprint
+// rather than to the base address, while a probe stays one bounds check and
+// one slice load — no hashing. The zero value is an empty directory.
+//
+// It is the shared growth engine behind BlockStore, the vm page table, the
+// classify page states and the rts dependence tracker; keep growth-semantics
+// fixes here so every user inherits them.
+type PagedDir[T any] struct {
+	base  uint64
+	slots []*T
+}
+
+// Get returns the value at index i, or nil when the slot was never created.
+func (p *PagedDir[T]) Get(i uint64) *T {
+	if i < p.base || i-p.base >= uint64(len(p.slots)) {
+		return nil
+	}
+	return p.slots[i-p.base]
+}
+
+// GetOrCreate returns the value at index i, allocating the zero value of T
+// (and growing the directory toward i) on first use.
+func (p *PagedDir[T]) GetOrCreate(i uint64) *T {
+	if len(p.slots) == 0 {
+		p.base = i
+		p.slots = make([]*T, 1)
+	}
+	switch {
+	case i < p.base:
+		// Grow downward (rare: a touch below the first-ever index).
+		grown := make([]*T, uint64(len(p.slots))+(p.base-i))
+		copy(grown[p.base-i:], p.slots)
+		p.slots = grown
+		p.base = i
+	case i-p.base >= uint64(len(p.slots)):
+		n := i - p.base + 1
+		grown := make([]*T, n+n/2)
+		copy(grown, p.slots)
+		p.slots = grown
+	}
+	v := p.slots[i-p.base]
+	if v == nil {
+		v = new(T)
+		p.slots[i-p.base] = v
+	}
+	return v
+}
+
+// Each visits every allocated slot in ascending index order.
+func (p *PagedDir[T]) Each(fn func(i uint64, v *T)) {
+	for off, v := range p.slots {
+		if v != nil {
+			fn(p.base+uint64(off), v)
+		}
+	}
+}

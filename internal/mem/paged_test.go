@@ -1,0 +1,56 @@
+package mem
+
+import "testing"
+
+func TestPagedDirGrowUpAndDown(t *testing.T) {
+	var p PagedDir[int]
+	if p.Get(5) != nil {
+		t.Fatal("empty directory returned a slot")
+	}
+	*p.GetOrCreate(100) = 1 // establishes the base
+	*p.GetOrCreate(250) = 2 // grow upward
+	*p.GetOrCreate(40) = 3  // grow downward below the base
+	for _, tc := range []struct {
+		idx  uint64
+		want int
+	}{{100, 1}, {250, 2}, {40, 3}} {
+		v := p.Get(tc.idx)
+		if v == nil || *v != tc.want {
+			t.Fatalf("Get(%d) = %v, want %d", tc.idx, v, tc.want)
+		}
+	}
+	// Untouched indices, including ones inside the grown span and far
+	// outside it, stay nil.
+	for _, idx := range []uint64{0, 39, 41, 99, 170, 251, 1 << 40} {
+		if p.Get(idx) != nil {
+			t.Fatalf("Get(%d) non-nil for untouched index", idx)
+		}
+	}
+	// GetOrCreate must return the SAME allocation on re-access.
+	if p.GetOrCreate(100) != p.Get(100) {
+		t.Fatal("GetOrCreate re-allocated an existing slot")
+	}
+}
+
+func TestPagedDirEachOrderAndCoverage(t *testing.T) {
+	var p PagedDir[int]
+	for _, idx := range []uint64{9000, 20, 500} {
+		*p.GetOrCreate(idx) = int(idx)
+	}
+	var got []uint64
+	p.Each(func(i uint64, v *int) {
+		if int(i) != *v {
+			t.Fatalf("slot %d holds %d", i, *v)
+		}
+		got = append(got, i)
+	})
+	want := []uint64{20, 500, 9000}
+	if len(got) != len(want) {
+		t.Fatalf("Each visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Each visited %v, want ascending %v", got, want)
+		}
+	}
+}

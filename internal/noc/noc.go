@@ -62,6 +62,11 @@ func (s *Stats) TotalByteHops() uint64 { return s.ByteHops[Ctrl] + s.ByteHops[Da
 // Table I — or a ring for the topology ablation).
 type Net struct {
 	topo Topology
+	// hops caches the full tile×tile distance table: Send sits on the
+	// simulator's per-access path, so routing is one table load instead
+	// of an interface call plus XY arithmetic.
+	hops  []uint64
+	tiles int
 	// HopCycles is the per-hop latency: link 1 + router 1 (Table I).
 	HopCycles uint64
 
@@ -76,7 +81,16 @@ type Mesh = Net
 func NewMesh(n int) *Net { return NewNet(NewMeshTopology(n)) }
 
 // NewNet builds a network over an arbitrary topology.
-func NewNet(t Topology) *Net { return &Net{topo: t, HopCycles: 2} }
+func NewNet(t Topology) *Net {
+	n := t.Tiles()
+	hops := make([]uint64, n*n)
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			hops[from*n+to] = t.Hops(from, to)
+		}
+	}
+	return &Net{topo: t, hops: hops, tiles: n, HopCycles: 2}
+}
 
 // Side returns the mesh edge length in tiles (0 for non-mesh topologies).
 func (m *Net) Side() int {
@@ -95,7 +109,7 @@ func (m *Net) Tiles() int { return m.topo.Tiles() }
 // Hops returns the routing hop count between two tiles. A message from a
 // tile to itself still traverses the local router once (1 hop), matching the
 // usual NoC accounting where injection passes one router.
-func (m *Net) Hops(from, to int) uint64 { return m.topo.Hops(from, to) }
+func (m *Net) Hops(from, to int) uint64 { return m.hops[from*m.tiles+to] }
 
 // Send accounts one message of class c from tile `from` to tile `to` and
 // returns its network latency in cycles.

@@ -18,17 +18,28 @@ type Graph struct {
 	tasks []*Task
 	edges uint64
 
-	lastWriter map[mem.Block]*Task
-	readers    map[mem.Block][]*Task
+	// Dependence state per virtual block, in lazily-allocated per-page
+	// chunks indexed by page number relative to the first touched page:
+	// workload arenas are contiguous (but start at a large base address),
+	// so this stays dense, and graph construction — one probe and one
+	// update per block per dependence — performs no map operations.
+	track mem.PagedDir[blockTrack]
+}
+
+// blockTrack holds the last writer and the readers-since of each block of
+// one virtual page.
+type blockTrack struct {
+	lastWriter [mem.BlocksPerPage]*Task
+	readers    [mem.BlocksPerPage][]*Task
+}
+
+// trackFor returns the chunk covering block b, allocating it on first use.
+func (g *Graph) trackFor(b mem.Block) *blockTrack {
+	return g.track.GetOrCreate(uint64(b) / mem.BlocksPerPage)
 }
 
 // NewGraph returns an empty TDG.
-func NewGraph() *Graph {
-	return &Graph{
-		lastWriter: make(map[mem.Block]*Task),
-		readers:    make(map[mem.Block][]*Task),
-	}
-}
+func NewGraph() *Graph { return &Graph{} }
 
 // Tasks returns the created tasks in creation (program) order.
 func (g *Graph) Tasks() []*Task { return g.tasks }
@@ -50,27 +61,28 @@ func (g *Graph) Add(name string, deps []Dep, body Kernel) *Task {
 		seq:      uint64(len(g.tasks)),
 		affinity: -1,
 	}
-	preds := make(map[*Task]struct{})
+	// A predecessor found through several blocks must contribute one edge;
+	// the predOf mark on the predecessor itself replaces a per-Add dedup
+	// map (each task is marked at most once per Add call).
 	addPred := func(p *Task) {
-		if p == nil || p == t {
+		if p == nil || p == t || p.predOf == t {
 			return
 		}
-		if _, dup := preds[p]; dup {
-			return
-		}
-		preds[p] = struct{}{}
+		p.predOf = t
 		p.succs = append(p.succs, t)
 		t.npreds++
 		g.edges++
 	}
 	for _, d := range deps {
 		d.Range.Blocks(func(b mem.Block) bool {
+			tr := g.trackFor(b)
+			i := uint64(b) % mem.BlocksPerPage
 			if d.Mode.Reads() {
-				addPred(g.lastWriter[b])
+				addPred(tr.lastWriter[i])
 			}
 			if d.Mode.Writes() {
-				addPred(g.lastWriter[b])
-				for _, r := range g.readers[b] {
+				addPred(tr.lastWriter[i])
+				for _, r := range tr.readers[i] {
 					addPred(r)
 				}
 			}
@@ -81,12 +93,14 @@ func (g *Graph) Add(name string, deps []Dep, body Kernel) *Task {
 	// depends on itself through an inout range).
 	for _, d := range deps {
 		d.Range.Blocks(func(b mem.Block) bool {
+			tr := g.trackFor(b)
+			i := uint64(b) % mem.BlocksPerPage
 			if d.Mode.Writes() {
-				g.lastWriter[b] = t
-				g.readers[b] = g.readers[b][:0]
+				tr.lastWriter[i] = t
+				tr.readers[i] = tr.readers[i][:0]
 			}
 			if d.Mode.Reads() {
-				g.readers[b] = append(g.readers[b], t)
+				tr.readers[i] = append(tr.readers[i], t)
 			}
 			return true
 		})

@@ -31,8 +31,9 @@ type Ctx struct {
 	// done on the block's elements (intra-block locality folded in).
 	computePerAccess uint64
 	strict           bool
+	lastWriteDep     int // memoized Deps index that covered the last Store
 
-	golden map[mem.Block]uint64 // shared across the run; final writers
+	golden *mem.BlockStore // shared across the run; final writers
 }
 
 // Load reads the block containing va.
@@ -45,21 +46,28 @@ func (c *Ctx) Load(va mem.Addr) {
 // final memory can be validated against the TDG's golden writers.
 func (c *Ctx) Store(va mem.Addr) {
 	if c.strict && len(c.Task.Deps) > 0 {
-		ok := false
-		for _, d := range c.Task.Deps {
-			if d.Mode.Writes() && d.Range.Contains(va) {
-				ok = true
-				break
+		// Stores stream through a range, so the dep that covered the
+		// previous store almost always covers this one too.
+		d := &c.Task.Deps[c.lastWriteDep]
+		if !d.Mode.Writes() || !d.Range.Contains(va) {
+			ok := false
+			for i := range c.Task.Deps {
+				d = &c.Task.Deps[i]
+				if d.Mode.Writes() && d.Range.Contains(va) {
+					c.lastWriteDep = i
+					ok = true
+					break
+				}
 			}
-		}
-		if !ok {
-			panic(fmt.Sprintf("rts: %v stores %#x outside its declared out/inout ranges", c.Task, uint64(va)))
+			if !ok {
+				panic(fmt.Sprintf("rts: %v stores %#x outside its declared out/inout ranges", c.Task, uint64(va)))
+			}
 		}
 	}
 	c.cycles += c.machine.Access(c.Core, va, true, c.Task.ID)
 	c.cycles += c.computePerAccess
 	if c.golden != nil {
-		c.golden[mem.BlockOf(va)] = c.Task.ID
+		c.golden.Store(mem.BlockOf(va), c.Task.ID)
 	}
 }
 
@@ -126,7 +134,10 @@ type Runtime struct {
 
 	Stats Stats
 
-	golden map[mem.Block]uint64
+	// golden tracks the final writer of every stored block in a paged
+	// block store: Ctx.Store updates it on every simulated store, so it
+	// must not be a map (see internal/mem.BlockStore).
+	golden *mem.BlockStore
 }
 
 // NewRuntime returns a runtime with the default overhead costs.
@@ -144,7 +155,7 @@ func NewRuntime(m Machine, cores int, sched Scheduler) *Runtime {
 		MetaBase:            0x0800_0000,
 		StackBase:           0x0C00_0000,
 		StackBlocksPerTask:  24,
-		golden:              make(map[mem.Block]uint64),
+		golden:              mem.NewBlockStore(),
 	}
 }
 
@@ -157,8 +168,21 @@ func (r *Runtime) descAddr(t *Task) mem.Addr {
 func (r *Runtime) queueAddr() mem.Addr { return r.MetaBase }
 
 // Golden returns the final writer per block as actually issued by the
-// executed kernels (block-granular virtual addresses).
-func (r *Runtime) Golden() map[mem.Block]uint64 { return r.golden }
+// executed kernels (block-granular virtual addresses). The map is
+// materialized from the runtime's block store on each call; it is meant for
+// end-of-run validation, not for per-access queries. Prefer EachGolden
+// when a full map is not needed.
+func (r *Runtime) Golden() map[mem.Block]uint64 {
+	out := make(map[mem.Block]uint64)
+	r.golden.Each(func(b mem.Block, v uint64) { out[b] = v })
+	return out
+}
+
+// EachGolden visits every written block and its final writer in ascending
+// block order, without building a map.
+func (r *Runtime) EachGolden(fn func(b mem.Block, id uint64)) {
+	r.golden.Each(fn)
+}
 
 // Run executes the graph to completion and returns the makespan: the largest
 // core clock when the last task finishes. It panics on a deadlocked graph

@@ -66,6 +66,7 @@ type Task struct {
 	done     bool
 	seq      uint64 // creation order, used for FIFO tie-breaks
 	affinity int    // core that produced this task's first input, or -1
+	predOf   *Task  // Graph.Add dedup mark: already a predecessor of this task
 
 	// ReadyTime and EndTime are filled in by the runtime.
 	ReadyTime uint64

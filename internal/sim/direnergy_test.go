@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"raccd/internal/coherence"
+	"raccd/internal/workloads"
+)
+
+// TestDirEnergyPerAccessShrinksWithReduction is the regression test for the
+// directory energy sizing: a 1:N run's per-access directory energy must be
+// charged at the reduced geometry, i.e. shrink as DirRatio grows — NOT stay
+// at the full-size cost. With the sqrt capacity model and E0 = 1 at 1:1,
+// the per-access energy at reduction 1:N is exactly sqrt(1/N).
+func TestDirEnergyPerAccessShrinksWithReduction(t *testing.T) {
+	w := workloads.MustGet("Kmeans", 0.1)
+	prev := math.Inf(1)
+	for _, n := range []int{1, 4, 16, 64, 256} {
+		res, err := Run(w, DefaultConfig(coherence.FullCoh, n))
+		if err != nil {
+			t.Fatalf("1:%d: %v", n, err)
+		}
+		if res.DirAccesses == 0 {
+			t.Fatalf("1:%d: no directory accesses", n)
+		}
+		per := res.DirEnergy / float64(res.DirAccesses)
+		if per >= prev {
+			t.Errorf("1:%d: per-access dir energy %.6f did not shrink (previous ratio: %.6f)", n, per, prev)
+		}
+		if want := math.Sqrt(1 / float64(n)); math.Abs(per-want) > 1e-9 {
+			t.Errorf("1:%d: per-access dir energy %.6f, want sqrt(1/%d) = %.6f (full-size charge would be 1.0)",
+				n, per, n, want)
+		}
+		prev = per
+	}
+}
+
+// TestDirEnergyADRConsistentAnchor checks that the ADR-integrated energy
+// uses the same full-size anchor: an ADR run that never reconfigures away
+// from 1:1 must charge E0 per access, like the plain 1:1 run.
+func TestDirEnergyADRConsistentAnchor(t *testing.T) {
+	w := workloads.MustGet("Jacobi", 0.1)
+	cfg := DefaultConfig(coherence.RaCCD, 1)
+	cfg.ADR = true
+	res, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirAccesses == 0 {
+		t.Fatal("no directory accesses")
+	}
+	per := res.DirEnergy / float64(res.DirAccesses)
+	// ADR shrinks the directory when occupancy is low, so the integrated
+	// per-access energy can only be at or below the 1:1 cost, and must
+	// never exceed the anchor.
+	if per > 1+1e-9 {
+		t.Fatalf("ADR per-access dir energy %.6f exceeds the 1:1 anchor", per)
+	}
+}

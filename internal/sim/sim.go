@@ -107,10 +107,19 @@ func Run(w Workload, cfg Config) (Result, error) {
 	params := cfg.Params.WithDirRatio(cfg.DirRatio)
 
 	h := coherence.New(cfg.System, params)
-	models := energy.Default(
-		energy.DirectorySizeKB(cfg.Params.Cores*cfg.Params.DirSetsPerBank*cfg.Params.DirWays),
-		float64(cfg.Params.Cores*cfg.Params.LLCSetsPerBank*cfg.Params.LLCWays*mem.BlockSize)/1024,
-	)
+	// Directory energy model. The sqrt access-energy curve is anchored at
+	// the 1:1 (unreduced) geometry: E0 is the per-access energy of the
+	// full-size directory. Every access is then charged at the capacity
+	// it actually hit — the DirRatio-reduced size of this run (dirKB,
+	// from the reduced params) for plain runs, or the instantaneous
+	// capacity under ADR — so per-access directory energy shrinks as the
+	// directory shrinks (Fig 7d / Fig 10). Anchoring the curve at the
+	// reduced geometry instead would flatten per-access energy to E0 at
+	// every ratio.
+	fullDirKB := energy.DirectorySizeKB(cfg.Params.Cores * cfg.Params.DirSetsPerBank * cfg.Params.DirWays)
+	dirKB := energy.DirectorySizeKB(params.Cores * params.DirSetsPerBank * params.DirWays)
+	llcKB := float64(params.Cores*params.LLCSetsPerBank*params.LLCWays*mem.BlockSize) / 1024
+	models := energy.Default(fullDirKB, llcKB)
 	var adrCtl *core.ADR
 	if cfg.ADR {
 		if cfg.System == coherence.FullCoh {
@@ -155,11 +164,18 @@ func Run(w Workload, cfg Config) (Result, error) {
 	ncFrac := h.NonCoherentFraction()
 	h.DrainAll()
 	if cfg.Validate {
-		for b, want := range rt.Golden() {
+		var verr error
+		rt.EachGolden(func(b mem.Block, want uint64) {
+			if verr != nil {
+				return
+			}
 			if got := h.VirtValue(b.Addr()); got != want {
-				return Result{}, fmt.Errorf("sim: %s/%v: block %#x final value %d, want task %d",
+				verr = fmt.Errorf("sim: %s/%v: block %#x final value %d, want task %d",
 					w.Name(), cfg.System, uint64(b.Addr()), got, want)
 			}
+		})
+		if verr != nil {
+			return Result{}, verr
 		}
 	}
 
@@ -191,13 +207,19 @@ func Run(w Workload, cfg Config) (Result, error) {
 	if tot := hs.L1Hits + hs.L1Misses; tot > 0 {
 		res.L1HitRatio = float64(hs.L1Hits) / float64(tot)
 	}
-	res.DirKB = energy.DirectorySizeKB(dir.Capacity())
+	// Non-ADR runs are charged at the DirRatio-reduced size for the whole
+	// run; ADR runs integrated their energy access-by-access (weighted)
+	// and report the final capacity.
+	res.DirKB = dirKB
+	if adrCtl != nil {
+		res.DirKB = energy.DirectorySizeKB(dir.Capacity())
+	}
 	usage := energy.Usage{
 		DirAccesses:             dir.Stats.Accesses,
 		DirKB:                   res.DirKB,
 		WeightedDirAccessEnergy: h.DirAccessEnergyWeighted,
 		LLCAccesses:             hs.LLCDemand,
-		LLCKB:                   float64(cfg.Params.Cores*cfg.Params.LLCSetsPerBank*cfg.Params.LLCWays*mem.BlockSize) / 1024,
+		LLCKB:                   llcKB,
 		NoCByteHops:             res.NoCByteHops,
 	}
 	if adrCtl != nil {

@@ -1,0 +1,159 @@
+package vm
+
+import (
+	"testing"
+
+	"raccd/internal/mem"
+)
+
+// refTLB is a straightforward model of the TLB contract (map + recency
+// list, the pre-optimization implementation) used to differentially test
+// the array-based TLB.
+type refTLB struct {
+	capacity int
+	pps      map[mem.Page]mem.Page
+	order    []mem.Page // most recent last
+}
+
+func newRefTLB(capacity int) *refTLB {
+	return &refTLB{capacity: capacity, pps: map[mem.Page]mem.Page{}}
+}
+
+func (r *refTLB) touch(vp mem.Page) {
+	for i, p := range r.order {
+		if p == vp {
+			r.order = append(append(append([]mem.Page{}, r.order[:i]...), r.order[i+1:]...), vp)
+			return
+		}
+	}
+	r.order = append(r.order, vp)
+}
+
+func (r *refTLB) lookup(vp mem.Page) (mem.Page, bool) {
+	pp, ok := r.pps[vp]
+	if ok {
+		r.touch(vp)
+	}
+	return pp, ok
+}
+
+func (r *refTLB) insert(vp, pp mem.Page) (evicted mem.Page, didEvict bool) {
+	if _, ok := r.pps[vp]; !ok && len(r.pps) >= r.capacity {
+		evicted = r.order[0]
+		didEvict = true
+		r.order = r.order[1:]
+		delete(r.pps, evicted)
+	}
+	r.pps[vp] = pp
+	r.touch(vp)
+	return evicted, didEvict
+}
+
+func (r *refTLB) invalidate(vp mem.Page) {
+	if _, ok := r.pps[vp]; !ok {
+		return
+	}
+	delete(r.pps, vp)
+	for i, p := range r.order {
+		if p == vp {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// TestTLBMatchesReferenceLRU drives the array TLB and the reference model
+// with the same pseudo-random operation stream and demands identical hits,
+// contents and eviction decisions — the replacement must be exactly true
+// LRU, or sweep results would drift from the seed simulator's.
+func TestTLBMatchesReferenceLRU(t *testing.T) {
+	tlb := NewTLB(8)
+	ref := newRefTLB(8)
+	x := uint64(99)
+	for i := 0; i < 50000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		vp := mem.Page(x % 24)
+		switch (x >> 33) % 8 {
+		case 0, 1, 2, 3, 4:
+			gotPP, gotHit := tlb.Lookup(vp)
+			wantPP, wantHit := ref.lookup(vp)
+			if gotHit != wantHit || (gotHit && gotPP != wantPP) {
+				t.Fatalf("op %d: Lookup(%d) = (%d,%v), ref (%d,%v)", i, vp, gotPP, gotHit, wantPP, wantHit)
+			}
+		case 5, 6:
+			tlb.Insert(vp, vp+1000)
+			ref.insert(vp, vp+1000)
+		case 7:
+			tlb.Invalidate(vp)
+			ref.invalidate(vp)
+		}
+		if tlb.Len() != len(ref.pps) {
+			t.Fatalf("op %d: Len = %d, ref %d", i, tlb.Len(), len(ref.pps))
+		}
+	}
+}
+
+// TestPageTableSparseHighPages exercises the paged slice far from the
+// origin: arena-style virtual bases must not allocate dense storage from
+// page zero, and lookups across chunk boundaries must stay independent.
+func TestPageTableSparseHighPages(t *testing.T) {
+	pt := NewPageTable(1.0, 1)
+	base := mem.Page(0x10000) // arena base 0x1000_0000 >> PageBits
+	far := mem.Page(1 << 26)
+	p1 := pt.Translate(0, base)
+	p2 := pt.Translate(0, far)
+	if p1 == p2 {
+		t.Fatal("distinct virtual pages mapped to one physical page")
+	}
+	if got, _ := pt.Lookup(base); got != p1 {
+		t.Fatalf("Lookup(base) = %d, want %d", got, p1)
+	}
+	if got, _ := pt.Lookup(far); got != p2 {
+		t.Fatalf("Lookup(far) = %d, want %d", got, p2)
+	}
+	// Neighbours inside the same chunks stay unmapped.
+	for _, vp := range []mem.Page{base - 1, base + 1, far - 1, far + 1, 0} {
+		if _, ok := pt.Lookup(vp); ok {
+			t.Fatalf("page %#x unexpectedly mapped", uint64(vp))
+		}
+	}
+	if pt.Mapped() != 2 {
+		t.Fatalf("Mapped = %d, want 2", pt.Mapped())
+	}
+}
+
+// TestMMUFastPathConsistent checks the last-translation fast path against
+// straight page-table translations, across invalidations that make the
+// cached slot stale.
+func TestMMUFastPathConsistent(t *testing.T) {
+	pt := NewPageTable(1.0, 1)
+	m := NewMMU(0, 4, pt)
+	va := mem.Addr(0x1000_0000)
+	for i := 0; i < 3; i++ { // repeated same-page accesses take the fast path
+		pa, cyc := m.Translate(va + mem.Addr(i*8))
+		if want := pt.TranslateAddr(0, va+mem.Addr(i*8)); pa != want {
+			t.Fatalf("access %d: pa %#x, want %#x", i, pa, want)
+		}
+		if i > 0 && cyc != m.HitCycles {
+			t.Fatalf("access %d: warm cost %d, want %d", i, cyc, m.HitCycles)
+		}
+	}
+	// Invalidate the page behind the MMU's back (a PT flip does this);
+	// the stale fast path must fall back and re-walk.
+	m.TLB.Invalidate(mem.PageOf(va))
+	pa, cyc := m.Translate(va)
+	if want := pt.TranslateAddr(0, va); pa != want {
+		t.Fatalf("post-invalidate pa %#x, want %#x", pa, want)
+	}
+	if cyc != m.HitCycles+m.WalkCycles {
+		t.Fatalf("post-invalidate cost %d, want %d", cyc, m.HitCycles+m.WalkCycles)
+	}
+	// Thrash the TLB so the cached slot is recycled for another page.
+	for p := mem.Page(0); p < 16; p++ {
+		m.TranslatePage(p)
+	}
+	pa, _ = m.Translate(va)
+	if want := pt.TranslateAddr(0, va); pa != want {
+		t.Fatalf("post-thrash pa %#x, want %#x", pa, want)
+	}
+}

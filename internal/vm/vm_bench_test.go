@@ -1,0 +1,61 @@
+package vm
+
+import (
+	"testing"
+
+	"raccd/internal/mem"
+)
+
+// BenchmarkTLB exercises the TLB in its two regimes: a working set that
+// fits (every lookup hits) and one that thrashes (every lookup misses and
+// evicts).
+func BenchmarkTLB(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		t := NewTLB(64)
+		for p := mem.Page(0); p < 64; p++ {
+			t.Insert(p, p+100)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Lookup(mem.Page(i & 63))
+		}
+	})
+	b.Run("miss-evict", func(b *testing.B) {
+		t := NewTLB(64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := mem.Page(i & 1023)
+			if _, hit := t.Lookup(p); !hit {
+				t.Insert(p, p+100)
+			}
+		}
+	})
+}
+
+// BenchmarkPageTableTranslate measures warm translations (post-fault).
+func BenchmarkPageTableTranslate(b *testing.B) {
+	pt := NewPageTable(1.0, 1)
+	for p := mem.Page(0x10000); p < 0x10400; p++ {
+		pt.Translate(0, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Translate(0, mem.Page(0x10000+(i&1023)))
+	}
+}
+
+// BenchmarkMMUTranslate measures the full per-access translation path the
+// simulator takes: page-local streams hit the same translation repeatedly.
+func BenchmarkMMUTranslate(b *testing.B) {
+	pt := NewPageTable(1.0, 1)
+	m := NewMMU(0, 64, pt)
+	var va mem.Addr = 0x1000_0000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Translate(va)
+		va += 64
+		if va >= 0x1000_0000+1<<18 {
+			va = 0x1000_0000
+		}
+	}
+}
