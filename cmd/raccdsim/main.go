@@ -8,6 +8,8 @@
 //	         [-contiguity 1.0]
 //	raccdsim -bench Jacobi,MD5,CG -jobs 3   # several benchmarks, in parallel
 //	raccdsim -bench all                     # every bundled benchmark
+//	raccdsim -trace run.rtf                 # replay a recorded RTF trace
+//	raccdsim -synth chain/seed=7            # a seeded synthetic task graph
 //
 // With more than one benchmark the runs fan out across -jobs workers
 // (default: one per CPU) and results print in the order the benchmarks
@@ -28,13 +30,16 @@ import (
 
 	"raccd"
 	"raccd/internal/runner"
+	"raccd/internal/workloads/synth"
 )
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("raccdsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		bench       = fs.String("bench", "Jacobi", "benchmark name(s), comma-separated, or \"all\" (see -list)")
+		bench       = fs.String("bench", "", "benchmark name(s), comma-separated, or \"all\" (see -list); default Jacobi")
+		tracePaths  = fs.String("trace", "", "RTF trace file(s) to replay, comma-separated (see cmd/raccdtrace)")
+		synthSpecs  = fs.String("synth", "", "synthetic workload spec(s), comma-separated: preset[/key=val]...")
 		system      = fs.String("system", "raccd", "system: fullcoh, pt, ptro, raccd")
 		ratio       = fs.Int("ratio", 1, "directory reduction 1:N (1,2,4,8,16,64,256)")
 		adr         = fs.Bool("adr", false, "enable adaptive directory reduction")
@@ -86,9 +91,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	for _, p := range strings.Split(*tracePaths, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			names = append(names, "trace:"+p)
+		}
+	}
+	for _, s := range strings.Split(*synthSpecs, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			names = append(names, synth.Canonical(s))
+		}
+	}
 	if len(names) == 0 {
-		fmt.Fprintln(stderr, "raccdsim: no benchmark named")
-		return 2
+		names = []string{"Jacobi"}
 	}
 	workloads := make([]raccd.Workload, len(names))
 	for i, n := range names {
@@ -108,6 +122,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg.Contiguity = *contiguity
 	cfg.Validate = !*novalidate
 	cfg.SMTWays = *smt
+	// Reject impossible configurations before any simulation runs.
+	if err := cfg.Check(); err != nil {
+		fmt.Fprintln(stderr, "raccdsim:", err)
+		return 2
+	}
 
 	var enc *json.Encoder
 	if *asJSON {

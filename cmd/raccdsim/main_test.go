@@ -1,7 +1,11 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+
 	"context"
+	"raccd"
 	"strings"
 	"testing"
 )
@@ -62,5 +66,73 @@ func TestMultiBenchOrdered(t *testing.T) {
 	}
 	if md5 > jac {
 		t.Fatal("results printed out of submission order")
+	}
+}
+
+// -synth runs a seeded synthetic workload; -trace replays an RTF file
+// produced by raccdtrace/WriteTrace. Both print like native benchmarks.
+func TestSynthAndTraceFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	code, stdout, stderr := runSim(t, "-synth", "migratory/width=2/depth=4", "-ratio", "16")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "synth:migratory/width=2/depth=4") {
+		t.Fatalf("missing synthetic result block:\n%s", stdout)
+	}
+
+	path := filepath.Join(t.TempDir(), "md5.rtf")
+	w, err := raccd.NewWorkload("MD5", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := raccd.WriteTrace(f, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr = runSim(t, "-trace", path, "-ratio", "16")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "benchmark        MD5") {
+		t.Fatalf("replayed trace should report its recorded name:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "validation       OK") {
+		t.Fatalf("replay must pass golden validation:\n%s", stdout)
+	}
+}
+
+func TestMissingTraceRejected(t *testing.T) {
+	code, _, stderr := runSim(t, "-trace", "/nonexistent.rtf")
+	if code != 2 || !strings.Contains(stderr, "nonexistent") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+// Invalid configurations fail fast with exit 2 and a diagnostic, before
+// any simulation runs.
+func TestInvalidConfigRejectedUpFront(t *testing.T) {
+	for _, args := range [][]string{
+		{"-ratio", "3"},
+		{"-smt", "-1"},
+		{"-sched", "random"},
+		{"-contiguity", "2.0"},
+		{"-adr", "-system", "fullcoh"},
+	} {
+		code, _, stderr := runSim(t, args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr %q)", args, code, stderr)
+		}
+		if stderr == "" {
+			t.Errorf("%v: no diagnostic printed", args)
+		}
 	}
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRecordInfoValidateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jacobi.rtf")
+
+	code, out, errb := runCmd(t, "record", "-bench", "Jacobi", "-scale", "0.05", "-o", path)
+	if code != 0 {
+		t.Fatalf("record exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "Jacobi") || !strings.Contains(out, path) {
+		t.Fatalf("record output: %q", out)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errb = runCmd(t, "info", path)
+	if code != 0 {
+		t.Fatalf("info exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"workload     Jacobi", "version      1", "tasks", "loads", "fingerprint"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("info output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out, _ = runCmd(t, "validate", path)
+	if code != 0 || !strings.Contains(out, "OK") {
+		t.Fatalf("validate: exit %d, %q", code, out)
+	}
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.rtf")
+	if code, _, errb := runCmd(t, "synth", "-spec", "chain/width=2/depth=3", "-o", path); code != 0 {
+		t.Fatal(errb)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCmd(t, "validate", path)
+	if code != 1 || !strings.Contains(out, "INVALID") {
+		t.Fatalf("corrupted file: exit %d, %q", code, out)
+	}
+}
+
+func TestSynthSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.rtf")
+	code, out, errb := runCmd(t, "synth", "-spec", "readonly/width=2/depth=2/shared=32", "-o", path)
+	if code != 0 {
+		t.Fatalf("synth exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "synth:readonly") {
+		t.Fatalf("synth output: %q", out)
+	}
+	code, out, _ = runCmd(t, "validate", path)
+	if code != 0 {
+		t.Fatalf("synth output invalid: %q", out)
+	}
+
+	code, out, _ = runCmd(t, "synth", "-list")
+	if code != 0 {
+		t.Fatal("synth -list failed")
+	}
+	for _, preset := range []string{"chain", "forkjoin", "stencil", "migratory", "readonly", "mixed"} {
+		if !strings.Contains(out, preset) {
+			t.Fatalf("-list missing %q:\n%s", preset, out)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if code, _, _ := runCmd(t); code != 2 {
+		t.Fatal("no args should exit 2")
+	}
+	if code, _, errb := runCmd(t, "frobnicate"); code != 2 || !strings.Contains(errb, "unknown subcommand") {
+		t.Fatalf("exit %d, %q", code, errb)
+	}
+	if code, _, errb := runCmd(t, "record"); code != 2 || !strings.Contains(errb, "-bench") {
+		t.Fatalf("exit %d, %q", code, errb)
+	}
+	if code, _, errb := runCmd(t, "record", "-bench", "NoSuch", "-o", "/dev/null"); code != 1 || !strings.Contains(errb, "unknown benchmark") {
+		t.Fatalf("exit %d, %q", code, errb)
+	}
+	if code, _, errb := runCmd(t, "synth", "-spec", "nosuch"); code != 1 || !strings.Contains(errb, "unknown preset") {
+		t.Fatalf("exit %d, %q", code, errb)
+	}
+	if code, _, _ := runCmd(t, "info"); code != 2 {
+		t.Fatal("info with no files should exit 2")
+	}
+	if code, _, errb := runCmd(t, "info", "/nonexistent.rtf"); code != 1 || errb == "" {
+		t.Fatal("info on a missing file should exit 1 with a message")
+	}
+	if code, stdout, _ := runCmd(t, "help"); code != 0 || !strings.Contains(stdout, "usage") {
+		t.Fatal("help should print usage to stdout")
+	}
+}

@@ -10,6 +10,8 @@
 //	sweep -scale 0.25      # faster, smaller problems
 //	sweep -jobs 8          # run 8 simulations concurrently (0 = all CPUs)
 //	sweep -csv results.csv # also dump raw results
+//	sweep -synth chain/seed=7,stencil   # add synthetic workloads to the matrix
+//	sweep -trace run.rtf   # add a recorded RTF trace to the matrix
 //
 // Simulations fan out across -jobs workers (default: one per CPU) with
 // results — figures, CSV, progress lines — identical to a sequential
@@ -24,9 +26,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"raccd/internal/report"
+	"raccd/internal/workloads/synth"
 )
 
 // figureOrder is every figure the sweep can render, in print order.
@@ -44,6 +48,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		scale   = fs.Float64("scale", 1.0, "problem scale (1.0 = Table II ÷ 16)")
 		jobs    = fs.Int("jobs", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
 		csvPath = fs.String("csv", "", "write raw results as CSV to this file")
+		synths  = fs.String("synth", "", "synthetic workload spec(s) to add to the matrix, comma-separated: preset[/key=val]...")
+		traces  = fs.String("trace", "", "RTF trace file(s) to add to the matrix, comma-separated")
+		only    = fs.Bool("only-extra", false, "run only the -synth/-trace workloads, not the paper set")
 		quiet   = fs.Bool("q", false, "suppress per-run progress")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +91,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	m := report.DefaultMatrix()
 	m.Scale = *scale
 	m.Jobs = *jobs
+	var extra []string
+	for _, s := range strings.Split(*synths, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			extra = append(extra, synth.Canonical(s))
+		}
+	}
+	for _, p := range strings.Split(*traces, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			extra = append(extra, "trace:"+p)
+		}
+	}
+	if *only {
+		if len(extra) == 0 {
+			fmt.Fprintln(stderr, "sweep: -only-extra without -synth or -trace")
+			return 2
+		}
+		m.Workloads = extra
+	} else {
+		m.Workloads = append(m.Workloads, extra...)
+	}
 	if !*quiet {
 		m.Progress = func(msg string) { fmt.Fprintln(stderr, msg) }
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -85,5 +86,39 @@ func TestCancelledContext(t *testing.T) {
 	var out, errw strings.Builder
 	if code := run(ctx, []string{"-scale", "0.05", "-q"}, &out, &errw); code == 0 {
 		t.Fatal("cancelled sweep exited 0")
+	}
+}
+
+// Synthetic workloads and trace files join the matrix via -synth/-trace;
+// -only-extra replaces the paper set.
+func TestSynthAndTraceInMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	code, stdout, stderr := runSweep(t,
+		"-fig", "2", "-only-extra", "-synth", "chain/width=2/depth=4,readonly/width=2/depth=2/shared=16",
+		"-q", "-jobs", "2", "-csv", csv)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"synth:chain/width=2/depth=4", "synth:readonly"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("figure output missing %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "synth:chain/width=2/depth=4,RaCCD") {
+		t.Errorf("CSV missing synthetic rows:\n%s", data)
+	}
+}
+
+func TestOnlyExtraRequiresExtras(t *testing.T) {
+	code, _, stderr := runSweep(t, "-only-extra")
+	if code != 2 || !strings.Contains(stderr, "-only-extra") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
 	}
 }

@@ -1,0 +1,59 @@
+// Tracefile: generate a seeded synthetic workload, serialize it to a
+// portable RTF trace, read it back, and show that the replay is
+// indistinguishable from the generator across coherence schemes — the
+// workflow for sharing reproducible workloads as single files.
+//
+//	go run ./examples/tracefile
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"raccd"
+)
+
+func main() {
+	// A migratory-sharing synthetic workload: 8 token buffers passed
+	// through 16 rounds of inout tasks, with a quarter of the tasks
+	// missing their annotations (the paper's JPEG worst case for RaCCD).
+	w, err := raccd.NewSyntheticWorkload("migratory/seed=7/width=8/depth=16/unannotated=0.25")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serialize it. In real use this buffer would be a file on disk
+	// (cmd/raccdtrace writes the same bytes); an RTF trace replays on any
+	// machine without the generator that made it.
+	var rtf bytes.Buffer
+	if err := raccd.WriteTrace(&rtf, w); err != nil {
+		log.Fatal(err)
+	}
+	replay, err := raccd.ReadTrace(bytes.NewReader(rtf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %q serialized to %d bytes of RTF\n\n", w.Name(), rtf.Len())
+
+	fmt.Println("system    native cycles   replayed cycles   dir accesses (both)")
+	for _, sys := range []raccd.System{raccd.FullCoh, raccd.PT, raccd.RaCCD} {
+		cfg := raccd.DefaultConfig(sys, 16)
+		native, err := raccd.Run(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := raccd.Run(replay, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := "=="
+		if got.Cycles != native.Cycles || got.DirAccesses != native.DirAccesses {
+			match = "MISMATCH"
+		}
+		fmt.Printf("%-8v  %-14d  %-16d  %-10d %s\n",
+			sys, native.Cycles, got.Cycles, got.DirAccesses, match)
+	}
+	fmt.Println("\nThe trace replays cycle-exact under every scheme: a recorded")
+	fmt.Println("workload is a portable, diffable artifact of the evaluation.")
+}

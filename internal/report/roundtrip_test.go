@@ -1,0 +1,88 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"raccd/internal/tracefile"
+	"raccd/internal/workloads"
+)
+
+// TestTraceReplayMatchesSeedGolden is the subsystem's round-trip pin:
+// recording the golden matrix's benchmarks to RTF files and running the
+// sweep from the trace files instead of the native builders must
+// reproduce testdata/golden_small_sweep.csv — the seed simulator's output
+// — byte for byte. Together with tracefile's all-benchmark equivalence
+// test this guarantees record→replay changes nothing observable.
+func TestTraceReplayMatchesSeedGolden(t *testing.T) {
+	dir := t.TempDir()
+	m := smallMatrix()
+	replayNames := make([]string, 0, len(m.Workloads))
+	for _, name := range m.Workloads {
+		w, err := workloads.Get(name, m.Scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := tracefile.Record(w, tracefile.Fingerprint(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".rtf")
+		if err := tracefile.WriteFile(path, tr); err != nil {
+			t.Fatal(err)
+		}
+		replayNames = append(replayNames, "trace:"+path)
+	}
+	m.Workloads = replayNames
+	m.Jobs = 2
+	set, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := set.CSV()
+	want, err := os.ReadFile("testdata/golden_small_sweep.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		gl, wl := splitLines(got), splitLines(string(want))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("trace replay diverged from seed golden at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("trace replay CSV diverged from seed golden: %d lines, want %d", len(gl), len(wl))
+	}
+}
+
+// Synthetic workloads in a sweep are deterministic across -jobs settings:
+// the CSV is byte-identical whether builds and runs happen sequentially or
+// concurrently.
+func TestSynthSweepDeterministicAcrossJobs(t *testing.T) {
+	runWith := func(jobs int) string {
+		m := Matrix{
+			Workloads: []string{
+				"synth:chain/width=3/depth=6/blocks=4",
+				"synth:mixed/width=4/depth=4/blocks=4/shared=32/unannotated=0.3",
+			},
+			Systems:  Systems,
+			Ratios:   []int{1, 16},
+			ADR:      true,
+			Scale:    1.0,
+			Validate: true,
+			Jobs:     jobs,
+		}
+		set, err := m.Run()
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return set.CSV()
+	}
+	want := runWith(1)
+	for _, jobs := range []int{2, 4} {
+		if got := runWith(jobs); got != want {
+			t.Fatalf("jobs=%d produced a different CSV than jobs=1", jobs)
+		}
+	}
+}

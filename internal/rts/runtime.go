@@ -36,6 +36,22 @@ type Ctx struct {
 	golden *mem.BlockStore // shared across the run; final writers
 }
 
+// NewCtx returns an execution context for t bound to machine m on the given
+// core, with no per-access compute cost and no golden tracking. It is the
+// record/replay hook: a trace recorder runs task bodies against a capturing
+// Machine outside the runtime's task life cycle (no scheduling, register,
+// stack or invalidate traffic), observing exactly the accesses the body
+// issues.
+func NewCtx(core int, t *Task, m Machine) *Ctx {
+	return &Ctx{Core: core, Task: t, machine: m}
+}
+
+// Cycles returns the latency accumulated by the context so far: Access
+// returns, per-access compute and explicit Compute calls. On a context from
+// NewCtx (zero-latency machine, no per-access compute) this is exactly the
+// task's pure-Compute total, which is how recorders capture it.
+func (c *Ctx) Cycles() uint64 { return c.cycles }
+
 // Load reads the block containing va.
 func (c *Ctx) Load(va mem.Addr) {
 	c.cycles += c.machine.Access(c.Core, va, false, 0)

@@ -11,6 +11,7 @@ import (
 	"raccd/internal/energy"
 	"raccd/internal/mem"
 	"raccd/internal/rts"
+	"raccd/internal/tracefile"
 )
 
 // Workload is anything that can populate a task graph. The workloads package
@@ -56,6 +57,44 @@ func DefaultConfig(system coherence.Mode, dirRatio int) Config {
 	}
 }
 
+// maxSMTWays bounds the §III-E SMT extension; beyond this the per-core
+// structures the threads share stop resembling the modelled machine.
+const maxSMTWays = 16
+
+// Check reports whether the configuration describes a runnable machine,
+// with a descriptive error when it does not: unknown scheduler policies,
+// directory ratios the directory geometry cannot realize, out-of-range SMT
+// widths and ADR on a system with nothing to deactivate are all rejected
+// here rather than as panics (or silent acceptance) deeper in the run.
+// Run calls it on every configuration; CLIs call it up front to fail
+// before spending simulation time. (The name Validate is taken by the
+// golden-memory-validation field.)
+func (c Config) Check() error {
+	switch c.Scheduler {
+	case "", "fifo", "lifo", "locality":
+	default:
+		return fmt.Errorf("sim: unknown scheduler %q (want fifo, lifo or locality)", c.Scheduler)
+	}
+	params := c.Params
+	if params.Cores == 0 {
+		params = coherence.DefaultParams()
+	}
+	if c.DirRatio < 0 {
+		return fmt.Errorf("sim: negative directory ratio 1:%d", c.DirRatio)
+	}
+	if c.DirRatio > 0 && params.DirSetsPerBank%c.DirRatio != 0 {
+		return fmt.Errorf("sim: directory ratio 1:%d does not divide the %d directory sets per bank (paper configurations: 1, 2, 4, 8, 16, 64, 256)",
+			c.DirRatio, params.DirSetsPerBank)
+	}
+	if c.SMTWays < 0 || c.SMTWays > maxSMTWays {
+		return fmt.Errorf("sim: SMT ways %d out of range [0, %d]", c.SMTWays, maxSMTWays)
+	}
+	if c.ADR && c.System == coherence.FullCoh {
+		return fmt.Errorf("sim: ADR requires a coherence-deactivation system (PT or RaCCD)")
+	}
+	return nil
+}
+
 // Result carries every metric needed to regenerate the paper's figures.
 type Result struct {
 	Workload string
@@ -98,6 +137,9 @@ type Result struct {
 
 // Run executes workload w under cfg and returns the collected metrics.
 func Run(w Workload, cfg Config) (Result, error) {
+	if err := cfg.Check(); err != nil {
+		return Result{}, err
+	}
 	if cfg.Params.Cores == 0 {
 		cfg.Params = coherence.DefaultParams()
 	}
@@ -122,19 +164,10 @@ func Run(w Workload, cfg Config) (Result, error) {
 	models := energy.Default(fullDirKB, llcKB)
 	var adrCtl *core.ADR
 	if cfg.ADR {
-		if cfg.System == coherence.FullCoh {
-			return Result{}, fmt.Errorf("sim: ADR requires a coherence-deactivation system (PT or RaCCD)")
-		}
 		adrCtl = h.EnableADR()
 		h.EnergyPerDirAccess = func(entries int) float64 {
 			return models.Dir.PerAccess(energy.DirectorySizeKB(entries))
 		}
-	}
-
-	switch cfg.Scheduler {
-	case "", "fifo", "lifo", "locality":
-	default:
-		return Result{}, fmt.Errorf("sim: unknown scheduler %q (want fifo, lifo or locality)", cfg.Scheduler)
 	}
 
 	g := rts.NewGraph()
@@ -250,6 +283,14 @@ func (s smtMachine) RegisterRegion(p int, r mem.Range) uint64 {
 
 func (s smtMachine) InvalidateNC(p int) uint64 {
 	return s.h.InvalidateNCT(p/s.ways, p%s.ways)
+}
+
+// RecordTrace captures w as a portable RTF trace: the task graph is built
+// and every task body is dry-run against a capturing machine, so the
+// returned trace replays under any Config exactly like w itself (it
+// satisfies Workload). The fingerprint is stored in the trace header.
+func RecordTrace(w Workload, fingerprint uint64) (*tracefile.Trace, error) {
+	return tracefile.Record(w, fingerprint)
 }
 
 // MustRun is Run that panics on error (benchmarks, examples).

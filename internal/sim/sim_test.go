@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"raccd/internal/coherence"
@@ -286,5 +287,49 @@ func TestResultMetricsPopulated(t *testing.T) {
 	}
 	if res.DirKB <= 0 || res.NoCByteHops == 0 || res.GraphEdges == 0 {
 		t.Fatalf("metrics missing: %+v", res)
+	}
+}
+
+// Config.Check rejects impossible configurations with descriptive errors
+// instead of panicking (bad ratio) or silently accepting (bad SMT).
+func TestConfigCheck(t *testing.T) {
+	ok := DefaultConfig(coherence.RaCCD, 16)
+	if err := ok.Check(); err != nil {
+		t.Fatal(err)
+	}
+	zero := Config{System: coherence.RaCCD} // zero values mean defaults
+	if err := zero.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"unknown scheduler", func(c *Config) { c.Scheduler = "random" }, "scheduler"},
+		{"negative ratio", func(c *Config) { c.DirRatio = -4 }, "ratio"},
+		{"non-divisor ratio", func(c *Config) { c.DirRatio = 3 }, "does not divide"},
+		{"oversized ratio", func(c *Config) { c.DirRatio = 100000 }, "does not divide"},
+		{"negative smt", func(c *Config) { c.SMTWays = -1 }, "SMT"},
+		{"huge smt", func(c *Config) { c.SMTWays = 64 }, "SMT"},
+		{"adr on fullcoh", func(c *Config) { c.System = coherence.FullCoh; c.ADR = true }, "ADR"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(coherence.RaCCD, 1)
+		tc.mut(&cfg)
+		err := cfg.Check()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		// Run must refuse the same configuration without touching the
+		// machine (a panic here would fail the test).
+		if _, rerr := Run(workloads.MustGet("MD5", testScale), cfg); rerr == nil {
+			t.Errorf("%s: Run accepted a config Check rejects", tc.name)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -124,5 +125,112 @@ func TestQuickRingConsistency(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Wraparound rotation: after the ring wraps, Events must start at the
+// oldest retained event for every next-pointer position, including the
+// exact-capacity boundary (filled but not yet wrapped).
+func TestWraparoundRotation(t *testing.T) {
+	for total := 1; total <= 12; total++ {
+		b := New(4)
+		for i := 0; i < total; i++ {
+			b.Record(Event{Time: uint64(i), Kind: Writeback})
+		}
+		evs := b.Events()
+		wantLen := total
+		if wantLen > 4 {
+			wantLen = 4
+		}
+		if len(evs) != wantLen {
+			t.Fatalf("total %d: retained %d, want %d", total, len(evs), wantLen)
+		}
+		for j, e := range evs {
+			if want := uint64(total - wantLen + j); e.Time != want {
+				t.Fatalf("total %d: event %d has time %d, want %d (%v)", total, j, e.Time, want, evs)
+			}
+		}
+		wantDropped := uint64(0)
+		if total > 4 {
+			wantDropped = uint64(total - 4)
+		}
+		if b.Dropped() != wantDropped {
+			t.Fatalf("total %d: dropped %d, want %d", total, b.Dropped(), wantDropped)
+		}
+	}
+}
+
+// Filtered-out events must not advance counters or occupy the ring.
+func TestFilterCountInterplay(t *testing.T) {
+	b := New(4)
+	b.Filter(DirRecall)
+	for i := 0; i < 10; i++ {
+		b.Record(Event{Kind: CohFill})
+		b.Record(Event{Kind: DirRecall})
+	}
+	if b.Count(CohFill) != 0 {
+		t.Fatalf("filtered kind counted %d times", b.Count(CohFill))
+	}
+	if b.Count(DirRecall) != 10 {
+		t.Fatalf("enabled kind counted %d, want 10", b.Count(DirRecall))
+	}
+	if b.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6 (only enabled events enter the ring)", b.Dropped())
+	}
+	for _, e := range b.Events() {
+		if e.Kind != DirRecall {
+			t.Fatalf("filtered event leaked into the ring: %v", e)
+		}
+	}
+}
+
+// The dump must include the dropped line exactly when events fell off.
+func TestWriteTextDroppedLine(t *testing.T) {
+	b := New(2)
+	b.Record(Event{Kind: NCFill})
+	var sb strings.Builder
+	if err := b.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "# dropped") {
+		t.Fatalf("dump claims drops before any happened:\n%s", sb.String())
+	}
+	b.Record(Event{Kind: NCFill})
+	b.Record(Event{Kind: NCFill})
+	sb.Reset()
+	if err := b.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# dropped: 1") {
+		t.Fatalf("dump missing dropped line:\n%s", sb.String())
+	}
+}
+
+// failAfter errors on the nth write, exercising every error return in
+// WriteText (event lines, summary lines, dropped line).
+type failAfter struct{ n int }
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestWriteTextPropagatesErrors(t *testing.T) {
+	b := New(2)
+	b.Record(Event{Kind: PTFlip})
+	b.Record(Event{Kind: ADRResize})
+	b.Record(Event{Kind: ADRResize}) // forces a drop, so all 3 sections print
+	for n := 0; n < 5; n++ {
+		err := b.WriteText(&failAfter{n: n})
+		if n < 5-1 && err == nil {
+			// 2 event lines + 2 summary lines + 1 dropped line = 5 writes.
+			t.Fatalf("write %d: error swallowed", n)
+		}
+	}
+	if err := b.WriteText(&failAfter{n: 5}); err != nil {
+		t.Fatalf("enough capacity but error: %v", err)
 	}
 }

@@ -1,0 +1,283 @@
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"raccd/internal/mem"
+	"raccd/internal/rts"
+)
+
+// Decoder reads an RTF stream task by task. Create with NewDecoder (which
+// consumes and checks the header), call Next until io.EOF, then Close to
+// verify the trailing checksum and that no garbage follows.
+//
+// The decoder is defensive: malformed input of any shape produces a
+// descriptive error, never a panic, and allocations are bounded by the
+// bytes actually present — declared counts are treated as claims, not as
+// allocation sizes.
+type Decoder struct {
+	br  *bufio.Reader
+	h   hash.Hash64
+	hdr Header
+
+	read      int
+	prevStart mem.Addr
+	prevBlock mem.Block
+	one       [1]byte // scratch for hashing single bytes
+}
+
+// NewDecoder reads and validates the RTF header from r.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	d := &Decoder{br: bufio.NewReader(r), h: fnv.New64a()}
+	var m [4]byte
+	if err := d.readFull(m[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("tracefile: bad magic %q (not an RTF file)", m[:])
+	}
+	v, err := d.uvarint("version")
+	if err != nil {
+		return nil, err
+	}
+	if v != Version {
+		return nil, fmt.Errorf("tracefile: unsupported version %d (decoder reads %d)", v, Version)
+	}
+	name, err := d.str("workload name")
+	if err != nil {
+		return nil, err
+	}
+	fp, err := d.uvarint("fingerprint")
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint("task count")
+	if err != nil {
+		return nil, err
+	}
+	// A task record is at least 3 bytes, so any real count fits an int32;
+	// larger claims cannot be backed by input we are willing to read.
+	if n > 1<<31-1 {
+		return nil, fmt.Errorf("tracefile: implausible task count %d", n)
+	}
+	d.hdr = Header{Version: uint32(v), Name: name, Fingerprint: fp, Tasks: int(n)}
+	return d, nil
+}
+
+// Header returns the decoded file header.
+func (d *Decoder) Header() Header { return d.hdr }
+
+// readFull reads exactly len(b) bytes into b and hashes them.
+func (d *Decoder) readFull(b []byte) error {
+	if _, err := io.ReadFull(d.br, b); err != nil {
+		if errors.Is(err, io.EOF) && len(b) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	d.h.Write(b)
+	return nil
+}
+
+// ReadByte reads one byte and hashes it (this makes *Decoder an
+// io.ByteReader, which binary.ReadUvarint consumes).
+func (d *Decoder) ReadByte() (byte, error) {
+	c, err := d.br.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, err
+	}
+	d.one[0] = c
+	d.h.Write(d.one[:])
+	return c, nil
+}
+
+func (d *Decoder) uvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(d)
+	if err != nil {
+		return 0, fmt.Errorf("tracefile: reading %s: %w", what, err)
+	}
+	return v, nil
+}
+
+func (d *Decoder) svarint(what string) (int64, error) {
+	v, err := binary.ReadVarint(d)
+	if err != nil {
+		return 0, fmt.Errorf("tracefile: reading %s: %w", what, err)
+	}
+	return v, nil
+}
+
+func (d *Decoder) str(what string) (string, error) {
+	n, err := d.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > maxNameLen {
+		return "", fmt.Errorf("tracefile: %s is %d bytes, limit %d", what, n, maxNameLen)
+	}
+	buf := make([]byte, n)
+	if err := d.readFull(buf); err != nil {
+		return "", fmt.Errorf("tracefile: reading %s: %w", what, err)
+	}
+	return string(buf), nil
+}
+
+// Next decodes the next task record, or io.EOF after the last one.
+func (d *Decoder) Next() (TaskTrace, error) {
+	if d.read >= d.hdr.Tasks {
+		return TaskTrace{}, io.EOF
+	}
+	var t TaskTrace
+	name, err := d.str(fmt.Sprintf("task %d name", d.read))
+	if err != nil {
+		return t, err
+	}
+	t.Name = name
+	fail := func(format string, args ...any) (TaskTrace, error) {
+		return TaskTrace{}, fmt.Errorf("tracefile: task %d (%s): %s", d.read, name, fmt.Sprintf(format, args...))
+	}
+
+	nd, err := d.uvarint("dep count")
+	if err != nil {
+		return t, err
+	}
+	if nd > 0 {
+		t.Deps = make([]rts.Dep, 0, min(nd, 1024))
+	}
+	for i := uint64(0); i < nd; i++ {
+		mode, err := d.ReadByte()
+		if err != nil {
+			return fail("dep %d mode: %v", i, err)
+		}
+		if rts.DepMode(mode) > rts.InOut {
+			return fail("dep %d: invalid mode %d", i, mode)
+		}
+		delta, err := d.svarint("dep start delta")
+		if err != nil {
+			return fail("dep %d: %v", i, err)
+		}
+		start := int64(d.prevStart) + delta
+		if start < 0 || mem.Addr(start) > MaxAddr {
+			return fail("dep %d: start %d out of the [0, %#x] address bound", i, start, uint64(MaxAddr))
+		}
+		size, err := d.uvarint("dep size")
+		if err != nil {
+			return fail("dep %d: %v", i, err)
+		}
+		r := mem.Range{Start: mem.Addr(start), Size: size}
+		if r.End() < r.Start || r.End() > MaxAddr {
+			return fail("dep %d: range %v exceeds the %#x address bound", i, r, uint64(MaxAddr))
+		}
+		d.prevStart = r.Start
+		t.Deps = append(t.Deps, rts.Dep{Range: r, Mode: rts.DepMode(mode)})
+	}
+
+	no, err := d.uvarint("op count")
+	if err != nil {
+		return t, err
+	}
+	if no > 0 {
+		t.Ops = make([]Op, 0, min(no, 4096))
+	}
+	for i := uint64(0); i < no; i++ {
+		word, err := d.uvarint("op")
+		if err != nil {
+			return fail("op %d: %v", i, err)
+		}
+		switch kind := OpKind(word & 3); kind {
+		case OpLoad, OpStore:
+			b := int64(d.prevBlock) + unzigzag(word>>2)
+			if b < 0 || mem.Block(b) > MaxBlock {
+				return fail("op %d: block %d out of the [0, %#x] block bound", i, b, uint64(MaxBlock))
+			}
+			d.prevBlock = mem.Block(b)
+			t.Ops = append(t.Ops, Op{Kind: kind, Block: mem.Block(b)})
+		case OpCompute:
+			cycles := word >> 2
+			if cycles > MaxComputeCycles {
+				return fail("op %d: %d compute cycles exceed the %d bound", i, cycles, uint64(MaxComputeCycles))
+			}
+			t.Ops = append(t.Ops, Op{Kind: OpCompute, Cycles: cycles})
+		default:
+			return fail("op %d: invalid kind %d", i, kind)
+		}
+	}
+	d.read++
+	return t, nil
+}
+
+// Close verifies that every declared task was read, that the trailing
+// checksum matches, and that nothing follows it.
+func (d *Decoder) Close() error {
+	if d.read != d.hdr.Tasks {
+		return fmt.Errorf("tracefile: close after %d of %d tasks", d.read, d.hdr.Tasks)
+	}
+	want := d.h.Sum64() // snapshot before consuming the (unhashed) checksum
+	var sum [8]byte
+	if _, err := io.ReadFull(d.br, sum[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("tracefile: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(sum[:]); got != want {
+		return fmt.Errorf("tracefile: checksum mismatch: file says %#x, content hashes to %#x", got, want)
+	}
+	if _, err := d.br.ReadByte(); err == nil {
+		return fmt.Errorf("tracefile: trailing data after checksum")
+	} else if !errors.Is(err, io.EOF) {
+		return fmt.Errorf("tracefile: after checksum: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a complete RTF stream into memory, including checksum
+// verification.
+func Decode(r io.Reader) (*Trace, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Header: d.Header()}
+	if d.hdr.Tasks > 0 {
+		tr.Tasks = make([]TaskTrace, 0, min(uint64(d.hdr.Tasks), 1024))
+	}
+	for {
+		t, err := d.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Tasks = append(tr.Tasks, t)
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// ReadFile decodes the RTF file at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (reading %s)", err, path)
+	}
+	return t, nil
+}

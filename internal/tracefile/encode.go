@@ -1,0 +1,206 @@
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"raccd/internal/mem"
+	"raccd/internal/rts"
+)
+
+// magic opens every RTF file.
+var magic = [4]byte{'R', 'T', 'F', '1'}
+
+// zigzag maps signed deltas onto small unsigned varints.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Encoder writes an RTF stream task by task. Create with NewEncoder (which
+// writes the header), call WriteTask exactly Header.Tasks times, then Close
+// (which writes the checksum and flushes). The first error sticks: all
+// later calls return it.
+type Encoder struct {
+	bw  *bufio.Writer
+	h   hash.Hash64
+	hdr Header
+
+	written   int
+	prevStart mem.Addr  // delta base for dependence range starts
+	prevBlock mem.Block // delta base for access blocks
+	closed    bool
+	err       error
+	// scratch backs varint and single-byte writes; without it every
+	// varint's stack buffer escapes through the hash interface and
+	// encoding allocates once per field.
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// NewEncoder writes the RTF header for hdr to w and returns a streaming
+// encoder. hdr.Version 0 means the current version; hdr.Tasks must be the
+// exact number of WriteTask calls to follow.
+func NewEncoder(w io.Writer, hdr Header) (*Encoder, error) {
+	if hdr.Version == 0 {
+		hdr.Version = Version
+	}
+	if hdr.Version != Version {
+		return nil, fmt.Errorf("tracefile: cannot encode version %d (encoder writes %d)", hdr.Version, Version)
+	}
+	if hdr.Tasks < 0 {
+		return nil, fmt.Errorf("tracefile: negative task count %d", hdr.Tasks)
+	}
+	if len(hdr.Name) > maxNameLen {
+		return nil, fmt.Errorf("tracefile: workload name longer than %d bytes", maxNameLen)
+	}
+	e := &Encoder{bw: bufio.NewWriter(w), h: fnv.New64a(), hdr: hdr}
+	e.raw(magic[:])
+	e.uvarint(uint64(hdr.Version))
+	e.str(hdr.Name)
+	e.uvarint(hdr.Fingerprint)
+	e.uvarint(uint64(hdr.Tasks))
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// raw writes bytes to the stream and the running checksum.
+func (e *Encoder) raw(b []byte) {
+	if e.err != nil {
+		return
+	}
+	e.h.Write(b)
+	_, e.err = e.bw.Write(b)
+}
+
+func (e *Encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.raw(e.scratch[:n])
+}
+
+func (e *Encoder) svarint(v int64) {
+	n := binary.PutVarint(e.scratch[:], v)
+	e.raw(e.scratch[:n])
+}
+
+func (e *Encoder) byte(b byte) {
+	e.scratch[0] = b
+	e.raw(e.scratch[:1])
+}
+
+func (e *Encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.raw([]byte(s))
+}
+
+// WriteTask appends one task record, enforcing the format's bounds.
+func (e *Encoder) WriteTask(t TaskTrace) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return fmt.Errorf("tracefile: WriteTask after Close")
+	}
+	fail := func(format string, args ...any) error {
+		e.err = fmt.Errorf("tracefile: task %d (%s): %s", e.written, t.Name, fmt.Sprintf(format, args...))
+		return e.err
+	}
+	if e.written >= e.hdr.Tasks {
+		return fail("more tasks than the header's %d", e.hdr.Tasks)
+	}
+	if len(t.Name) > maxNameLen {
+		return fail("name longer than %d bytes", maxNameLen)
+	}
+	e.str(t.Name)
+	e.uvarint(uint64(len(t.Deps)))
+	for i, d := range t.Deps {
+		if d.Mode > rts.InOut {
+			return fail("dep %d: invalid mode %d", i, d.Mode)
+		}
+		if d.Range.End() < d.Range.Start || d.Range.End() > MaxAddr {
+			return fail("dep %d: range %v exceeds the %#x address bound", i, d.Range, uint64(MaxAddr))
+		}
+		e.byte(byte(d.Mode))
+		e.svarint(int64(d.Range.Start) - int64(e.prevStart))
+		e.prevStart = d.Range.Start
+		e.uvarint(d.Range.Size)
+	}
+	e.uvarint(uint64(len(t.Ops)))
+	for i, op := range t.Ops {
+		switch op.Kind {
+		case OpLoad, OpStore:
+			if op.Block > MaxBlock {
+				return fail("op %d: block %#x exceeds the %#x block bound", i, uint64(op.Block), uint64(MaxBlock))
+			}
+			delta := int64(op.Block) - int64(e.prevBlock)
+			e.prevBlock = op.Block
+			e.uvarint(zigzag(delta)<<2 | uint64(op.Kind))
+		case OpCompute:
+			if op.Cycles > MaxComputeCycles {
+				return fail("op %d: %d compute cycles exceed the %d bound", i, op.Cycles, uint64(MaxComputeCycles))
+			}
+			e.uvarint(op.Cycles<<2 | uint64(OpCompute))
+		default:
+			return fail("op %d: invalid kind %d", i, op.Kind)
+		}
+	}
+	e.written++
+	return e.err
+}
+
+// Close verifies the declared task count, writes the trailing checksum
+// (FNV-1a 64 over every preceding byte, little-endian) and flushes.
+func (e *Encoder) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.written != e.hdr.Tasks {
+		return fmt.Errorf("tracefile: wrote %d tasks, header declared %d", e.written, e.hdr.Tasks)
+	}
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], e.h.Sum64())
+	if _, err := e.bw.Write(sum[:]); err != nil {
+		return err
+	}
+	return e.bw.Flush()
+}
+
+// Encode serializes a whole in-memory trace to w. The header's task count
+// is taken from len(t.Tasks).
+func Encode(w io.Writer, t *Trace) error {
+	hdr := t.Header
+	hdr.Tasks = len(t.Tasks)
+	e, err := NewEncoder(w, hdr)
+	if err != nil {
+		return err
+	}
+	for i := range t.Tasks {
+		if err := e.WriteTask(t.Tasks[i]); err != nil {
+			return err
+		}
+	}
+	return e.Close()
+}
+
+// WriteFile encodes t to path.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, t); err != nil {
+		f.Close()
+		return fmt.Errorf("%w (writing %s)", err, path)
+	}
+	return f.Close()
+}

@@ -1,0 +1,306 @@
+// Package tracefile implements RTF (RaCCD Trace Format), a compact,
+// versioned binary serialization of a complete workload: the task graph
+// (task names and in/out/inout dependence ranges) plus each task's
+// block-granular access stream. A workload recorded to RTF — whether a
+// bundled benchmark, a synthetic task graph or a user program — replays
+// under every coherence scheme, directory ratio, ADR and SMT configuration
+// exactly like a native workload: a decoded *Trace satisfies sim.Workload.
+//
+// The format is a self-describing header followed by per-task records with
+// varint delta encoding (see docs/TRACE_FORMAT.md for the wire layout) and
+// a trailing FNV-1a checksum. Encoding and decoding are streaming: tasks
+// are written and read one at a time, so traces never need to fit in
+// memory twice.
+package tracefile
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"raccd/internal/mem"
+	"raccd/internal/rts"
+)
+
+// Version is the RTF wire version this package reads and writes.
+const Version = 1
+
+const (
+	// MaxAddr bounds every address an RTF v1 file may reference (dependence
+	// range ends and access blocks). The bound keeps replay memory
+	// proportional to the trace: the simulator's page-indexed structures
+	// grow with the address SPAN, so an unbounded trace could demand-
+	// allocate gigabytes from two far-apart pages. 16 GiB of virtual
+	// address space is 64× above the workload arena base.
+	MaxAddr mem.Addr = 1 << 34
+	// MaxBlock is the largest encodable cache-block number.
+	MaxBlock mem.Block = mem.Block(MaxAddr >> mem.BlockBits)
+	// MaxComputeCycles bounds one OpCompute record, keeping replayed task
+	// latencies far from uint64 clock overflow.
+	MaxComputeCycles = 1 << 48
+
+	// maxNameLen bounds workload and task name strings on the wire.
+	maxNameLen = 1 << 16
+	// maxValidateBlocks bounds the dependence-tracking work Validate does.
+	maxValidateBlocks = 1 << 24
+)
+
+// OpKind is the type of one access-stream operation.
+type OpKind uint8
+
+// The three operation kinds of a task's access stream.
+const (
+	// OpLoad is a block-granular read.
+	OpLoad OpKind = iota
+	// OpStore is a block-granular write (the stored value is the task ID,
+	// reproducing the simulator's golden-memory validation).
+	OpStore
+	// OpCompute is pure compute latency with no memory traffic.
+	OpCompute
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpCompute:
+		return "compute"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one operation of a task's access stream.
+type Op struct {
+	Kind OpKind
+	// Block is the accessed cache block (OpLoad, OpStore).
+	Block mem.Block
+	// Cycles is the pure-compute latency (OpCompute).
+	Cycles uint64
+}
+
+// TaskTrace is one task of a serialized workload: its dependence
+// annotations exactly as declared, and the operations its body issues.
+type TaskTrace struct {
+	Name string
+	Deps []rts.Dep
+	Ops  []Op
+}
+
+// Header is the self-describing RTF preamble.
+type Header struct {
+	// Version is the wire version (currently 1).
+	Version uint32
+	// Name is the workload name, reported in figures and CSV rows.
+	Name string
+	// Fingerprint identifies the parameters that produced the trace
+	// (benchmark + scale for recordings, the canonical spec for synthetic
+	// workloads); 0 means unset. Compare fingerprints to tell whether two
+	// trace files claim the same origin.
+	Fingerprint uint64
+	// Tasks is the number of task records in the file.
+	Tasks int
+}
+
+// Trace is a fully decoded (or about-to-be-encoded) workload. A *Trace is
+// a sim.Workload: Build replays the recorded graph and access streams.
+type Trace struct {
+	Header Header
+	Tasks  []TaskTrace
+}
+
+// Name returns the workload name carried in the header.
+func (t *Trace) Name() string { return t.Header.Name }
+
+// Build populates g with the traced task graph. Each task gets the
+// recorded dependence annotations and a body that replays the recorded
+// access stream, so dependence detection, scheduling, register/invalidate
+// traffic and golden-memory validation behave exactly as they would for
+// the original workload.
+func (t *Trace) Build(g *rts.Graph) {
+	for i := range t.Tasks {
+		tt := &t.Tasks[i]
+		var deps []rts.Dep
+		if len(tt.Deps) > 0 {
+			deps = make([]rts.Dep, len(tt.Deps))
+			copy(deps, tt.Deps)
+		}
+		ops := tt.Ops
+		g.Add(tt.Name, deps, func(ctx *rts.Ctx) {
+			for _, op := range ops {
+				switch op.Kind {
+				case OpLoad:
+					ctx.Load(op.Block.Addr())
+				case OpStore:
+					ctx.Store(op.Block.Addr())
+				case OpCompute:
+					ctx.Compute(op.Cycles)
+				}
+			}
+		})
+	}
+}
+
+// Builder is what Record needs from a workload: the same method set as
+// sim.Workload (kept structural here to avoid importing the simulator).
+type Builder interface {
+	Name() string
+	Build(g *rts.Graph)
+}
+
+// Record builds w's task graph and captures every task's access stream by
+// dry-running the task bodies against a capturing machine: no simulation
+// state is involved, so a recording is scheme-independent and
+// deterministic. The fingerprint is stored in the header; use
+// Fingerprint(...) over a canonical parameter string.
+//
+// Access streams are captured at cache-block granularity (the granularity
+// at which the simulated hierarchy operates), and pure-compute cycles are
+// aggregated into one trailing OpCompute — both lossless for simulation
+// results, which depend only on the block sequence and the additive
+// compute total.
+func Record(w Builder, fingerprint uint64) (*Trace, error) {
+	g := rts.NewGraph()
+	w.Build(g)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("tracefile: record %s: %w", w.Name(), err)
+	}
+	tr := &Trace{Header: Header{
+		Version:     Version,
+		Name:        w.Name(),
+		Fingerprint: fingerprint,
+		Tasks:       g.NumTasks(),
+	}}
+	tr.Tasks = make([]TaskTrace, 0, g.NumTasks())
+	for _, t := range g.Tasks() {
+		rec := &opRecorder{}
+		ctx := rts.NewCtx(0, t, rec)
+		if t.Body != nil {
+			t.Body(ctx)
+		}
+		// On a recording context Cycles is exactly the pure-Compute total.
+		if c := ctx.Cycles(); c > 0 {
+			rec.ops = append(rec.ops, Op{Kind: OpCompute, Cycles: c})
+		}
+		tr.Tasks = append(tr.Tasks, TaskTrace{Name: t.Name, Deps: t.Deps, Ops: rec.ops})
+	}
+	return tr, nil
+}
+
+// opRecorder is the capturing rts.Machine behind Record: every access
+// becomes an op, every latency is zero.
+type opRecorder struct{ ops []Op }
+
+func (r *opRecorder) Access(_ int, va mem.Addr, write bool, _ uint64) uint64 {
+	k := OpLoad
+	if write {
+		k = OpStore
+	}
+	r.ops = append(r.ops, Op{Kind: k, Block: mem.BlockOf(va)})
+	return 0
+}
+
+func (r *opRecorder) RegisterRegion(int, mem.Range) uint64 { return 0 }
+func (r *opRecorder) InvalidateNC(int) uint64              { return 0 }
+
+// Fingerprint hashes a canonical parameter string into a header
+// fingerprint (FNV-1a 64).
+func Fingerprint(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Validate checks the trace beyond what decoding enforces: header
+// consistency, per-record bounds (for traces built in memory rather than
+// decoded), a cap on total dependence blocks, and that the replayed task
+// graph is a well-formed DAG.
+func (t *Trace) Validate() error {
+	if t.Header.Version != 0 && t.Header.Version != Version {
+		return fmt.Errorf("tracefile: unsupported version %d", t.Header.Version)
+	}
+	if t.Header.Tasks != len(t.Tasks) {
+		return fmt.Errorf("tracefile: header declares %d tasks, trace has %d", t.Header.Tasks, len(t.Tasks))
+	}
+	if len(t.Header.Name) > maxNameLen {
+		return fmt.Errorf("tracefile: workload name longer than %d bytes", maxNameLen)
+	}
+	var blocks uint64
+	for i := range t.Tasks {
+		tt := &t.Tasks[i]
+		if len(tt.Name) > maxNameLen {
+			return fmt.Errorf("tracefile: task %d: name longer than %d bytes", i, maxNameLen)
+		}
+		for j, d := range tt.Deps {
+			if d.Mode > rts.InOut {
+				return fmt.Errorf("tracefile: task %d (%s): dep %d: invalid mode %d", i, tt.Name, j, d.Mode)
+			}
+			if d.Range.End() < d.Range.Start || d.Range.End() > MaxAddr {
+				return fmt.Errorf("tracefile: task %d (%s): dep %d: range %v exceeds the %#x address bound",
+					i, tt.Name, j, d.Range, uint64(MaxAddr))
+			}
+			blocks += d.Range.NumBlocks()
+		}
+		if blocks > maxValidateBlocks {
+			return fmt.Errorf("tracefile: more than %d dependence blocks; too large to validate", maxValidateBlocks)
+		}
+		for j, op := range tt.Ops {
+			switch op.Kind {
+			case OpLoad, OpStore:
+				if op.Block > MaxBlock {
+					return fmt.Errorf("tracefile: task %d (%s): op %d: block %#x exceeds the %#x block bound",
+						i, tt.Name, j, uint64(op.Block), uint64(MaxBlock))
+				}
+			case OpCompute:
+				if op.Cycles > MaxComputeCycles {
+					return fmt.Errorf("tracefile: task %d (%s): op %d: %d compute cycles exceed the %d bound",
+						i, tt.Name, j, op.Cycles, uint64(MaxComputeCycles))
+				}
+			default:
+				return fmt.Errorf("tracefile: task %d (%s): op %d: invalid kind %d", i, tt.Name, j, op.Kind)
+			}
+		}
+	}
+	g := rts.NewGraph()
+	t.Build(g)
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("tracefile: %s: %w", t.Name(), err)
+	}
+	return nil
+}
+
+// Stats summarizes a trace for humans (cmd/raccdtrace info).
+type Stats struct {
+	Tasks   int
+	Deps    int
+	Loads   uint64
+	Stores  uint64
+	Compute uint64
+	Edges   uint64
+}
+
+// Summarize counts the trace's contents and, when buildGraph is set, the
+// dependence edges of the replayed TDG.
+func (t *Trace) Summarize(buildGraph bool) Stats {
+	var s Stats
+	s.Tasks = len(t.Tasks)
+	for i := range t.Tasks {
+		s.Deps += len(t.Tasks[i].Deps)
+		for _, op := range t.Tasks[i].Ops {
+			switch op.Kind {
+			case OpLoad:
+				s.Loads++
+			case OpStore:
+				s.Stores++
+			case OpCompute:
+				s.Compute += op.Cycles
+			}
+		}
+	}
+	if buildGraph {
+		g := rts.NewGraph()
+		t.Build(g)
+		s.Edges = g.NumEdges()
+	}
+	return s
+}

@@ -1,0 +1,337 @@
+package tracefile_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"raccd/internal/coherence"
+	"raccd/internal/mem"
+	"raccd/internal/rts"
+	"raccd/internal/sim"
+	"raccd/internal/tracefile"
+	"raccd/internal/workloads"
+)
+
+// allBenchmarks is the paper's nine plus Cholesky.
+func allBenchmarks() []string {
+	return append(workloads.PaperSet(), "Cholesky")
+}
+
+// TestRecordReplayAllBenchmarks is the round-trip fidelity pin: every
+// bundled benchmark, recorded to RTF bytes and decoded back, must produce
+// identical simulation results to the native build, with full golden-memory
+// and invariant validation on.
+func TestRecordReplayAllBenchmarks(t *testing.T) {
+	cfg := sim.DefaultConfig(coherence.RaCCD, 16)
+	for _, name := range allBenchmarks() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := workloads.MustGet(name, 0.04)
+			tr, err := tracefile.Record(w, tracefile.Fingerprint(name+"/0.04"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tracefile.Encode(&buf, tr); err != nil {
+				t.Fatal(err)
+			}
+			dec, err := tracefile.Decode(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(tr.Tasks, dec.Tasks) {
+				t.Fatal("decoded tasks differ from recorded tasks")
+			}
+			if dec.Header.Name != name || dec.Header.Fingerprint != tr.Header.Fingerprint {
+				t.Fatalf("header mangled: %+v", dec.Header)
+			}
+
+			native, err := sim.Run(w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replay, err := sim.Run(dec, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, native, replay)
+		})
+	}
+}
+
+// compareResults checks every externally observable metric.
+func compareResults(t *testing.T, a, b sim.Result) {
+	t.Helper()
+	type metrics struct {
+		Workload                                         string
+		Cycles, DirAccesses, NoCByteHops                 uint64
+		LLCHitRatio, DirEnergy, DirOccupancy, NCFraction float64
+		L1HitRatio                                       float64
+		L1Writebacks, MemReads, MemWrites                uint64
+		TasksRun, GraphEdges                             uint64
+	}
+	ma := metrics{a.Workload, a.Cycles, a.DirAccesses, a.NoCByteHops, a.LLCHitRatio, a.DirEnergy,
+		a.DirOccupancy, a.NCFraction, a.L1HitRatio, a.L1Writebacks, a.MemReads, a.MemWrites, a.TasksRun, a.GraphEdges}
+	mb := metrics{b.Workload, b.Cycles, b.DirAccesses, b.NoCByteHops, b.LLCHitRatio, b.DirEnergy,
+		b.DirOccupancy, b.NCFraction, b.L1HitRatio, b.L1Writebacks, b.MemReads, b.MemWrites, b.TasksRun, b.GraphEdges}
+	if ma != mb {
+		t.Fatalf("replay diverged from native run:\nnative: %+v\nreplay: %+v", ma, mb)
+	}
+}
+
+// Recording is deterministic: two recordings of the same workload encode
+// to identical bytes.
+func TestRecordDeterministic(t *testing.T) {
+	enc := func() []byte {
+		tr, err := tracefile.Record(workloads.MustGet("Histo", 0.05), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tracefile.Encode(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(enc(), enc()) {
+		t.Fatal("two recordings of the same workload produced different bytes")
+	}
+}
+
+func smallTrace() *tracefile.Trace {
+	return &tracefile.Trace{
+		Header: tracefile.Header{Name: "tiny", Fingerprint: 42, Tasks: 2},
+		Tasks: []tracefile.TaskTrace{
+			{
+				Name: "produce",
+				Deps: []rts.Dep{{Range: mem.Range{Start: 0x1000_0000, Size: 256}, Mode: rts.Out}},
+				Ops: []tracefile.Op{
+					{Kind: tracefile.OpStore, Block: 0x1000_0000 / mem.BlockSize},
+					{Kind: tracefile.OpStore, Block: 0x1000_0000/mem.BlockSize + 1},
+					{Kind: tracefile.OpCompute, Cycles: 99},
+				},
+			},
+			{
+				Name: "consume",
+				Deps: []rts.Dep{{Range: mem.Range{Start: 0x1000_0000, Size: 256}, Mode: rts.In}},
+				Ops: []tracefile.Op{
+					{Kind: tracefile.OpLoad, Block: 0x1000_0000 / mem.BlockSize},
+				},
+			},
+		},
+	}
+}
+
+// The streaming API writes the same bytes as the convenience API and reads
+// them back task by task.
+func TestStreamingEncodeDecode(t *testing.T) {
+	tr := smallTrace()
+	var whole bytes.Buffer
+	if err := tracefile.Encode(&whole, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed bytes.Buffer
+	e, err := tracefile.NewEncoder(&streamed, tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range tr.Tasks {
+		if err := e.WriteTask(tt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), streamed.Bytes()) {
+		t.Fatal("streaming encoder bytes differ from Encode")
+	}
+
+	d, err := tracefile.NewDecoder(bytes.NewReader(streamed.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := d.Header(); h.Name != "tiny" || h.Tasks != 2 || h.Fingerprint != 42 {
+		t.Fatalf("header = %+v", h)
+	}
+	var got []tracefile.TaskTrace
+	for {
+		tt, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tt)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr.Tasks) {
+		t.Fatalf("streamed tasks differ:\n got %+v\nwant %+v", got, tr.Tasks)
+	}
+}
+
+func TestEncoderErrors(t *testing.T) {
+	tr := smallTrace()
+
+	// Declared count enforced both ways.
+	var buf bytes.Buffer
+	e, err := tracefile.NewEncoder(&buf, tracefile.Header{Name: "n", Tasks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteTask(tr.Tasks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteTask(tr.Tasks[1]); err == nil {
+		t.Fatal("WriteTask beyond the declared count must fail")
+	}
+	e, _ = tracefile.NewEncoder(&buf, tracefile.Header{Name: "n", Tasks: 2})
+	_ = e.WriteTask(tr.Tasks[0])
+	if err := e.Close(); err == nil || !strings.Contains(err.Error(), "declared") {
+		t.Fatalf("Close with missing tasks: %v", err)
+	}
+
+	// Bounds.
+	e, _ = tracefile.NewEncoder(io.Discard, tracefile.Header{Name: "n", Tasks: 1})
+	bad := tracefile.TaskTrace{Name: "t", Deps: []rts.Dep{{Range: mem.Range{Start: tracefile.MaxAddr, Size: 64}}}}
+	if err := e.WriteTask(bad); err == nil || !strings.Contains(err.Error(), "address bound") {
+		t.Fatalf("out-of-bounds dep: %v", err)
+	}
+	e, _ = tracefile.NewEncoder(io.Discard, tracefile.Header{Name: "n", Tasks: 1})
+	bad = tracefile.TaskTrace{Name: "t", Ops: []tracefile.Op{{Kind: tracefile.OpLoad, Block: tracefile.MaxBlock + 1}}}
+	if err := e.WriteTask(bad); err == nil || !strings.Contains(err.Error(), "block bound") {
+		t.Fatalf("out-of-bounds block: %v", err)
+	}
+	e, _ = tracefile.NewEncoder(io.Discard, tracefile.Header{Name: "n", Tasks: 1})
+	bad = tracefile.TaskTrace{Name: "t", Deps: []rts.Dep{{Range: mem.Range{Start: 0, Size: 64}, Mode: 9}}}
+	if err := e.WriteTask(bad); err == nil || !strings.Contains(err.Error(), "mode") {
+		t.Fatalf("invalid mode: %v", err)
+	}
+
+	if _, err := tracefile.NewEncoder(io.Discard, tracefile.Header{Version: 99}); err == nil {
+		t.Fatal("future version must be rejected")
+	}
+}
+
+// corrupt returns a copy of b with byte i xored.
+func corrupt(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0x40
+	return out
+}
+
+func TestDecoderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tracefile.Encode(&buf, smallTrace()); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	check := func(name string, data []byte, want string) {
+		t.Helper()
+		_, err := tracefile.Decode(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("%s: decode succeeded", name)
+		}
+		if want != "" && !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, want)
+		}
+	}
+
+	check("empty", nil, "magic")
+	check("bad magic", corrupt(valid, 0), "magic")
+	check("bad version", corrupt(valid, 4), "version")
+	check("truncated", valid[:len(valid)-9], "")
+	check("checksum flipped", corrupt(valid, len(valid)-1), "checksum")
+	check("body flipped", corrupt(valid, len(valid)-12), "")
+	check("trailing data", append(append([]byte(nil), valid...), 0), "trailing")
+
+	// A header claiming a huge task count backed by no data errors without
+	// allocating for the claim.
+	huge := []byte{'R', 'T', 'F', '1', 1, 1, 'x', 0}
+	huge = append(huge, binary.AppendUvarint(nil, 1<<40)...)
+	check("implausible task count", withChecksum(huge), "implausible")
+}
+
+// withChecksum appends the FNV-1a trailer the decoder expects.
+func withChecksum(body []byte) []byte {
+	h := fnv.New64a()
+	h.Write(body)
+	return binary.LittleEndian.AppendUint64(append([]byte(nil), body...), h.Sum64())
+}
+
+func TestValidate(t *testing.T) {
+	tr := smallTrace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := smallTrace()
+	bad.Header.Tasks = 5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("task-count mismatch must fail validation")
+	}
+	bad = smallTrace()
+	bad.Tasks[0].Deps[0].Mode = 7
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "mode") {
+		t.Fatalf("invalid mode: %v", err)
+	}
+	bad = smallTrace()
+	bad.Tasks[0].Ops[0].Kind = 9
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("invalid kind: %v", err)
+	}
+	bad = smallTrace()
+	bad.Tasks[0].Deps[0].Range.Size = uint64(tracefile.MaxAddr)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("oversized dependence footprint must fail validation")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := smallTrace().Summarize(true)
+	want := tracefile.Stats{Tasks: 2, Deps: 2, Loads: 1, Stores: 2, Compute: 99, Edges: 1}
+	if s != want {
+		t.Fatalf("Summarize = %+v, want %+v", s, want)
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	if tracefile.Fingerprint("a") == tracefile.Fingerprint("b") {
+		t.Fatal("distinct strings should fingerprint differently")
+	}
+	if tracefile.Fingerprint("chain/seed=1") != tracefile.Fingerprint("chain/seed=1") {
+		t.Fatal("fingerprint must be stable")
+	}
+}
+
+// A decoded trace re-encodes to the same bytes: the encoding is canonical.
+func TestCanonicalReencode(t *testing.T) {
+	tr, err := tracefile.Record(workloads.MustGet("Jacobi", 0.04), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := tracefile.Encode(&first, tr); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := tracefile.Decode(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := tracefile.Encode(&second, dec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("re-encoding a decoded trace changed the bytes")
+	}
+}

@@ -1,0 +1,220 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"raccd/internal/mem"
+	"raccd/internal/rts"
+)
+
+// builder holds the state of one Build call: the graph under construction,
+// a private virtual-address arena and the seeded generators. The structure
+// generator (rng) and the annotation-dropping generator (annRng) are
+// separate streams so changing Unannotated never changes the graph shape.
+type builder struct {
+	g      *rts.Graph
+	p      Params
+	rng    *rand.Rand
+	annRng *rand.Rand
+	next   mem.Addr
+}
+
+// arenaBase matches the bundled workloads' arena, far from the runtime's
+// metadata and stack regions.
+const arenaBase mem.Addr = 0x1000_0000
+
+// alloc reserves a page-aligned range of whole cache blocks.
+func (b *builder) alloc(blocks int) mem.Range {
+	if b.next == 0 {
+		b.next = arenaBase
+	}
+	r := mem.Range{Start: b.next, Size: uint64(blocks) * mem.BlockSize}
+	b.next = mem.AlignUp(r.End(), mem.PageSize)
+	return r
+}
+
+// add creates one task. The body always follows the full dependence list —
+// reads then writes then compute — but with probability Unannotated the
+// task is created with NO annotations, so the runtime (and RaCCD) never
+// learns what it touches, exactly like the paper's JPEG tasks.
+func (b *builder) add(name string, deps []rts.Dep) {
+	var blocks uint64
+	for _, d := range deps {
+		blocks += d.Range.NumBlocks()
+	}
+	compute := blocks * uint64(b.p.ComputePerBlock)
+	full := deps
+	body := func(ctx *rts.Ctx) {
+		for _, d := range full {
+			if d.Mode.Reads() {
+				ctx.LoadRange(d.Range)
+			}
+		}
+		for _, d := range full {
+			if d.Mode.Writes() {
+				ctx.StoreRange(d.Range)
+			}
+		}
+		if compute > 0 {
+			ctx.Compute(compute)
+		}
+	}
+	declared := deps
+	if b.annRng.Float64() < b.p.Unannotated {
+		declared = nil
+	}
+	b.g.Add(name, declared, body)
+}
+
+// chain builds Width independent producer–consumer chains of length Depth.
+// Each chain ping-pongs between two buffers, so every task consumes its
+// predecessor's output (RAW) and overwrites the buffer the predecessor
+// read (WAR) — data that streams core to core with no cross-chain sharing.
+func (b *builder) chain() {
+	for w := 0; w < b.p.Width; w++ {
+		cur := b.alloc(b.p.BlocksPerTask)
+		nxt := b.alloc(b.p.BlocksPerTask)
+		for d := 0; d < b.p.Depth; d++ {
+			if d == 0 {
+				b.add(fmt.Sprintf("chain[%d,%d]", w, d),
+					[]rts.Dep{{Range: cur, Mode: rts.Out}})
+				continue
+			}
+			b.add(fmt.Sprintf("chain[%d,%d]", w, d),
+				[]rts.Dep{{Range: cur, Mode: rts.In}, {Range: nxt, Mode: rts.Out}})
+			cur, nxt = nxt, cur
+		}
+	}
+}
+
+// forkjoin builds Depth rounds of fork/join: Width leaves read the
+// previous round's root and write partials, then a binary reduction tree
+// merges pairs until one root remains, which seeds the next round.
+func (b *builder) forkjoin() {
+	var root mem.Range
+	for r := 0; r < b.p.Depth; r++ {
+		level := make([]mem.Range, b.p.Width)
+		for i := range level {
+			level[i] = b.alloc(b.p.BlocksPerTask)
+			deps := []rts.Dep{{Range: level[i], Mode: rts.Out}}
+			if !root.Empty() {
+				deps = append(deps, rts.Dep{Range: root, Mode: rts.In})
+			}
+			b.add(fmt.Sprintf("fork[%d,%d]", r, i), deps)
+		}
+		for lvl := 0; len(level) > 1; lvl++ {
+			var next []mem.Range
+			for i := 0; i < len(level); i += 2 {
+				if i+1 == len(level) {
+					next = append(next, level[i])
+					continue
+				}
+				out := b.alloc(b.p.BlocksPerTask)
+				b.add(fmt.Sprintf("join[%d,%d,%d]", r, lvl, i/2), []rts.Dep{
+					{Range: level[i], Mode: rts.In},
+					{Range: level[i+1], Mode: rts.In},
+					{Range: out, Mode: rts.Out},
+				})
+				next = append(next, out)
+			}
+			level = next
+		}
+		root = level[0]
+	}
+}
+
+// stencil builds a Depth×Width tile grid swept as a wavefront: each tile
+// task updates its own tile (inout) after reading the north and west
+// neighbours, the Gauss-Seidel dependence pattern.
+func (b *builder) stencil() {
+	rows, cols := b.p.Depth, b.p.Width
+	tiles := make([]mem.Range, rows*cols)
+	for i := range tiles {
+		tiles[i] = b.alloc(b.p.BlocksPerTask)
+	}
+	at := func(i, j int) mem.Range { return tiles[i*cols+j] }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			deps := []rts.Dep{{Range: at(i, j), Mode: rts.InOut}}
+			if i > 0 {
+				deps = append(deps, rts.Dep{Range: at(i-1, j), Mode: rts.In})
+			}
+			if j > 0 {
+				deps = append(deps, rts.Dep{Range: at(i, j-1), Mode: rts.In})
+			}
+			b.add(fmt.Sprintf("tile[%d,%d]", i, j), deps)
+		}
+	}
+}
+
+// migratory passes Width token buffers through Depth rounds of inout
+// tasks: each token's tasks serialize, and the scheduler moves them across
+// cores, so the data migrates — the classic migratory sharing pattern that
+// exercises RaCCD's recovery flush every task.
+func (b *builder) migratory() {
+	tokens := make([]mem.Range, b.p.Width)
+	for i := range tokens {
+		tokens[i] = b.alloc(b.p.BlocksPerTask)
+	}
+	for r := 0; r < b.p.Depth; r++ {
+		for k := range tokens {
+			b.add(fmt.Sprintf("hop[%d,%d]", r, k),
+				[]rts.Dep{{Range: tokens[k], Mode: rts.InOut}})
+		}
+	}
+}
+
+// readonly initializes a shared table once, then runs Depth rounds of
+// Width tasks that each stream the whole table and write a private chunk —
+// the KNN pattern where PT-RO and RaCCD diverge.
+func (b *builder) readonly() {
+	shared := b.alloc(b.p.SharedBlocks)
+	b.add("init", []rts.Dep{{Range: shared, Mode: rts.Out}})
+	for r := 0; r < b.p.Depth; r++ {
+		for i := 0; i < b.p.Width; i++ {
+			out := b.alloc(b.p.BlocksPerTask)
+			b.add(fmt.Sprintf("read[%d,%d]", r, i),
+				[]rts.Dep{{Range: shared, Mode: rts.In}, {Range: out, Mode: rts.Out}})
+		}
+	}
+}
+
+// mixed blends the other patterns randomly (seeded): a shared read-only
+// table, a pool of Width ranges picked with random in/out/inout modes, and
+// a private output per task.
+func (b *builder) mixed() {
+	pool := make([]mem.Range, b.p.Width)
+	deps := make([]rts.Dep, 0, len(pool)+1)
+	for i := range pool {
+		pool[i] = b.alloc(b.p.BlocksPerTask)
+		deps = append(deps, rts.Dep{Range: pool[i], Mode: rts.Out})
+	}
+	shared := b.alloc(b.p.SharedBlocks)
+	deps = append(deps, rts.Dep{Range: shared, Mode: rts.Out})
+	b.add("init", deps)
+
+	for t := 0; t < b.p.Width*b.p.Depth; t++ {
+		var deps []rts.Dep
+		if b.rng.Float64() < 0.5 {
+			deps = append(deps, rts.Dep{Range: shared, Mode: rts.In})
+		}
+		n := 1 + b.rng.Intn(2)
+		if n > len(pool) {
+			n = len(pool)
+		}
+		for _, pi := range b.rng.Perm(len(pool))[:n] {
+			mode := rts.In
+			switch b.rng.Intn(4) {
+			case 0:
+				mode = rts.InOut
+			case 1:
+				mode = rts.Out
+			}
+			deps = append(deps, rts.Dep{Range: pool[pi], Mode: mode})
+		}
+		out := b.alloc(1)
+		deps = append(deps, rts.Dep{Range: out, Mode: rts.Out})
+		b.add(fmt.Sprintf("mix[%d]", t), deps)
+	}
+}

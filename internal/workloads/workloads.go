@@ -17,9 +17,12 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"raccd/internal/mem"
 	"raccd/internal/rts"
+	"raccd/internal/tracefile"
+	"raccd/internal/workloads/synth"
 )
 
 // Workload is a named task-graph builder (satisfies sim.Workload).
@@ -124,8 +127,41 @@ func Names() []string {
 	return out
 }
 
-// Get constructs a registered workload by name.
+// TracePrefix routes "trace:<path>" workload names to RTF trace files.
+const TracePrefix = "trace:"
+
+// Get constructs a workload by name. Three namespaces are understood:
+//
+//   - a registered benchmark name ("Jacobi", "MD5", ...), built at the
+//     given problem scale;
+//   - "synth:<preset>[/key=val]..." — a seeded synthetic task graph (see
+//     package synth); scale shrinks or grows its depth;
+//   - "trace:<path>" — an RTF trace file, replayed exactly as recorded
+//     (scale does not apply: the trace's problem size is baked in). The
+//     workload keeps the name stored in the trace header, so replayed
+//     benchmarks land on the same figure rows as native ones.
+//
+// This is the replay hook that lets synthetic suites and trace files join
+// evaluation matrices next to the bundled benchmarks.
 func Get(name string, scale float64) (Workload, error) {
+	if strings.HasPrefix(name, synth.Prefix) {
+		p, err := synth.Parse(name)
+		if err != nil {
+			return Workload{}, err
+		}
+		sw, err := synth.New(p.Scaled(scale))
+		if err != nil {
+			return Workload{}, err
+		}
+		return New(p.Name(), sw.Build), nil
+	}
+	if path, ok := strings.CutPrefix(name, TracePrefix); ok {
+		t, err := tracefile.ReadFile(path)
+		if err != nil {
+			return Workload{}, fmt.Errorf("workloads: %w", err)
+		}
+		return New(t.Name(), t.Build), nil
+	}
 	f, ok := registry[name]
 	if !ok {
 		return Workload{}, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, Names())

@@ -33,13 +33,16 @@ package raccd
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"raccd/internal/coherence"
 	"raccd/internal/mem"
 	"raccd/internal/report"
 	"raccd/internal/rts"
 	"raccd/internal/sim"
+	"raccd/internal/tracefile"
 	"raccd/internal/workloads"
+	"raccd/internal/workloads/synth"
 )
 
 // System selects the coherence scheme of a run.
@@ -127,6 +130,22 @@ func DefaultConfig(system System, dirRatio int) Config {
 	return Config{System: system, DirRatio: dirRatio, Contiguity: 1.0, Validate: true}
 }
 
+// Check reports whether the configuration describes a runnable machine,
+// returning a descriptive error otherwise: unknown scheduler names,
+// directory ratios the geometry cannot realize, out-of-range SMT ways,
+// contiguity outside [0, 1], negative NCRT capacity, and ADR on FullCoh.
+// Run checks every configuration; call it directly to fail fast before a
+// long sweep. (The name Validate is taken by the golden-validation field.)
+func (c Config) Check() error {
+	if c.Contiguity < 0 || c.Contiguity > 1 {
+		return fmt.Errorf("raccd: contiguity %g out of range [0, 1]", c.Contiguity)
+	}
+	if c.NCRTEntries < 0 {
+		return fmt.Errorf("raccd: negative NCRT capacity %d", c.NCRTEntries)
+	}
+	return c.toSim().Check()
+}
+
 func (c Config) toSim() sim.Config {
 	cfg := sim.DefaultConfig(c.System, c.DirRatio)
 	cfg.ADR = c.ADR
@@ -146,8 +165,12 @@ func (c Config) toSim() sim.Config {
 	return cfg
 }
 
-// Run executes workload w under cfg.
+// Run executes workload w under cfg. Invalid configurations fail with a
+// descriptive error before any simulation work (see Config.Check).
 func Run(w Workload, cfg Config) (Result, error) {
+	if err := cfg.Check(); err != nil {
+		return Result{}, err
+	}
 	return sim.Run(w, cfg.toSim())
 }
 
@@ -158,9 +181,11 @@ func Benchmarks() []string { return workloads.Names() }
 // PaperBenchmarks returns the nine benchmarks of the paper's evaluation.
 func PaperBenchmarks() []string { return workloads.PaperSet() }
 
-// NewWorkload constructs a bundled benchmark. scale 1.0 is the Table II
-// problem size divided by 16 (matching the capacity-scaled machine); smaller
-// values shrink the run proportionally.
+// NewWorkload constructs a workload by name: a bundled benchmark
+// ("Jacobi"), a synthetic spec ("synth:chain/seed=7") or an RTF trace file
+// ("trace:run.rtf"). scale 1.0 is the Table II problem size divided by 16
+// (matching the capacity-scaled machine); smaller values shrink the run
+// proportionally (traces ignore scale — their problem size is baked in).
 func NewWorkload(name string, scale float64) (Workload, error) {
 	return workloads.Get(name, scale)
 }
@@ -174,6 +199,41 @@ func NewCustomWorkload(name string, build func(g *TaskGraph)) Workload {
 // NewTaskGraph returns an empty task dependence graph, for inspecting the
 // graph a workload builds without running it.
 func NewTaskGraph() *TaskGraph { return rts.NewGraph() }
+
+// WriteTrace serializes wl as an RTF trace (see docs/TRACE_FORMAT.md): the
+// task graph is built once and every task body is dry-run against a
+// capturing machine, so the trace replays under any Config exactly like wl
+// itself. Any workload works — bundled benchmarks, synthetic graphs and
+// custom NewCustomWorkload programs (as long as their builders are
+// deterministic).
+func WriteTrace(w io.Writer, wl Workload) error {
+	tr, err := sim.RecordTrace(wl, tracefile.Fingerprint(wl.Name()))
+	if err != nil {
+		return err
+	}
+	return tracefile.Encode(w, tr)
+}
+
+// ReadTrace decodes an RTF trace into a runnable workload, verifying the
+// trailing checksum. The workload keeps the name stored in the trace
+// header. Traces are scheme-agnostic: the same file runs under FullCoh,
+// PT, PT-RO and RaCCD at any directory ratio, ADR and SMT setting.
+func ReadTrace(r io.Reader) (Workload, error) {
+	return tracefile.Decode(r)
+}
+
+// NewSyntheticWorkload builds a seeded synthetic task graph from a spec of
+// the form "preset[/key=val]...", e.g. "chain/seed=7/unannotated=0.25"
+// (the "synth:" prefix is optional). See SyntheticPresets for the shapes.
+// Generation is deterministic: the same spec always yields the same graph.
+func NewSyntheticWorkload(spec string) (Workload, error) {
+	return workloads.Get(synth.Canonical(spec), 1.0)
+}
+
+// SyntheticPresets lists the synthetic task-graph shapes: producer–consumer
+// chains, fork/join reduction trees, stencil wavefronts, migratory and
+// read-only sharing, and a seeded random mix.
+func SyntheticPresets() []string { return synth.Presets() }
 
 // NewSweep returns the paper's full evaluation matrix at the given scale.
 // Run it with RunSweep; render figures from the returned ResultSet.

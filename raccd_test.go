@@ -1,6 +1,7 @@
 package raccd
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -99,5 +100,94 @@ func TestSweepSmall(t *testing.T) {
 func TestValidateSelfCheck(t *testing.T) {
 	if err := Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The public trace API round-trips: a workload written with WriteTrace and
+// read back with ReadTrace produces identical results under every system.
+func TestPublicTraceRoundTrip(t *testing.T) {
+	w, err := NewWorkload("Histo", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Name() != "Histo" {
+		t.Fatalf("trace name = %q", replay.Name())
+	}
+	for _, sys := range []System{FullCoh, PT, RaCCD} {
+		cfg := DefaultConfig(sys, 16)
+		native, err := Run(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(replay, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cycles != native.Cycles || got.DirAccesses != native.DirAccesses ||
+			got.NoCByteHops != native.NoCByteHops || got.NCFraction != native.NCFraction {
+			t.Fatalf("%v: replay diverged: %+v vs %+v", sys, got, native)
+		}
+	}
+}
+
+func TestSyntheticWorkloadExposed(t *testing.T) {
+	if len(SyntheticPresets()) < 6 {
+		t.Fatalf("presets: %v", SyntheticPresets())
+	}
+	w, err := NewSyntheticWorkload("forkjoin/width=4/depth=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, DefaultConfig(RaCCD, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun == 0 {
+		t.Fatal("synthetic workload ran no tasks")
+	}
+	if _, err := NewSyntheticWorkload("nope"); err == nil {
+		t.Fatal("unknown preset did not error")
+	}
+}
+
+// The public Config.Check covers the library-level knobs on top of the
+// simulator's checks, and Run refuses what Check refuses.
+func TestPublicConfigCheck(t *testing.T) {
+	if err := DefaultConfig(RaCCD, 64).Check(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"contiguity", func(c *Config) { c.Contiguity = 1.5 }, "contiguity"},
+		{"ncrt entries", func(c *Config) { c.NCRTEntries = -2 }, "NCRT"},
+		{"scheduler", func(c *Config) { c.Scheduler = "rr" }, "scheduler"},
+		{"ratio", func(c *Config) { c.DirRatio = 5 }, "divide"},
+		{"smt", func(c *Config) { c.SMTWays = 99 }, "SMT"},
+	}
+	w, err := NewWorkload("MD5", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(RaCCD, 1)
+		tc.mut(&cfg)
+		cerr := cfg.Check()
+		if cerr == nil || !strings.Contains(cerr.Error(), tc.want) {
+			t.Errorf("%s: Check = %v, want mention of %q", tc.name, cerr, tc.want)
+		}
+		if _, rerr := Run(w, cfg); rerr == nil {
+			t.Errorf("%s: Run accepted an invalid config", tc.name)
+		}
 	}
 }
