@@ -1,0 +1,319 @@
+// Package client is the Go client for the raccdd simulation service
+// (cmd/raccdd): submit single runs or whole evaluation sweeps over HTTP,
+// follow per-run progress as server-sent events, and fetch results as
+// exactly the CSV a local sweep would produce.
+//
+//	c := client.New("http://localhost:8080")
+//	st, _ := c.SubmitSweep(ctx, client.SweepRequest{Scale: 0.25})
+//	st, _ = c.Wait(ctx, st.ID, func(e client.Event) { fmt.Println(e.Type) })
+//	csv, _ := c.Result(ctx, st.ID)
+//
+// The wire types mirror docs/SERVICE.md; the package has no dependency on
+// the simulator, so external tooling can vendor it cheaply.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to one raccdd daemon. The zero value is not usable; create
+// with New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8080"). The client reuses http.DefaultTransport;
+// requests carry whatever deadline their context has.
+func New(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+}
+
+// RunRequest is the body of POST /v1/runs. Workload accepts a bundled
+// benchmark name, "synth:<spec>", or "trace:<path>" (resolved on the
+// server). Zero values select the paper defaults (scale 1.0, directory
+// ratio 1:1, fifo scheduler, validation on).
+type RunRequest struct {
+	Workload     string  `json:"workload"`
+	Scale        float64 `json:"scale,omitempty"`
+	System       string  `json:"system"`
+	DirRatio     int     `json:"dir_ratio,omitempty"`
+	ADR          bool    `json:"adr,omitempty"`
+	Scheduler    string  `json:"scheduler,omitempty"`
+	SMTWays      int     `json:"smt_ways,omitempty"`
+	NCRTLatency  uint64  `json:"ncrt_latency,omitempty"`
+	NCRTEntries  int     `json:"ncrt_entries,omitempty"`
+	WriteThrough bool    `json:"write_through,omitempty"`
+	Contiguity   float64 `json:"contiguity,omitempty"`
+	Validate     *bool   `json:"validate,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweeps. Zero-value fields select
+// the paper's evaluation defaults (all nine benchmarks, FullCoh/PT/RaCCD,
+// ratios 1..256).
+type SweepRequest struct {
+	Workloads []string `json:"workloads,omitempty"`
+	Systems   []string `json:"systems,omitempty"`
+	Ratios    []int    `json:"ratios,omitempty"`
+	ADR       bool     `json:"adr,omitempty"`
+	Scale     float64  `json:"scale,omitempty"`
+	Validate  *bool    `json:"validate,omitempty"`
+}
+
+// Status mirrors the service's job status JSON.
+type Status struct {
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
+	State     string    `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	RunsTotal int       `json:"runs_total"`
+	RunsDone  int       `json:"runs_done"`
+	Created   time.Time `json:"created"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+	ResultURL string    `json:"result_url,omitempty"`
+	EventsURL string    `json:"events_url"`
+}
+
+// Terminal reports whether the job has finished (done, failed or
+// canceled).
+func (s Status) Terminal() bool {
+	return s.State == "done" || s.State == "failed" || s.State == "canceled"
+}
+
+// Event is one frame of a job's SSE progress stream.
+type Event struct {
+	ID   int             `json:"id"`
+	Type string          `json:"type"` // "status", "progress", "done", "error"
+	Data json.RawMessage `json:"data"`
+}
+
+// Stats mirrors GET /v1/stats.
+type Stats struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	QueueDepth    int            `json:"queue_depth"`
+	Jobs          map[string]int `json:"jobs"`
+	RunsCompleted uint64         `json:"runs_completed"`
+	SimsRun       uint64         `json:"sims_run"`
+	SimsPerSec    float64        `json:"sims_per_sec"`
+	CacheHits     uint64         `json:"cache_hits"`
+	CacheMisses   uint64         `json:"cache_misses"`
+	CacheHitRate  float64        `json:"cache_hit_rate"`
+	CacheBytes    uint64         `json:"cache_bytes"`
+	CacheObjects  int            `json:"cache_objects"`
+	CacheEvicted  uint64         `json:"cache_evictions"`
+}
+
+// APIError is a non-2xx response decoded from the service's error JSON.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("raccdd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// do issues a request and decodes the JSON response into out (when
+// non-nil), converting error responses to *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if json.Unmarshal(data, &e) != nil || e.Error == "" {
+		e.Error = strings.TrimSpace(string(data))
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// ServerStats fetches /v1/stats.
+func (c *Client) ServerStats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// SubmitRun queues one simulation and returns its job status.
+func (c *Client) SubmitRun(ctx context.Context, req RunRequest) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/v1/runs", req, &st)
+	return st, err
+}
+
+// SubmitSweep queues an evaluation sweep and returns its job status.
+func (c *Client) SubmitSweep(ctx context.Context, req SweepRequest) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &st)
+	return st, err
+}
+
+// Job fetches the status of a job.
+func (c *Client) Job(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists every job the daemon knows, in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]Status, error) {
+	var out struct {
+		Jobs []Status `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out.Jobs, err
+}
+
+// Result fetches a finished job's CSV — byte-identical to the CSV a local
+// `sweep -csv` of the same matrix would write.
+func (c *Client) Result(ctx context.Context, id string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Events streams a job's progress events, invoking fn for each, starting
+// after event id `after` (pass -1 for the full history). It returns when
+// the job reaches a terminal state, fn returns an error, or ctx is
+// cancelled.
+func (c *Client) Events(ctx context.Context, id string, after int, fn func(Event) error) error {
+	url := fmt.Sprintf("%s/v1/jobs/%s/events?after=%d", c.base, id, after)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var ev Event
+	var haveEvent bool
+	flush := func() error {
+		if !haveEvent {
+			return nil
+		}
+		e := ev
+		ev, haveEvent = Event{}, false
+		return fn(e)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line[4:], "%d", &ev.ID)
+			haveEvent = true
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = line[7:]
+			haveEvent = true
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = json.RawMessage(line[6:])
+			haveEvent = true
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Wait follows the job's event stream until it finishes, invoking
+// onEvent (which may be nil) for each event, and returns the final
+// status. If streaming is unavailable it falls back to polling.
+func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (Status, error) {
+	err := c.Events(ctx, id, -1, func(e Event) error {
+		if onEvent != nil {
+			onEvent(e)
+		}
+		return nil
+	})
+	if err != nil && ctx.Err() != nil {
+		return Status{}, err
+	}
+	// The stream ended (terminal event) or was unavailable: poll until
+	// the status is terminal. On the happy path the first poll suffices.
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return Status{}, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestEventsParsesSSEFrames checks the SSE parser against a canned stream,
+// including the ?after= query.
+func TestEventsParsesSSEFrames(t *testing.T) {
+	var gotAfter string
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j000001/events" {
+			http.NotFound(w, r)
+			return
+		}
+		gotAfter = r.URL.Query().Get("after")
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "id: 0\nevent: status\ndata: {\"state\":\"queued\"}\n\n")
+		fmt.Fprint(w, "id: 1\nevent: progress\ndata: {\"index\":0,\"line\":\"x\"}\n\n")
+		fmt.Fprint(w, "id: 2\nevent: done\ndata: {\"result_url\":\"/v1/jobs/j000001/result\"}\n\n")
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL + "/") // trailing slash must not break path joining
+	var evs []Event
+	err := c.Events(context.Background(), "j000001", -1, func(e Event) error {
+		evs = append(evs, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAfter != "-1" {
+		t.Errorf("after = %q, want -1", gotAfter)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(evs))
+	}
+	want := []struct {
+		id  int
+		typ string
+	}{{0, "status"}, {1, "progress"}, {2, "done"}}
+	for i, w := range want {
+		if evs[i].ID != w.id || evs[i].Type != w.typ {
+			t.Errorf("event %d = (%d, %q), want (%d, %q)", i, evs[i].ID, evs[i].Type, w.id, w.typ)
+		}
+	}
+	if string(evs[1].Data) != `{"index":0,"line":"x"}` {
+		t.Errorf("data = %s", evs[1].Data)
+	}
+}
+
+// TestAPIErrorDecoding covers JSON error bodies and raw (non-JSON) bodies.
+func TestAPIErrorDecoding(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(503)
+			fmt.Fprint(w, `{"error":"queue full"}`)
+		default:
+			w.WriteHeader(502)
+			fmt.Fprint(w, "bad gateway")
+		}
+	}))
+	defer hs.Close()
+	c := New(hs.URL)
+	ctx := context.Background()
+
+	err := c.Health(ctx)
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.StatusCode != 503 || apiErr.Message != "queue full" {
+		t.Fatalf("err = %#v, want 503 queue full", err)
+	}
+	_, err = c.Job(ctx, "j1")
+	apiErr, ok = err.(*APIError)
+	if !ok || apiErr.StatusCode != 502 || apiErr.Message != "bad gateway" {
+		t.Fatalf("err = %#v, want 502 bad gateway", err)
+	}
+}

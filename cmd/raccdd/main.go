@@ -1,0 +1,155 @@
+// Command raccdd serves the simulator over HTTP: a job queue for single
+// runs and whole evaluation sweeps, a content-addressed result cache that
+// deduplicates identical simulations across all clients, SSE progress
+// streams, and results as exactly the CSV `sweep -csv` writes. See
+// docs/SERVICE.md for the API.
+//
+//	raccdd                              # listen on :8080, ephemeral cache
+//	raccdd -addr :9090 -cache ~/.raccd  # persistent cache shared with
+//	                                    # `sweep -cache ~/.raccd`
+//	raccdd -max-cache-mb 512            # LRU-bound the cache
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
+// jobs for up to -drain (default 30s), then cancels whatever remains and
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"raccd/internal/resultstore"
+	"raccd/internal/service"
+)
+
+// run parses args, starts the daemon and blocks until ctx is cancelled
+// and the drain completes. It returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("raccdd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		cacheDir   = fs.String("cache", "", "result cache directory (default: a fresh temp dir)")
+		maxCacheMB = fs.Uint64("max-cache-mb", 0, "cache size bound in MiB (0 = unbounded)")
+		jobs       = fs.Int("jobs", 0, "concurrent simulations per job (0 = one per CPU)")
+		jobWorkers = fs.Int("job-workers", 2, "jobs executed concurrently")
+		queueDepth = fs.Int("queue", 64, "max queued jobs before submissions get 503")
+		drain      = fs.Duration("drain", 30*time.Second, "shutdown deadline for in-flight jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	dir := *cacheDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "raccdd-cache-")
+		if err != nil {
+			fmt.Fprintln(stderr, "raccdd:", err)
+			return 1
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "raccdd:", err)
+		return 1
+	}
+	return serve(ctx, serveOptions{
+		cacheDir:   dir,
+		maxBytes:   *maxCacheMB << 20,
+		simJobs:    *jobs,
+		jobWorkers: *jobWorkers,
+		queueDepth: *queueDepth,
+		drain:      *drain,
+	}, ln, stdout, stderr)
+}
+
+// serveOptions carries the resolved daemon configuration.
+type serveOptions struct {
+	cacheDir   string
+	maxBytes   uint64
+	simJobs    int
+	jobWorkers int
+	queueDepth int
+	drain      time.Duration
+}
+
+// serve runs the daemon on an already-bound listener until ctx is
+// cancelled, then drains. Split from run so tests can bind :0 themselves.
+func serve(ctx context.Context, opts serveOptions, ln net.Listener, stdout, stderr io.Writer) int {
+	store, err := resultstore.Open(opts.cacheDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "raccdd:", err)
+		ln.Close()
+		return 1
+	}
+	store.MaxBytes = opts.maxBytes
+	svc, err := service.New(service.Options{
+		Store:      store,
+		SimJobs:    opts.simJobs,
+		JobWorkers: opts.jobWorkers,
+		QueueDepth: opts.queueDepth,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "raccdd:", err)
+		ln.Close()
+		return 1
+	}
+
+	hs := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(stderr, "raccdd: listening on %s (cache %s)\n", ln.Addr(), opts.cacheDir)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "raccdd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain: finish in-flight jobs under the deadline, then close the
+	// HTTP side (SSE streams have received their terminal events by now).
+	fmt.Fprintf(stderr, "raccdd: shutting down, draining jobs (deadline %s)\n", opts.drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
+	defer cancel()
+	code := 0
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "raccdd: drain deadline hit, in-flight jobs canceled")
+		code = 1
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := hs.Shutdown(httpCtx); err != nil {
+		hs.Close()
+	}
+	st := svc.Stats()
+	fmt.Fprintf(stderr, "raccdd: served %d runs (%d simulated, %d from cache), bye\n",
+		st.RunsCompleted, st.SimsRun, st.CacheHits)
+	return code
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// First signal: drain. Second signal: default handling, die now.
+		<-ctx.Done()
+		stop()
+	}()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}

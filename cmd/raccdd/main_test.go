@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"raccd/client"
+)
+
+// syncBuffer makes bytes.Buffer safe for the serve goroutine + test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeEndToEnd boots the daemon on a loopback port, submits a run
+// through the client, checks the result and stats, then cancels the
+// context and expects a clean drain (exit code 0).
+func TestServeEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr syncBuffer
+	codec := make(chan int, 1)
+	go func() {
+		codec <- serve(ctx, serveOptions{
+			cacheDir:   t.TempDir(),
+			jobWorkers: 2,
+			queueDepth: 8,
+			drain:      30 * time.Second,
+		}, ln, &stdout, &stderr)
+	}()
+
+	c := client.New("http://" + ln.Addr().String())
+	hctx, hcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer hcancel()
+	for {
+		if err := c.Health(hctx); err == nil {
+			break
+		}
+		select {
+		case <-hctx.Done():
+			t.Fatalf("daemon never became healthy; stderr:\n%s", stderr.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	st, err := c.SubmitRun(ctx, client.RunRequest{Workload: "Jacobi", Scale: 0.05, System: "RaCCD", DirRatio: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != "done" {
+		t.Fatalf("job state %q (%s)", fin.State, fin.Error)
+	}
+	csv, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv, "workload,") || !strings.Contains(csv, "Jacobi,RaCCD,16,") {
+		t.Fatalf("unexpected CSV:\n%s", csv)
+	}
+	stats, err := c.ServerStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SimsRun != 1 {
+		t.Fatalf("sims_run = %d, want 1", stats.SimsRun)
+	}
+
+	// Graceful shutdown: cancel (the SIGINT path) and expect exit 0.
+	cancel()
+	select {
+	case code := <-codec:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain; stderr:\n%s", stderr.String())
+	}
+	if out := stderr.String(); !strings.Contains(out, "draining jobs") || !strings.Contains(out, "bye") {
+		t.Fatalf("missing drain log lines:\n%s", out)
+	}
+}
+
+// TestRunFlagErrors covers flag/startup failures.
+func TestRunFlagErrors(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run(context.Background(), []string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:http"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad addr: exit %d, want 1", code)
+	}
+}

@@ -21,10 +21,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"raccd/internal/tracefile"
 	"raccd/internal/workloads"
@@ -42,20 +45,20 @@ func usage(w io.Writer) {
 `)
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
 		usage(stderr)
 		return 2
 	}
 	switch args[0] {
 	case "record":
-		return runRecord(args[1:], stdout, stderr)
+		return runRecord(ctx, args[1:], stdout, stderr)
 	case "synth":
-		return runSynth(args[1:], stdout, stderr)
+		return runSynth(ctx, args[1:], stdout, stderr)
 	case "info":
-		return runInfo(args[1:], stdout, stderr)
+		return runInfo(ctx, args[1:], stdout, stderr)
 	case "validate":
-		return runValidate(args[1:], stdout, stderr)
+		return runValidate(ctx, args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stdout)
 		return 0
@@ -68,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // record resolves a workload name (benchmark, synth: spec or trace: file)
 // and serializes it.
-func runRecord(args []string, stdout, stderr io.Writer) int {
+func runRecord(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("raccdtrace record", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -83,11 +86,11 @@ func runRecord(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "raccdtrace record: -bench is required")
 		return 2
 	}
-	return record(*bench, *scale, *out, stdout, stderr)
+	return record(ctx, *bench, *scale, *out, stdout, stderr)
 }
 
 // synth is record for synthetic presets, plus -list.
-func runSynth(args []string, stdout, stderr io.Writer) int {
+func runSynth(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("raccdtrace synth", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -111,12 +114,16 @@ func runSynth(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "raccdtrace synth: -spec is required (or -list)")
 		return 2
 	}
-	return record(synth.Canonical(*spec), *scale, *out, stdout, stderr)
+	return record(ctx, synth.Canonical(*spec), *scale, *out, stdout, stderr)
 }
 
-func record(name string, scale float64, out string, stdout, stderr io.Writer) int {
+func record(ctx context.Context, name string, scale float64, out string, stdout, stderr io.Writer) int {
 	w, err := workloads.Get(name, scale)
 	if err != nil {
+		fmt.Fprintln(stderr, "raccdtrace:", err)
+		return 1
+	}
+	if err := ctx.Err(); err != nil {
 		fmt.Fprintln(stderr, "raccdtrace:", err)
 		return 1
 	}
@@ -128,6 +135,12 @@ func record(name string, scale float64, out string, stdout, stderr io.Writer) in
 	}
 	if out == "" {
 		out = pathSafe(w.Name()) + ".rtf"
+	}
+	// Interrupted between the (possibly long) capture and the write:
+	// exit without leaving a file behind.
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintln(stderr, "raccdtrace:", err)
+		return 1
 	}
 	if err := tracefile.WriteFile(out, tr); err != nil {
 		fmt.Fprintln(stderr, "raccdtrace:", err)
@@ -150,13 +163,17 @@ func pathSafe(name string) string {
 	}, name)
 }
 
-func runInfo(args []string, stdout, stderr io.Writer) int {
+func runInfo(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
 		fmt.Fprintln(stderr, "raccdtrace info: no files named")
 		return 2
 	}
 	code := 0
 	for _, path := range args {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintln(stderr, "raccdtrace:", err)
+			return 1
+		}
 		tr, err := tracefile.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(stderr, "raccdtrace:", err)
@@ -180,13 +197,17 @@ func runInfo(args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
-func runValidate(args []string, stdout, stderr io.Writer) int {
+func runValidate(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
 		fmt.Fprintln(stderr, "raccdtrace validate: no files named")
 		return 2
 	}
 	code := 0
 	for _, path := range args {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintln(stderr, "raccdtrace:", err)
+			return 1
+		}
 		tr, err := tracefile.ReadFile(path)
 		if err == nil {
 			err = tr.Validate()
@@ -202,5 +223,13 @@ func runValidate(args []string, stdout, stderr io.Writer) int {
 }
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// First signal: cancel between stages/files (a recording is
+		// never left half-written). Second signal: default handling.
+		<-ctx.Done()
+		stop()
+	}()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }

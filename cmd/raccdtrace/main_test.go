@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
 	var out, errb bytes.Buffer
-	code = run(args, &out, &errb)
+	code = run(context.Background(), args, &out, &errb)
 	return code, out.String(), errb.String()
 }
 
@@ -116,5 +117,21 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if code, stdout, _ := runCmd(t, "help"); code != 0 || !strings.Contains(stdout, "usage") {
 		t.Fatal("help should print usage to stdout")
+	}
+}
+
+// A cancelled context aborts a recording before the output file is
+// written — Ctrl-C never leaves a truncated .rtf behind.
+func TestCancelledContextLeavesNoFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "never.rtf")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var outb, errb bytes.Buffer
+	code := run(ctx, []string{"record", "-bench", "Jacobi", "-scale", "0.05", "-o", out}, &outb, &errb)
+	if code != 1 {
+		t.Fatalf("cancelled record exited %d, want 1", code)
+	}
+	if _, err := os.Stat(out); err == nil {
+		t.Fatal("cancelled record left an output file")
 	}
 }

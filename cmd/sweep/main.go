@@ -12,10 +12,17 @@
 //	sweep -csv results.csv # also dump raw results
 //	sweep -synth chain/seed=7,stencil   # add synthetic workloads to the matrix
 //	sweep -trace run.rtf   # add a recorded RTF trace to the matrix
+//	sweep -cache ~/.raccd  # memoize runs in a content-addressed store
 //
 // Simulations fan out across -jobs workers (default: one per CPU) with
 // results — figures, CSV, progress lines — identical to a sequential
 // run. Ctrl-C cancels the sweep cleanly.
+//
+// With -cache DIR every run is keyed by its configuration fingerprint and
+// workload identity and served from the store when present, so repeated
+// sweeps cost only the runs that changed. The same directory can back a
+// raccdd daemon (see docs/SERVICE.md): offline sweeps and served requests
+// share one cache, and cached output is byte-identical to simulating.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"syscall"
 
 	"raccd/internal/report"
+	"raccd/internal/resultstore"
 	"raccd/internal/workloads/synth"
 )
 
@@ -51,6 +59,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		synths  = fs.String("synth", "", "synthetic workload spec(s) to add to the matrix, comma-separated: preset[/key=val]...")
 		traces  = fs.String("trace", "", "RTF trace file(s) to add to the matrix, comma-separated")
 		only    = fs.Bool("only-extra", false, "run only the -synth/-trace workloads, not the paper set")
+		cache   = fs.String("cache", "", "memoize runs in this result-store directory (shareable with raccdd)")
 		quiet   = fs.Bool("q", false, "suppress per-run progress")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +122,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if !*quiet {
 		m.Progress = func(msg string) { fmt.Fprintln(stderr, msg) }
+	}
+	if *cache != "" {
+		store, err := resultstore.Open(*cache)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 2
+		}
+		m.Cache = store
+		defer func() {
+			st := store.Stats()
+			fmt.Fprintf(stderr, "cache %s: %d hits, %d simulated, %d objects (%d KiB)\n",
+				*cache, st.Hits+st.Coalesced, st.Misses, st.Objects, st.Bytes/1024)
+		}()
 	}
 
 	if *fig == "vc" {

@@ -116,6 +116,80 @@ func TestSynthAndTraceInMatrix(t *testing.T) {
 	}
 }
 
+// TestCacheColdAndWarmIdentical pins the -cache contract at the CLI
+// level: an uncached sweep, a cold cached sweep (all simulated + stored)
+// and a warm cached sweep (all recalled) emit byte-identical figures and
+// CSV, and the warm run simulates nothing.
+func TestCacheColdAndWarmIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	args := func(csv string, cached bool) []string {
+		a := []string{"-fig", "2", "-only-extra",
+			"-synth", "chain/width=2/depth=4,forkjoin/width=2/depth=3",
+			"-q", "-jobs", "2", "-csv", csv}
+		if cached {
+			a = append(a, "-cache", cacheDir)
+		}
+		return a
+	}
+	readCSV := func(path string) string {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	plainCSV := filepath.Join(dir, "plain.csv")
+	code, plainOut, stderr := runSweep(t, args(plainCSV, false)...)
+	if code != 0 {
+		t.Fatalf("uncached: exit %d, stderr: %s", code, stderr)
+	}
+
+	coldCSV := filepath.Join(dir, "cold.csv")
+	code, coldOut, stderr := runSweep(t, args(coldCSV, true)...)
+	if code != 0 {
+		t.Fatalf("cold: exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "0 hits") || !strings.Contains(stderr, "6 simulated") {
+		t.Errorf("cold cache summary wrong: %q", stderr)
+	}
+
+	warmCSV := filepath.Join(dir, "warm.csv")
+	code, warmOut, stderr := runSweep(t, args(warmCSV, true)...)
+	if code != 0 {
+		t.Fatalf("warm: exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "6 hits") || !strings.Contains(stderr, "0 simulated") {
+		t.Errorf("warm run simulated: %q", stderr)
+	}
+
+	if coldOut != plainOut || warmOut != plainOut {
+		t.Error("figure output differs between uncached, cold and warm runs")
+	}
+	plain := readCSV(plainCSV)
+	if readCSV(coldCSV) != plain || readCSV(warmCSV) != plain {
+		t.Error("CSV differs between uncached, cold and warm runs")
+	}
+}
+
+func TestCacheBadDirRejected(t *testing.T) {
+	// A cache root that exists as a FILE cannot be opened as a store;
+	// the sweep must fail fast, before simulating anything.
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runSweep(t, "-cache", file, "-fig", "2", "-q")
+	if code != 2 || !strings.Contains(stderr, "sweep:") {
+		t.Fatalf("bad cache dir: exit %d, stderr %q", code, stderr)
+	}
+}
+
 func TestOnlyExtraRequiresExtras(t *testing.T) {
 	code, _, stderr := runSweep(t, "-only-extra")
 	if code != 2 || !strings.Contains(stderr, "-only-extra") {

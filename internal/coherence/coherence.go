@@ -56,6 +56,23 @@ const (
 	PTRO
 )
 
+// ParseMode is the inverse of Mode.String: it resolves the names used in
+// figures, CSV rows and service requests ("FullCoh", "PT", "PT-RO",
+// "RaCCD") back to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "FullCoh":
+		return FullCoh, nil
+	case "PT":
+		return PT, nil
+	case "PT-RO", "PTRO":
+		return PTRO, nil
+	case "RaCCD":
+		return RaCCD, nil
+	}
+	return 0, fmt.Errorf("coherence: unknown system %q (want FullCoh, PT, PT-RO or RaCCD)", s)
+}
+
 func (m Mode) String() string {
 	switch m {
 	case FullCoh:

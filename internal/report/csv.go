@@ -35,19 +35,11 @@ func ParseCSV(r io.Reader) (*Set, error) {
 		}
 		var res sim.Result
 		res.Workload = f[0]
-		switch f[1] {
-		case "FullCoh":
-			res.System = coherence.FullCoh
-		case "PT":
-			res.System = coherence.PT
-		case "PT-RO":
-			res.System = coherence.PTRO
-		case "RaCCD":
-			res.System = coherence.RaCCD
-		default:
-			return nil, fmt.Errorf("report: line %d: unknown system %q", line, f[1])
+		sys, err := coherence.ParseMode(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("report: line %d: %v", line, err)
 		}
-		var err error
+		res.System = sys
 		parseU := func(s string) uint64 {
 			if err != nil {
 				return 0

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"raccd/internal/coherence"
+	"raccd/internal/resultstore"
 	"raccd/internal/runner"
 	"raccd/internal/sim"
 	"raccd/internal/workloads"
@@ -29,6 +30,12 @@ type Matrix struct {
 	// Progress, if non-nil, receives a line per completed run, in matrix
 	// order; calls are serialized, never concurrent.
 	Progress func(msg string)
+	// Cache, if non-nil, memoizes simulations in a content-addressed
+	// result store: each run is keyed by (Config.Fingerprint, workload
+	// identity) and served from the store when present, simulated and
+	// stored otherwise. Figures, CSV and Progress output are byte-
+	// identical with or without a cache, warm or cold.
+	Cache *resultstore.Store
 }
 
 // DefaultMatrix is the paper's full evaluation at the scaled problem sizes.
@@ -79,6 +86,33 @@ func (m Matrix) specs() []runSpec {
 	return out
 }
 
+// simulate runs one simulation of the sweep, or recalls it from m.Cache
+// when a store is attached: the run is keyed by (cfg.Fingerprint,
+// workloads.Identity) and computed at most once per key.
+func (m Matrix) simulate(cfg sim.Config, name string) (sim.Result, error) {
+	run := func() (sim.Result, error) {
+		w, err := workloads.Get(name, m.Scale)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return sim.Run(w, cfg)
+	}
+	if m.Cache == nil {
+		return run()
+	}
+	id, err := workloads.Identity(name, m.Scale)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	res, _, err := m.Cache.GetOrCompute(resultstore.KeyOf(cfg.Fingerprint(), id), run)
+	return res, err
+}
+
+// NumRuns returns how many simulations the matrix expands to — what a
+// serving layer needs to size progress reporting and enforce request
+// limits without running anything.
+func (m Matrix) NumRuns() int { return len(m.specs()) }
+
 // Run executes the sweep and returns the indexed result set.
 func (m Matrix) Run() (*Set, error) {
 	return m.RunContext(context.Background())
@@ -96,11 +130,7 @@ func (m Matrix) RunContext(ctx context.Context) (*Set, error) {
 			cfg := sim.DefaultConfig(s.sys, s.ratio)
 			cfg.ADR = s.adr
 			cfg.Validate = m.Validate
-			w, err := workloads.Get(s.name, m.Scale)
-			if err != nil {
-				return sim.Result{}, fmt.Errorf("report: run %v (scale %g): %w", s, m.Scale, err)
-			}
-			res, err := sim.Run(w, cfg)
+			res, err := m.simulate(cfg, s.name)
 			if err != nil {
 				return sim.Result{}, fmt.Errorf("report: run %v (scale %g): %w", s, m.Scale, err)
 			}
@@ -147,11 +177,7 @@ func (m Matrix) RunNCRTSweepContext(ctx context.Context) (map[uint64]map[string]
 			cfg := sim.DefaultConfig(coherence.RaCCD, 1)
 			cfg.Params.NCRTLookupCycles = s.lat
 			cfg.Validate = m.Validate
-			w, err := workloads.Get(s.name, m.Scale)
-			if err != nil {
-				return sim.Result{}, fmt.Errorf("report: run %s/RaCCD 1:1 ncrt=%d (scale %g): %w", s.name, s.lat, m.Scale, err)
-			}
-			res, err := sim.Run(w, cfg)
+			res, err := m.simulate(cfg, s.name)
 			if err != nil {
 				return sim.Result{}, fmt.Errorf("report: run %s/RaCCD 1:1 ncrt=%d (scale %g): %w", s.name, s.lat, m.Scale, err)
 			}

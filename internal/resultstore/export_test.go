@@ -1,0 +1,14 @@
+package resultstore
+
+import "time"
+
+// setAtimeForTest pins an object's in-memory recency so LRU tests don't
+// depend on filesystem timestamp granularity.
+func setAtimeForTest(s *Store, k Key, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.index[k.hash]; ok {
+		e.atime = at
+		s.index[k.hash] = e
+	}
+}

@@ -156,6 +156,11 @@ type Runtime struct {
 	golden *mem.BlockStore
 }
 
+// DefaultComputePerAccess is the per-access compute cost NewRuntime
+// installs; sim.Config.Fingerprint normalizes an unset override to it so
+// "default" and "explicitly 8" name the same machine.
+const DefaultComputePerAccess = 8
+
 // NewRuntime returns a runtime with the default overhead costs.
 func NewRuntime(m Machine, cores int, sched Scheduler) *Runtime {
 	if sched == nil {
@@ -167,7 +172,7 @@ func NewRuntime(m Machine, cores int, sched Scheduler) *Runtime {
 		Sched:               sched,
 		ScheduleCycles:      100,
 		WakeupCyclesPerSucc: 20,
-		ComputePerAccess:    8,
+		ComputePerAccess:    DefaultComputePerAccess,
 		MetaBase:            0x0800_0000,
 		StackBase:           0x0C00_0000,
 		StackBlocksPerTask:  24,

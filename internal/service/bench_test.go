@@ -1,0 +1,130 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"raccd/client"
+	"raccd/internal/report"
+	"raccd/internal/resultstore"
+)
+
+// fig2Matrix is the paper's Fig 2 sweep (all nine benchmarks × the three
+// systems at 1:1) — the workload named by the BENCH_service.json
+// acceptance numbers.
+func fig2Matrix(scale float64, cache *resultstore.Store) report.Matrix {
+	m := report.DefaultMatrix()
+	m.Ratios = []int{1}
+	m.ADR = false
+	m.Scale = scale
+	m.Cache = cache
+	return m
+}
+
+// TestEmitServiceBench measures the serving layer on the Fig 2 sweep and
+// writes BENCH_service.json when BENCH_SERVICE_OUT is set:
+//
+//	BENCH_SERVICE_OUT=$PWD/BENCH_service.json go test ./internal/service -run TestEmitServiceBench -v
+//
+// BENCH_SERVICE_SCALE (default 1.0, CI uses a smaller value) sizes the
+// problems. Three phases are timed: the cold sweep (every run simulated
+// and stored), the warm sweep (every run recalled from the store), and a
+// warm sweep served over HTTP end to end.
+func TestEmitServiceBench(t *testing.T) {
+	out := os.Getenv("BENCH_SERVICE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SERVICE_OUT=<path> to run the service benchmark")
+	}
+	scale := 1.0
+	if s := os.Getenv("BENCH_SERVICE_SCALE"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("BENCH_SERVICE_SCALE: %v", err)
+		}
+		scale = v
+	}
+
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := fig2Matrix(scale, store).NumRuns()
+
+	timeSweep := func(label string) time.Duration {
+		start := time.Now()
+		if _, err := fig2Matrix(scale, store).Run(); err != nil {
+			t.Fatalf("%s sweep: %v", label, err)
+		}
+		return time.Since(start)
+	}
+	cold := timeSweep("cold")
+	warm := timeSweep("warm")
+	st := store.Stats()
+	if int(st.Misses) != runs || int(st.Hits) != runs {
+		t.Fatalf("store stats %+v after cold+warm, want %d misses then %d hits", st, runs, runs)
+	}
+
+	// Warm sweep over HTTP: submit, stream, fetch — the full service path.
+	s, c := newTestServer(t, Options{Store: store})
+	_ = s
+	ctx := context.Background()
+	systems := make([]string, 0, 3)
+	for _, mode := range report.Systems {
+		systems = append(systems, mode.String())
+	}
+	httpStart := time.Now()
+	jst, err := c.SubmitSweep(ctx, client.SweepRequest{Ratios: []int{1}, Systems: systems, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, jst.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != "done" {
+		t.Fatalf("HTTP sweep %q: %s", fin.State, fin.Error)
+	}
+	if _, err := c.Result(ctx, jst.ID); err != nil {
+		t.Fatal(err)
+	}
+	served := time.Since(httpStart)
+
+	speedup := float64(cold) / float64(warm)
+	doc := map[string]any{
+		"description": fmt.Sprintf(
+			"Serving-layer numbers on the paper's Fig 2 sweep (%d runs: nine benchmarks x FullCoh/PT/RaCCD at 1:1, scale %g). cold = every run simulated and stored through internal/resultstore; warm = every run recalled from the store; served_over_http = the same warm sweep submitted to the service end to end (submit + SSE progress + CSV fetch) via httptest. Regenerate with BENCH_SERVICE_OUT=$PWD/BENCH_service.json go test ./internal/service -run TestEmitServiceBench.",
+			runs, scale),
+		"date":    time.Now().Format("2006-01-02"),
+		"machine": fmt.Sprintf("%s/%s, %d CPU, %s", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.Version()),
+		"headline": map[string]any{
+			"runs":                    runs,
+			"cold_sweep_ns":           cold.Nanoseconds(),
+			"warm_sweep_ns":           warm.Nanoseconds(),
+			"cache_hit_speedup":       speedup,
+			"served_over_http_ns":     served.Nanoseconds(),
+			"serve_throughput_runs_s": float64(runs) / served.Seconds(),
+		},
+		"notes": []string{
+			"Equivalence of cached and simulated output is pinned by report.TestCachedSweepMatchesGolden and service.TestSweepOverHTTPMatchesGolden (both byte-identical to the seed golden CSV).",
+			"The acceptance bar is cache_hit_speedup >= 100x on this sweep.",
+		},
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cold %v, warm %v (%.0fx), served-over-http %v (%.1f runs/s) -> %s",
+		cold, warm, speedup, served, float64(runs)/served.Seconds(), out)
+	if speedup < 100 {
+		t.Errorf("cache-hit speedup %.1fx below the 100x acceptance bar", speedup)
+	}
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: accepted, waiting for a job worker.
+	StateQueued State = "queued"
+	// StateRunning: simulations in flight.
+	StateRunning State = "running"
+	// StateDone: finished, result available.
+	StateDone State = "done"
+	// StateFailed: finished with an error.
+	StateFailed State = "failed"
+	// StateCanceled: the daemon shut down before or while running it.
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one SSE frame of a job's progress stream. ID is the event's
+// index in the job's log (SSE "id:" field), so clients can resume a
+// dropped stream with ?after=<id>.
+type Event struct {
+	ID   int             `json:"id"`
+	Type string          `json:"type"` // "status", "progress", "done", "error"
+	Data json.RawMessage `json:"data"`
+}
+
+// progressData is the payload of a "progress" event: one completed run.
+type progressData struct {
+	Index int    `json:"index"`
+	Line  string `json:"line"`
+}
+
+// Status is the JSON shape of GET /v1/jobs/{id}.
+type Status struct {
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"` // "run" or "sweep"
+	State     State     `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	RunsTotal int       `json:"runs_total"`
+	RunsDone  int       `json:"runs_done"`
+	Created   time.Time `json:"created"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+	ResultURL string    `json:"result_url,omitempty"`
+	EventsURL string    `json:"events_url"`
+}
+
+// job is one queued unit of work: a single run or a whole sweep. Its
+// event log is append-only; subscribers replay it from any index and
+// block on notify for more, so an SSE stream is lossless regardless of
+// when the client connects.
+type job struct {
+	id   string
+	kind string
+	// execute runs the job's simulations; assigned at submission.
+	execute func(j *job) (csv string, err error)
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	csv       string
+	runsTotal int
+	runsDone  int
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	events    []Event
+	notify    chan struct{}
+}
+
+func newJob(id, kind string, runsTotal int) *job {
+	j := &job{
+		id:        id,
+		kind:      kind,
+		state:     StateQueued,
+		runsTotal: runsTotal,
+		created:   time.Now(),
+		notify:    make(chan struct{}),
+	}
+	j.appendEvent("status", mustJSON(map[string]any{"state": StateQueued}))
+	return j
+}
+
+// mustJSON marshals values the service itself constructs; a failure is a
+// programming error.
+func mustJSON(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("service: encoding event: %v", err))
+	}
+	return b
+}
+
+// appendEvent appends an event and wakes all subscribers. The notify
+// channel is closed and replaced on every append (broadcast); callers
+// hold no lock, the job's own mutex is taken here.
+func (j *job) appendEvent(typ string, data json.RawMessage) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, Event{ID: len(j.events), Type: typ, Data: data})
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// setState transitions the job and logs a status event.
+func (j *job) setState(s State, errMsg string) {
+	j.mu.Lock()
+	j.state = s
+	now := time.Now()
+	switch s {
+	case StateRunning:
+		j.started = now
+	case StateDone, StateFailed, StateCanceled:
+		j.finished = now
+	}
+	if errMsg != "" {
+		j.err = errMsg
+	}
+	j.mu.Unlock()
+	j.appendEvent("status", mustJSON(map[string]any{"state": s}))
+	switch s {
+	case StateDone:
+		j.appendEvent("done", mustJSON(map[string]any{"result_url": "/v1/jobs/" + j.id + "/result"}))
+	case StateFailed:
+		j.appendEvent("error", mustJSON(map[string]any{"error": errMsg}))
+	case StateCanceled:
+		j.appendEvent("error", mustJSON(map[string]any{"error": "job canceled: daemon shutting down"}))
+	}
+}
+
+// progress logs one completed run.
+func (j *job) progress(line string) {
+	j.mu.Lock()
+	j.runsDone++
+	idx := j.runsDone - 1
+	j.mu.Unlock()
+	j.appendEvent("progress", mustJSON(progressData{Index: idx, Line: line}))
+}
+
+// eventsSince returns the log tail from index from, the channel that will
+// be closed on the next append, and whether the job is finished.
+func (j *job) eventsSince(from int) (evs []Event, more <-chan struct{}, finished bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.events) {
+		evs = j.events[from:]
+	}
+	return evs, j.notify, j.state.terminal()
+}
+
+// status snapshots the job for the JSON API.
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.id,
+		Kind:      j.kind,
+		State:     j.state,
+		Error:     j.err,
+		RunsTotal: j.runsTotal,
+		RunsDone:  j.runsDone,
+		Created:   j.created,
+		Started:   j.started,
+		Finished:  j.finished,
+		EventsURL: "/v1/jobs/" + j.id + "/events",
+	}
+	if j.state == StateDone {
+		st.ResultURL = "/v1/jobs/" + j.id + "/result"
+	}
+	return st
+}
+
+// result returns the CSV once done.
+func (j *job) result() (csv string, state State, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.csv, j.state, j.err
+}

@@ -1,0 +1,614 @@
+// Package service is the simulation-as-a-service layer behind cmd/raccdd:
+// an HTTP API that queues single runs and whole evaluation sweeps,
+// deduplicates identical simulations through a shared content-addressed
+// result store, streams per-run progress over SSE, and serves results as
+// exactly the CSV internal/report produces — a cached or served byte is
+// pinned identical to a local simulation.
+//
+// API (see docs/SERVICE.md for the full spec):
+//
+//	GET  /healthz                  liveness + version
+//	GET  /v1/stats                 queue depth, cache hit rate, sims/sec
+//	POST /v1/runs                  submit one simulation        → job
+//	POST /v1/sweeps                submit an evaluation sweep   → job
+//	GET  /v1/jobs                  list jobs
+//	GET  /v1/jobs/{id}             job status
+//	GET  /v1/jobs/{id}/events      SSE progress stream (?after=<id> resumes)
+//	GET  /v1/jobs/{id}/result      result CSV (once done)
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"raccd/internal/coherence"
+	"raccd/internal/report"
+	"raccd/internal/resultstore"
+	"raccd/internal/sim"
+	"raccd/internal/workloads"
+)
+
+// Version is reported by /healthz.
+const Version = "1"
+
+// Options configures a Server.
+type Options struct {
+	// Store is the content-addressed result cache; required. The same
+	// directory may back cmd/sweep -cache, so offline sweeps and served
+	// runs share results.
+	Store *resultstore.Store
+	// SimJobs is the per-job simulation parallelism (runner pool width);
+	// 0 selects one worker per CPU.
+	SimJobs int
+	// JobWorkers is how many jobs execute concurrently (default 2).
+	JobWorkers int
+	// QueueDepth bounds the number of jobs waiting to start (default 64);
+	// submissions beyond it are rejected with 503.
+	QueueDepth int
+	// MaxSweepRuns rejects sweeps that expand to more simulations than
+	// this (default 100000).
+	MaxSweepRuns int
+}
+
+// Server implements the HTTP API. Create with New, serve s.Handler(),
+// stop with Shutdown.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	start time.Time
+
+	// runCtx cancels in-flight simulations on forced shutdown.
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string
+	nextID  int
+	queue   chan *job
+	closing bool
+
+	workers sync.WaitGroup
+}
+
+// New validates opts, starts the job workers and returns a ready server.
+func New(opts Options) (*Server, error) {
+	if opts.Store == nil {
+		return nil, errors.New("service: Options.Store is required")
+	}
+	if opts.JobWorkers <= 0 {
+		opts.JobWorkers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.MaxSweepRuns <= 0 {
+		opts.MaxSweepRuns = 100000
+	}
+	s := &Server{
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		jobs:  make(map[string]*job),
+		queue: make(chan *job, opts.QueueDepth),
+	}
+	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+
+	s.workers.Add(opts.JobWorkers)
+	for i := 0; i < opts.JobWorkers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the API handler (mount it on any http.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// worker executes queued jobs until the queue closes.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		if s.runCtx.Err() != nil {
+			j.setState(StateCanceled, "")
+			continue
+		}
+		j.setState(StateRunning, "")
+		csv, err := s.executeJob(j)
+		switch {
+		case err == nil:
+			j.mu.Lock()
+			j.csv = csv
+			j.mu.Unlock()
+			j.setState(StateDone, "")
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.setState(StateCanceled, "")
+		default:
+			j.setState(StateFailed, err.Error())
+		}
+	}
+}
+
+// executeJob runs a job's body, converting a panic into a job failure so
+// one bad request can never take the daemon (and every queued job) down.
+func (s *Server) executeJob(j *job) (csv string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	return j.execute(j)
+}
+
+// Shutdown drains the daemon: new submissions are rejected immediately,
+// and the workers get until ctx's deadline to finish every accepted job
+// (in-flight and queued). When the deadline passes, remaining jobs are
+// cancelled — sweeps stop at the next run boundary and jobs that have
+// not started their simulation are marked canceled; an individual
+// simulation already in flight is not preemptible and is awaited. It
+// returns nil on a clean drain, or ctx's error when the deadline forced
+// cancellation.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return errors.New("service: already shut down")
+	}
+	s.closing = true
+	close(s.queue) // workers drain what is queued, then exit
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelRun() // abort in-flight simulations
+		<-done        // workers observe cancellation promptly
+	}
+	s.cancelRun()
+	return err
+}
+
+// --- submission -----------------------------------------------------------
+
+// RunRequest is the body of POST /v1/runs: one workload under one
+// configuration. Workload accepts the same namespaces as the CLIs — a
+// bundled benchmark name, "synth:<spec>", or "trace:<path>" resolved on
+// the server's filesystem.
+type RunRequest struct {
+	Workload string  `json:"workload"`
+	Scale    float64 `json:"scale,omitempty"` // default 1.0
+
+	System       string  `json:"system"`              // FullCoh, PT, PT-RO, RaCCD
+	DirRatio     int     `json:"dir_ratio,omitempty"` // default 1
+	ADR          bool    `json:"adr,omitempty"`
+	Scheduler    string  `json:"scheduler,omitempty"`
+	SMTWays      int     `json:"smt_ways,omitempty"`
+	NCRTLatency  uint64  `json:"ncrt_latency,omitempty"`
+	NCRTEntries  int     `json:"ncrt_entries,omitempty"`
+	WriteThrough bool    `json:"write_through,omitempty"`
+	Contiguity   float64 `json:"contiguity,omitempty"`
+	Validate     *bool   `json:"validate,omitempty"` // default true
+}
+
+// config materializes the request as a checked sim.Config.
+func (r RunRequest) config() (sim.Config, error) {
+	mode, err := parseSystem(r.System)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	ratio := r.DirRatio
+	if ratio == 0 {
+		ratio = 1
+	}
+	cfg := sim.DefaultConfig(mode, ratio)
+	cfg.ADR = r.ADR
+	cfg.Scheduler = r.Scheduler
+	cfg.SMTWays = r.SMTWays
+	if r.NCRTLatency != 0 {
+		cfg.Params.NCRTLookupCycles = r.NCRTLatency
+	}
+	if r.NCRTEntries != 0 {
+		cfg.Params.NCRTEntries = r.NCRTEntries
+	}
+	cfg.Params.WriteThrough = r.WriteThrough
+	if r.Contiguity != 0 {
+		if r.Contiguity < 0 || r.Contiguity > 1 {
+			return sim.Config{}, fmt.Errorf("contiguity %g out of range [0, 1]", r.Contiguity)
+		}
+		cfg.Params.Contiguity = r.Contiguity
+	}
+	cfg.Validate = r.Validate == nil || *r.Validate
+	return cfg, cfg.Check()
+}
+
+// SweepRequest is the body of POST /v1/sweeps: a full evaluation matrix.
+// Zero-value fields select the paper's defaults.
+type SweepRequest struct {
+	Workloads []string `json:"workloads,omitempty"` // default: the paper's nine
+	Systems   []string `json:"systems,omitempty"`   // default: FullCoh, PT, RaCCD
+	Ratios    []int    `json:"ratios,omitempty"`    // default: 1..256
+	ADR       bool     `json:"adr,omitempty"`
+	Scale     float64  `json:"scale,omitempty"`    // default 1.0
+	Validate  *bool    `json:"validate,omitempty"` // default true
+}
+
+// matrix materializes the request as a report.Matrix wired to the
+// server's cache and parallelism.
+func (s *Server) matrix(r SweepRequest) (report.Matrix, error) {
+	m := report.DefaultMatrix()
+	m.Jobs = s.opts.SimJobs
+	m.Cache = s.opts.Store
+	m.ADR = r.ADR
+	if len(r.Workloads) > 0 {
+		m.Workloads = r.Workloads
+	}
+	if len(r.Systems) > 0 {
+		m.Systems = m.Systems[:0]
+		for _, name := range r.Systems {
+			mode, err := parseSystem(name)
+			if err != nil {
+				return report.Matrix{}, err
+			}
+			m.Systems = append(m.Systems, mode)
+		}
+	}
+	if len(r.Ratios) > 0 {
+		m.Ratios = r.Ratios
+	}
+	if r.Scale != 0 {
+		m.Scale = r.Scale
+	}
+	m.Validate = r.Validate == nil || *r.Validate
+	// Validate the matrix up front: every workload must resolve and every
+	// (system, ratio) cell must describe a runnable machine.
+	for _, name := range m.Workloads {
+		if _, err := workloads.Identity(name, m.Scale); err != nil {
+			return report.Matrix{}, err
+		}
+	}
+	for _, sys := range m.Systems {
+		for _, ratio := range m.Ratios {
+			if err := sim.DefaultConfig(sys, ratio).Check(); err != nil {
+				return report.Matrix{}, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// submit registers and enqueues a job, or reports why it cannot.
+func (s *Server) submit(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return errServiceClosing
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+var (
+	errQueueFull      = errors.New("job queue full")
+	errServiceClosing = errors.New("service shutting down")
+)
+
+// newJobID allocates a monotonically increasing job id.
+func (s *Server) newJobID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return fmt.Sprintf("j%06d", s.nextID)
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	cfg, err := req.config()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	scale := req.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	identity, err := workloads.Identity(req.Workload, scale)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := resultstore.KeyOf(cfg.Fingerprint(), identity)
+
+	j := newJob(s.newJobID(), "run", 1)
+	workload, store, runCtx := req.Workload, s.opts.Store, s.runCtx
+	j.execute = func(j *job) (string, error) {
+		res, cached, err := store.GetOrCompute(key, func() (sim.Result, error) {
+			// Forced shutdown between dequeue and compute: don't start a
+			// simulation nobody will wait for (a simulation already in
+			// flight is not preemptible).
+			if err := runCtx.Err(); err != nil {
+				return sim.Result{}, err
+			}
+			w, err := workloads.Get(workload, scale)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return sim.Run(w, cfg)
+		})
+		if err != nil {
+			return "", err
+		}
+		tag := ""
+		if cached {
+			tag = " (cached)"
+		}
+		j.progress(fmt.Sprintf("%-9s %-8v 1:%-3d cycles=%d%s", res.Workload, res.System, res.DirRatio, res.Cycles, tag))
+		return report.NewSet([]sim.Result{res}).CSV(), nil
+	}
+	s.enqueueAndRespond(w, j)
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	m, err := s.matrix(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	runs := m.NumRuns()
+	if runs == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("sweep expands to zero runs"))
+		return
+	}
+	if runs > s.opts.MaxSweepRuns {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("sweep expands to %d runs, above the server's limit of %d", runs, s.opts.MaxSweepRuns))
+		return
+	}
+
+	j := newJob(s.newJobID(), "sweep", runs)
+	runCtx := s.runCtx
+	j.execute = func(j *job) (string, error) {
+		m.Progress = func(line string) { j.progress(line) }
+		set, err := m.RunContext(runCtx)
+		if err != nil {
+			return "", err
+		}
+		return set.CSV(), nil
+	}
+	s.enqueueAndRespond(w, j)
+}
+
+// enqueueAndRespond submits j and writes the 202/503 response.
+func (s *Server) enqueueAndRespond(w http.ResponseWriter, j *job) {
+	if err := s.submit(j); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// --- queries --------------------------------------------------------------
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	csv, state, errMsg := j.result()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, csv)
+	case StateFailed:
+		httpError(w, http.StatusInternalServerError, errors.New(errMsg))
+	case StateCanceled:
+		httpError(w, http.StatusGone, errors.New("job was canceled"))
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusConflict, fmt.Errorf("job is %s; result not ready", state))
+	}
+}
+
+// handleEvents streams the job's event log as SSE: history first, then
+// live appends, ending after the terminal event. ?after=<id> resumes past
+// already-seen events.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	from := 0
+	if after := r.URL.Query().Get("after"); after != "" {
+		n, err := strconv.Atoi(after)
+		if err != nil || n < -1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad after=%q", after))
+			return
+		}
+		from = n + 1
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	for {
+		evs, more, finished := j.eventsSince(from)
+		for _, e := range evs {
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.ID, e.Type, e.Data)
+		}
+		from += len(evs)
+		fl.Flush()
+		if finished && len(evs) == 0 {
+			return
+		}
+		if finished {
+			// Emit whatever arrived with the terminal transition, then
+			// re-check for a clean exit.
+			continue
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// --- health and stats -----------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":      true,
+		"version": Version,
+		"uptime":  time.Since(s.start).Seconds(),
+	})
+}
+
+// StatsSnapshot is the JSON shape of GET /v1/stats: expvar-style counters
+// for dashboards and the CI smoke test.
+type StatsSnapshot struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	QueueDepth    int            `json:"queue_depth"`
+	Jobs          map[string]int `json:"jobs"`
+	RunsCompleted uint64         `json:"runs_completed"`
+	SimsRun       uint64         `json:"sims_run"`
+	SimsPerSec    float64        `json:"sims_per_sec"`
+	CacheHits     uint64         `json:"cache_hits"`
+	CacheMisses   uint64         `json:"cache_misses"`
+	CacheHitRate  float64        `json:"cache_hit_rate"`
+	CacheBytes    uint64         `json:"cache_bytes"`
+	CacheObjects  int            `json:"cache_objects"`
+	CacheEvicted  uint64         `json:"cache_evictions"`
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() StatsSnapshot {
+	st := s.opts.Store.Stats()
+	s.mu.Lock()
+	byState := make(map[string]int)
+	var runsDone int
+	for _, j := range s.jobs {
+		js := j.status()
+		byState[string(js.State)]++
+		runsDone += js.RunsDone
+	}
+	depth := len(s.queue)
+	s.mu.Unlock()
+	up := time.Since(s.start).Seconds()
+	snap := StatsSnapshot{
+		UptimeSeconds: up,
+		QueueDepth:    depth,
+		Jobs:          byState,
+		RunsCompleted: uint64(runsDone),
+		SimsRun:       st.Misses,
+		CacheHits:     st.Hits + st.Coalesced,
+		CacheMisses:   st.Misses,
+		CacheHitRate:  st.HitRate(),
+		CacheBytes:    st.Bytes,
+		CacheObjects:  st.Objects,
+		CacheEvicted:  st.Evictions,
+	}
+	if up > 0 {
+		snap.SimsPerSec = float64(st.Misses) / up
+	}
+	return snap
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// --- helpers --------------------------------------------------------------
+
+// parseSystem resolves a system name ("FullCoh", "PT", "PT-RO", "RaCCD").
+func parseSystem(name string) (coherence.Mode, error) {
+	return coherence.ParseMode(name)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"raccd/internal/coherence"
+	"raccd/internal/rts"
+)
+
+// fingerprintVersion is bumped whenever the canonical form below changes
+// meaning, so stale cached results can never be mistaken for current ones.
+const fingerprintVersion = 1
+
+// Fingerprint returns the canonical identity of the simulated machine this
+// configuration describes: two Configs produce the same fingerprint exactly
+// when they drive identical simulations. It is the configuration half of
+// the resultstore cache key (the other half is the workload identity, see
+// internal/workloads.Identity).
+//
+// Properties:
+//
+//   - Canonical: zero-value fields are normalized to what Run actually
+//     uses before rendering (Params zero → DefaultParams, DirRatio 0 → 1,
+//     Scheduler "" → fifo, SMTWays 0 → 1, ComputePerAccess 0 → the
+//     runtime default, NoCTopology "" → mesh), so a default-by-omission
+//     Config and an explicit-default Config fingerprint identically.
+//   - Field-order-independent: fields are emitted as sorted key=value
+//     pairs, so the rendering never depends on struct layout.
+//   - Complete over result-affecting fields: every Config field and every
+//     Params field except Validate is covered. Validate toggles golden
+//     checking, not metrics — a validated and an unvalidated run of the
+//     same machine return the same Result, so they intentionally share a
+//     fingerprint. TestFingerprintCoversAllFields pins the field counts
+//     so a new field cannot be forgotten silently.
+func (c Config) Fingerprint() string {
+	if c.Params.Cores == 0 {
+		c.Params = coherence.DefaultParams()
+	}
+	if c.DirRatio == 0 {
+		c.DirRatio = 1
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = "fifo"
+	}
+	if c.SMTWays == 0 {
+		c.SMTWays = 1
+	}
+	if c.ComputePerAccess == 0 {
+		c.ComputePerAccess = rts.DefaultComputePerAccess
+	}
+	p := c.Params
+	if p.NoCTopology == "" {
+		p.NoCTopology = "mesh"
+	}
+	pairs := []string{
+		"system=" + c.System.String(),
+		"dirratio=" + strconv.Itoa(c.DirRatio),
+		"adr=" + strconv.FormatBool(c.ADR),
+		"sched=" + c.Scheduler,
+		"smt=" + strconv.Itoa(c.SMTWays),
+		"compute=" + strconv.FormatUint(c.ComputePerAccess, 10),
+		"cores=" + strconv.Itoa(p.Cores),
+		"l1sets=" + strconv.Itoa(p.L1Sets),
+		"l1ways=" + strconv.Itoa(p.L1Ways),
+		"llcsets=" + strconv.Itoa(p.LLCSetsPerBank),
+		"llcways=" + strconv.Itoa(p.LLCWays),
+		"dirsets=" + strconv.Itoa(p.DirSetsPerBank),
+		"dirways=" + strconv.Itoa(p.DirWays),
+		"dirminsets=" + strconv.Itoa(p.DirMinSetsPerBank),
+		"ncrt=" + strconv.Itoa(p.NCRTEntries),
+		"ncrtlat=" + strconv.FormatUint(p.NCRTLookupCycles, 10),
+		"tlb=" + strconv.Itoa(p.TLBEntries),
+		"l1hit=" + strconv.FormatUint(p.L1HitCycles, 10),
+		"llccyc=" + strconv.FormatUint(p.LLCCycles, 10),
+		"memcyc=" + strconv.FormatUint(p.MemCycles, 10),
+		"wt=" + strconv.FormatBool(p.WriteThrough),
+		"contig=" + strconv.FormatFloat(p.Contiguity, 'g', -1, 64),
+		"seed=" + strconv.FormatInt(p.Seed, 10),
+		"noc=" + p.NoCTopology,
+	}
+	sort.Strings(pairs)
+	return fmt.Sprintf("cfg/v%d %s", fingerprintVersion, strings.Join(pairs, " "))
+}

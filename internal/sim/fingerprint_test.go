@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"raccd/internal/coherence"
+)
+
+// TestFingerprintDistinct enumerates every configuration the evaluation
+// sweep matrix can produce — systems × directory ratios × ADR × SMT ×
+// scheduler × NCRT latencies — and checks that any two distinct valid
+// Configs fingerprint differently.
+func TestFingerprintDistinct(t *testing.T) {
+	var cfgs []Config
+	for _, sys := range []coherence.Mode{coherence.FullCoh, coherence.PT, coherence.PTRO, coherence.RaCCD} {
+		for _, ratio := range []int{1, 2, 4, 8, 16, 64, 256} {
+			for _, adr := range []bool{false, true} {
+				if adr && (sys == coherence.FullCoh || ratio != 1) {
+					continue
+				}
+				for _, smt := range []int{1, 2, 4} {
+					for _, sched := range []string{"fifo", "lifo", "locality"} {
+						for _, lat := range []uint64{1, 2, 3, 5, 10} {
+							cfg := DefaultConfig(sys, ratio)
+							cfg.ADR = adr
+							cfg.SMTWays = smt
+							cfg.Scheduler = sched
+							cfg.Params.NCRTLookupCycles = lat
+							cfgs = append(cfgs, cfg)
+						}
+					}
+				}
+			}
+		}
+	}
+	seen := make(map[string]Config, len(cfgs))
+	for _, cfg := range cfgs {
+		if err := cfg.Check(); err != nil {
+			t.Fatalf("matrix produced invalid config: %v", err)
+		}
+		fp := cfg.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("distinct configs share fingerprint %q:\n%+v\n%+v", fp, prev, cfg)
+		}
+		seen[fp] = cfg
+	}
+	if len(seen) < 1000 {
+		t.Fatalf("matrix too small to be meaningful: %d configs", len(seen))
+	}
+}
+
+// TestFingerprintCanonical checks that defaults-by-omission and explicit
+// defaults name the same machine.
+func TestFingerprintCanonical(t *testing.T) {
+	base := Config{System: coherence.RaCCD}
+	explicit := Config{
+		System:           coherence.RaCCD,
+		DirRatio:         1,
+		Scheduler:        "fifo",
+		SMTWays:          1,
+		Params:           coherence.DefaultParams(),
+		ComputePerAccess: 8,
+	}
+	if got, want := base.Fingerprint(), explicit.Fingerprint(); got != want {
+		t.Errorf("zero-value config fingerprints differently from explicit defaults:\n got %q\nwant %q", got, want)
+	}
+	// Validate affects error checking only, never the Result.
+	v := base
+	v.Validate = true
+	if v.Fingerprint() != base.Fingerprint() {
+		t.Error("Validate must not change the fingerprint")
+	}
+	// Stability: the same value twice.
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Error("fingerprint is not stable")
+	}
+}
+
+// TestFingerprintSensitive spot-checks that each knob actually changes the
+// fingerprint.
+func TestFingerprintSensitive(t *testing.T) {
+	base := DefaultConfig(coherence.RaCCD, 1)
+	mutate := map[string]func(*Config){
+		"system":       func(c *Config) { c.System = coherence.PT },
+		"dirratio":     func(c *Config) { c.DirRatio = 16 },
+		"adr":          func(c *Config) { c.ADR = true },
+		"scheduler":    func(c *Config) { c.Scheduler = "lifo" },
+		"smt":          func(c *Config) { c.SMTWays = 2 },
+		"compute":      func(c *Config) { c.ComputePerAccess = 4 },
+		"ncrt-lat":     func(c *Config) { c.Params.NCRTLookupCycles = 5 },
+		"ncrt-entries": func(c *Config) { c.Params.NCRTEntries = 64 },
+		"writethrough": func(c *Config) { c.Params.WriteThrough = true },
+		"contiguity":   func(c *Config) { c.Params.Contiguity = 0.5 },
+		"seed":         func(c *Config) { c.Params.Seed = 7 },
+		"noc":          func(c *Config) { c.Params.NoCTopology = "ring" },
+	}
+	for name, f := range mutate {
+		cfg := base
+		f(&cfg)
+		if cfg.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s: mutation did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintCoversAllFields pins the number of fields in Config and
+// coherence.Params. If either struct grows, this test fails as a reminder
+// to extend Fingerprint (and bump fingerprintVersion if the canonical
+// form changes meaning).
+func TestFingerprintCoversAllFields(t *testing.T) {
+	if n := reflect.TypeOf(Config{}).NumField(); n != 8 {
+		t.Errorf("sim.Config has %d fields, Fingerprint was written for 8 — extend it and update this count", n)
+	}
+	if n := reflect.TypeOf(coherence.Params{}).NumField(); n != 18 {
+		t.Errorf("coherence.Params has %d fields, Fingerprint was written for 18 — extend it and update this count", n)
+	}
+	// Every key appears exactly once in the rendering.
+	fp := DefaultConfig(coherence.RaCCD, 1).Fingerprint()
+	for _, key := range []string{"system=", "dirratio=", "adr=", "sched=", "smt=",
+		"compute=", "cores=", "l1sets=", "l1ways=", "llcsets=", "llcways=",
+		"dirsets=", "dirways=", "dirminsets=", "ncrt=", "ncrtlat=", "tlb=",
+		"l1hit=", "llccyc=", "memcyc=", "wt=", "contig=", "seed=", "noc="} {
+		if strings.Count(fp, " "+key) != 1 {
+			t.Errorf("fingerprint %q: key %q appears %d times, want 1", fp, key, strings.Count(fp, " "+key))
+		}
+	}
+}

@@ -86,6 +86,9 @@ func (c Config) Check() error {
 		return fmt.Errorf("sim: directory ratio 1:%d does not divide the %d directory sets per bank (paper configurations: 1, 2, 4, 8, 16, 64, 256)",
 			c.DirRatio, params.DirSetsPerBank)
 	}
+	if params.NCRTEntries <= 0 {
+		return fmt.Errorf("sim: NCRT capacity %d must be positive", params.NCRTEntries)
+	}
 	if c.SMTWays < 0 || c.SMTWays > maxSMTWays {
 		return fmt.Errorf("sim: SMT ways %d out of range [0, %d]", c.SMTWays, maxSMTWays)
 	}

@@ -281,3 +281,20 @@ func ReadFile(path string) (*Trace, error) {
 	}
 	return t, nil
 }
+
+// ReadHeader decodes only the RTF header of path — magic, version, name,
+// params fingerprint and task count — without reading the task records or
+// verifying the trailing checksum: a constant-cost probe for tooling that
+// labels or filters trace files without paying for a full decode.
+func ReadHeader(path string) (Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, err
+	}
+	defer f.Close()
+	d, err := NewDecoder(f)
+	if err != nil {
+		return Header{}, fmt.Errorf("%w (reading %s)", err, path)
+	}
+	return d.Header(), nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"io"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -333,5 +334,29 @@ func TestCanonicalReencode(t *testing.T) {
 	}
 	if !bytes.Equal(first.Bytes(), second.Bytes()) {
 		t.Fatal("re-encoding a decoded trace changed the bytes")
+	}
+}
+
+// ReadHeader probes just the header: constant cost, no task decode, no
+// checksum verification.
+func TestReadHeader(t *testing.T) {
+	w := workloads.MustGet("Jacobi", 0.04)
+	tr, err := tracefile.Record(w, tracefile.Fingerprint("Jacobi@0.04"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "j.rtf")
+	if err := tracefile.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := tracefile.ReadHeader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Name != "Jacobi" || hdr.Fingerprint != tr.Header.Fingerprint || hdr.Tasks != len(tr.Tasks) {
+		t.Fatalf("header = %+v, want name/fingerprint/tasks of the written trace", hdr)
+	}
+	if _, err := tracefile.ReadHeader(filepath.Join(t.TempDir(), "missing.rtf")); err == nil {
+		t.Fatal("missing file must error")
 	}
 }

@@ -15,8 +15,12 @@
 package workloads
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"raccd/internal/mem"
@@ -167,6 +171,50 @@ func Get(name string, scale float64) (Workload, error) {
 		return Workload{}, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, Names())
 	}
 	return f(scale), nil
+}
+
+// Identity returns the canonical identity of the task graph that
+// Get(name, scale) would build — the workload half of a resultstore cache
+// key (the configuration half is sim.Config.Fingerprint). Two (name,
+// scale) pairs share an identity exactly when they build identical
+// graphs:
+//
+//   - bundled benchmarks render as "bench:<name>/scale=<g>" — the scale
+//     changes the problem size, so it is part of the identity;
+//   - synth: specs render as the canonical spec of the *scaled*
+//     parameters, so "synth:chain" at scale 0.5 and "synth:chain/depth=24"
+//     at scale 1 are recognized as the same graph;
+//   - trace: files render as "trace:<name>/sha=<hex>" where the hash is
+//     over the file's bytes — two traces share an identity exactly when
+//     their content is identical, so moving or renaming a trace file
+//     keeps its identity (and its cached results) while editing or
+//     re-recording it with different contents invalidates them. (The
+//     header's params fingerprint alone is not enough: it hashes the
+//     recording parameters, not the captured access streams.)
+func Identity(name string, scale float64) (string, error) {
+	if strings.HasPrefix(name, synth.Prefix) {
+		p, err := synth.Parse(name)
+		if err != nil {
+			return "", err
+		}
+		return p.Scaled(scale).Name(), nil
+	}
+	if path, ok := strings.CutPrefix(name, TracePrefix); ok {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", fmt.Errorf("workloads: %w", err)
+		}
+		d, err := tracefile.NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return "", fmt.Errorf("workloads: %w", err)
+		}
+		sum := sha256.Sum256(data)
+		return fmt.Sprintf("trace:%s/sha=%x", d.Header().Name, sum[:12]), nil
+	}
+	if _, ok := registry[name]; !ok {
+		return "", fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, Names())
+	}
+	return fmt.Sprintf("bench:%s/scale=%s", name, strconv.FormatFloat(scale, 'g', -1, 64)), nil
 }
 
 // MustGet is Get that panics on unknown names.

@@ -1,11 +1,13 @@
 package workloads
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"raccd/internal/mem"
 	"raccd/internal/rts"
+	"raccd/internal/tracefile"
 )
 
 const testScale = 0.1
@@ -240,5 +242,72 @@ func TestScaleChangesSize(t *testing.T) {
 	MustGet("MD5", 1.0).Build(big)
 	if big.NumTasks() <= small.NumTasks() {
 		t.Fatalf("scale had no effect: %d vs %d tasks", big.NumTasks(), small.NumTasks())
+	}
+}
+
+// Identity is the workload half of the resultstore cache key.
+func TestIdentityNamespaces(t *testing.T) {
+	// Benchmarks: scale is part of the identity.
+	a, err := Identity("Jacobi", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(a, "bench:Jacobi/scale=0.5") {
+		t.Fatalf("bench identity = %q", a)
+	}
+	// Traces: identity comes from the RTF header, not the path, so a
+	// renamed trace file keeps its identity (and its cached results).
+	w := MustGet("Jacobi", 0.05)
+	tr, err := tracefile.Record(w, tracefile.Fingerprint("Jacobi@0.05"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "one.rtf")
+	p2 := filepath.Join(dir, "renamed.rtf")
+	if err := tracefile.WriteFile(p1, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracefile.WriteFile(p2, tr); err != nil {
+		t.Fatal(err)
+	}
+	id1, err := Identity("trace:"+p1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := Identity("trace:"+p2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("renaming a trace changed its identity: %q vs %q", id1, id2)
+	}
+	if !strings.HasPrefix(id1, "trace:Jacobi/sha=") {
+		t.Fatalf("trace identity = %q", id1)
+	}
+	// Different content under the same name = different identity: a
+	// re-recorded workload must not inherit stale cached results.
+	w2 := MustGet("Jacobi", 0.2)
+	tr2, err := tracefile.Record(w2, tracefile.Fingerprint("Jacobi@0.05"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.Header.Name = tr.Header.Name
+	p3 := filepath.Join(dir, "other-content.rtf")
+	if err := tracefile.WriteFile(p3, tr2); err != nil {
+		t.Fatal(err)
+	}
+	id3, err := Identity("trace:"+p3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id1 {
+		t.Fatal("traces with different content share an identity")
+	}
+	if _, err := Identity("trace:/no/such/file.rtf", 1.0); err == nil {
+		t.Fatal("missing trace file must not get an identity")
+	}
+	if _, err := Identity("synth:badpreset", 1.0); err == nil {
+		t.Fatal("bad synth spec must not get an identity")
 	}
 }

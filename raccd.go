@@ -28,6 +28,11 @@
 //
 // Custom task-parallel programs are built with NewCustomWorkload and the
 // TaskGraph API; see examples/quickstart.
+//
+// The simulator also runs as a service: cmd/raccdd serves runs and whole
+// evaluation sweeps over HTTP with a job queue, SSE progress streams and
+// a content-addressed result cache shared with `sweep -cache`; package
+// raccd/client is the Go client. See docs/SERVICE.md.
 package raccd
 
 import (
@@ -163,6 +168,23 @@ func (c Config) toSim() sim.Config {
 	}
 	cfg.SMTWays = c.SMTWays
 	return cfg
+}
+
+// Fingerprint returns the canonical identity of the machine this
+// configuration describes: two Configs fingerprint identically exactly
+// when they drive identical simulations. Paired with WorkloadIdentity it
+// forms the content address under which the raccdd service and
+// `sweep -cache` store results (see docs/SERVICE.md).
+func (c Config) Fingerprint() string { return c.toSim().Fingerprint() }
+
+// WorkloadIdentity returns the canonical identity of the task graph that
+// NewWorkload(name, scale) would build — the workload half of a result
+// cache key. Benchmarks include their scale; synth: specs canonicalize
+// their scaled parameters; trace: files are identified by a hash of
+// their content, so renaming a trace file keeps its identity while
+// changing its contents invalidates cached results.
+func WorkloadIdentity(name string, scale float64) (string, error) {
+	return workloads.Identity(name, scale)
 }
 
 // Run executes workload w under cfg. Invalid configurations fail with a

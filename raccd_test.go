@@ -191,3 +191,44 @@ func TestPublicConfigCheck(t *testing.T) {
 		}
 	}
 }
+
+// Fingerprint and WorkloadIdentity are the public cache-key halves used
+// by the raccdd service and sweep -cache.
+func TestFingerprintAndIdentity(t *testing.T) {
+	a := DefaultConfig(RaCCD, 16)
+	b := DefaultConfig(RaCCD, 16)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical configs fingerprint differently")
+	}
+	b.NCRTLatency = 5
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("NCRTLatency override not covered by the fingerprint")
+	}
+
+	id1, err := WorkloadIdentity("Jacobi", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := WorkloadIdentity("Jacobi", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("scale must be part of a benchmark's identity")
+	}
+	if _, err := WorkloadIdentity("NoSuchBench", 1.0); err == nil {
+		t.Fatal("unknown workload must not get an identity")
+	}
+	// synth identities canonicalize: an explicit default is no override.
+	s1, err := WorkloadIdentity("synth:chain/width=16", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := WorkloadIdentity("synth:chain", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("synth identity not canonical: %q vs %q", s1, s2)
+	}
+}
