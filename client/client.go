@@ -43,9 +43,13 @@ func New(baseURL string) *Client {
 // server). Zero values select the paper defaults (scale 1.0, directory
 // ratio 1:1, fifo scheduler, validation on).
 type RunRequest struct {
-	Workload     string  `json:"workload"`
-	Scale        float64 `json:"scale,omitempty"`
-	System       string  `json:"system"`
+	Workload string  `json:"workload"`
+	Scale    float64 `json:"scale,omitempty"`
+	System   string  `json:"system"`
+	// Machine selects the simulated chip geometry: a preset name
+	// ("paper16", "m32", "m64") or a power-of-two core count ("32").
+	// Empty selects the paper's 16-core machine.
+	Machine      string  `json:"machine,omitempty"`
 	DirRatio     int     `json:"dir_ratio,omitempty"`
 	ADR          bool    `json:"adr,omitempty"`
 	Scheduler    string  `json:"scheduler,omitempty"`
@@ -65,8 +69,11 @@ type SweepRequest struct {
 	Systems   []string `json:"systems,omitempty"`
 	Ratios    []int    `json:"ratios,omitempty"`
 	ADR       bool     `json:"adr,omitempty"`
-	Scale     float64  `json:"scale,omitempty"`
-	Validate  *bool    `json:"validate,omitempty"`
+	// Machine selects the chip geometry for every run of the sweep
+	// ("paper16" when empty; see RunRequest.Machine).
+	Machine  string  `json:"machine,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
+	Validate *bool   `json:"validate,omitempty"`
 }
 
 // Status mirrors the service's job status JSON.

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMachineFlag runs a benchmark on the 64-core preset and checks the
+// machine line of the human-readable output.
+func TestMachineFlag(t *testing.T) {
+	code, stdout, stderr := runSim(t, "-bench", "MD5", "-scale", "0.05", "-machine", "m64")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "machine          m64 (64 cores, 8×8 mesh)") {
+		t.Fatalf("missing machine line:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "validation       OK") {
+		t.Fatalf("64-core run failed validation:\n%s", stdout)
+	}
+}
+
+// TestMachineFlagDefault: without -machine the output names the paper's
+// machine.
+func TestMachineFlagDefault(t *testing.T) {
+	code, stdout, stderr := runSim(t, "-bench", "MD5", "-scale", "0.05")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "machine          paper16 (16 cores, 4×4 mesh)") {
+		t.Fatalf("missing default machine line:\n%s", stdout)
+	}
+}
+
+// TestBadMachineFlag fails fast with exit 2.
+func TestBadMachineFlag(t *testing.T) {
+	code, _, stderr := runSim(t, "-bench", "MD5", "-machine", "m999")
+	if code != 2 || !strings.Contains(stderr, "m999") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}

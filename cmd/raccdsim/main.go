@@ -5,7 +5,8 @@
 //
 //	raccdsim -bench Jacobi -system raccd -ratio 64 [-adr] [-scale 1.0]
 //	         [-sched fifo|lifo|locality] [-ncrt-latency 1] [-writethrough]
-//	         [-contiguity 1.0]
+//	         [-contiguity 1.0] [-machine paper16|m32|m64]
+//	raccdsim -bench Jacobi -machine m64     # 64 cores on an 8×8 mesh
 //	raccdsim -bench Jacobi,MD5,CG -jobs 3   # several benchmarks, in parallel
 //	raccdsim -bench all                     # every bundled benchmark
 //	raccdsim -trace run.rtf                 # replay a recorded RTF trace
@@ -41,6 +42,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		tracePaths  = fs.String("trace", "", "RTF trace file(s) to replay, comma-separated (see cmd/raccdtrace)")
 		synthSpecs  = fs.String("synth", "", "synthetic workload spec(s), comma-separated: preset[/key=val]...")
 		system      = fs.String("system", "raccd", "system: fullcoh, pt, ptro, raccd")
+		machineName = fs.String("machine", "", "machine preset: paper16 (default), m32, m64, or a power-of-two core count")
 		ratio       = fs.Int("ratio", 1, "directory reduction 1:N (1,2,4,8,16,64,256)")
 		adr         = fs.Bool("adr", false, "enable adaptive directory reduction")
 		scale       = fs.Float64("scale", 1.0, "problem scale (1.0 = Table II ÷ 16)")
@@ -114,7 +116,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workloads[i] = w
 	}
 
+	mach, err := raccd.ParseMachine(*machineName)
+	if err != nil {
+		fmt.Fprintln(stderr, "raccdsim:", err)
+		return 2
+	}
+
 	cfg := raccd.DefaultConfig(sys, *ratio)
+	cfg.Machine = mach
 	cfg.ADR = *adr
 	cfg.Scheduler = *sched
 	cfg.NCRTLatency = *ncrtLatency
@@ -135,9 +144,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	var failed int
-	err := runner.Run(ctx, *jobs, len(names),
-		func(_ context.Context, i int) (raccd.Result, error) {
-			res, err := raccd.Run(workloads[i], cfg)
+	err = runner.Run(ctx, *jobs, len(names),
+		func(runCtx context.Context, i int) (raccd.Result, error) {
+			// RunContext: Ctrl-C aborts even a single long simulation at
+			// its next task dispatch instead of running it to completion.
+			res, err := raccd.RunContext(runCtx, workloads[i], cfg)
 			if err != nil {
 				return raccd.Result{}, fmt.Errorf("%s: %w", names[i], err)
 			}
@@ -154,7 +165,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			if i > 0 {
 				fmt.Fprintln(stdout)
 			}
-			printResult(stdout, res, *scale, *sched, !*novalidate)
+			printResult(stdout, res, mach, *scale, *sched, !*novalidate)
 		})
 	if err != nil {
 		fmt.Fprintln(stderr, "raccdsim:", err)
@@ -167,8 +178,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 }
 
 // printResult renders one run in the traditional human-readable form.
-func printResult(w io.Writer, res raccd.Result, scale float64, sched string, validated bool) {
+func printResult(w io.Writer, res raccd.Result, mach raccd.Machine, scale float64, sched string, validated bool) {
 	fmt.Fprintf(w, "benchmark        %s (scale %.2f)\n", res.Workload, scale)
+	fmt.Fprintf(w, "machine          %s\n", mach)
 	fmt.Fprintf(w, "system           %v  directory 1:%d  ADR %v  scheduler %s\n", res.System, res.DirRatio, res.ADR, sched)
 	fmt.Fprintf(w, "tasks            %d (%d dependence edges)\n", res.TasksRun, res.GraphEdges)
 	fmt.Fprintf(w, "cycles           %d\n", res.Cycles)

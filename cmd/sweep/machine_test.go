@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable3OnMachinePreset: -table 3 -machine m64 reports the 4×-larger
+// directory the 64-core machine really carries.
+func TestTable3OnMachinePreset(t *testing.T) {
+	code, stdout, stderr := runSweep(t, "-table", "3", "-machine", "m64")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "2097152") || !strings.Contains(stdout, "m64") {
+		t.Fatalf("Table III for m64:\n%s", stdout)
+	}
+	// Default stays the paper's published table.
+	code, stdout, _ = runSweep(t, "-table", "3")
+	if code != 0 || !strings.Contains(stdout, "524288") || strings.Contains(stdout, "m64") {
+		t.Fatalf("default Table III:\n%s", stdout)
+	}
+}
+
+// TestBadMachineRejectedUpFront: an unknown machine fails fast with exit 2
+// before any simulation.
+func TestBadMachineRejectedUpFront(t *testing.T) {
+	code, _, stderr := runSweep(t, "-machine", "m128")
+	if code != 2 || !strings.Contains(stderr, "m128") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	code, _, stderr = runSweep(t, "-machines", "paper16,quantum")
+	if code != 2 || !strings.Contains(stderr, "quantum") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestMachinesCrossComparison runs the Fig 2 matrix across two presets on
+// a tiny synthetic workload and prints the comparison table.
+func TestMachinesCrossComparison(t *testing.T) {
+	code, stdout, stderr := runSweep(t,
+		"-machines", "paper16,m64",
+		"-only-extra", "-synth", "chain/seed=1/width=2/depth=3/blocks=4",
+		"-scale", "0.1", "-q")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"Fig 2 across machines", "paper16 PT", "m64 RaCCD", "Average"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("missing %q in:\n%s", want, stdout)
+		}
+	}
+	// -machines is a Fig 2 view; other figures are rejected up front.
+	code, _, stderr = runSweep(t, "-machines", "paper16,m64", "-fig", "6")
+	if code != 2 || !strings.Contains(stderr, "-machines") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	// ... and so are tables: -table must not silently render paper16
+	// while the user believes -machines took effect.
+	code, _, stderr = runSweep(t, "-machines", "m32,m64", "-table", "3")
+	if code != 2 || !strings.Contains(stderr, "-machines") {
+		t.Fatalf("-table with -machines: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestSweepOnMachinePreset: a tiny -machine sweep completes and the CSV
+// carries the per-run rows.
+func TestSweepOnMachinePreset(t *testing.T) {
+	dir := t.TempDir()
+	csv := dir + "/out.csv"
+	code, _, stderr := runSweep(t,
+		"-machine", "m32", "-fig", "2",
+		"-only-extra", "-synth", "chain/seed=1/width=2/depth=3/blocks=4",
+		"-scale", "0.1", "-q", "-csv", csv)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}

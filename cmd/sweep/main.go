@@ -13,6 +13,8 @@
 //	sweep -synth chain/seed=7,stencil   # add synthetic workloads to the matrix
 //	sweep -trace run.rtf   # add a recorded RTF trace to the matrix
 //	sweep -cache ~/.raccd  # memoize runs in a content-addressed store
+//	sweep -machine m64     # the whole evaluation on a 64-core machine
+//	sweep -machines paper16,m32,m64     # Fig 2 across machine presets
 //
 // Simulations fan out across -jobs workers (default: one per CPU) with
 // results — figures, CSV, progress lines — identical to a sequential
@@ -36,6 +38,7 @@ import (
 	"strings"
 	"syscall"
 
+	"raccd/internal/machine"
 	"raccd/internal/report"
 	"raccd/internal/resultstore"
 	"raccd/internal/workloads/synth"
@@ -51,16 +54,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig     = fs.String("fig", "", "only this figure: 2, 6, 7a, 7b, 7c, 7d, 8, 9, 10, vc")
-		tbl     = fs.String("table", "", "only this table: 1, 2, 3")
-		scale   = fs.Float64("scale", 1.0, "problem scale (1.0 = Table II ÷ 16)")
-		jobs    = fs.Int("jobs", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
-		csvPath = fs.String("csv", "", "write raw results as CSV to this file")
-		synths  = fs.String("synth", "", "synthetic workload spec(s) to add to the matrix, comma-separated: preset[/key=val]...")
-		traces  = fs.String("trace", "", "RTF trace file(s) to add to the matrix, comma-separated")
-		only    = fs.Bool("only-extra", false, "run only the -synth/-trace workloads, not the paper set")
-		cache   = fs.String("cache", "", "memoize runs in this result-store directory (shareable with raccdd)")
-		quiet   = fs.Bool("q", false, "suppress per-run progress")
+		fig      = fs.String("fig", "", "only this figure: 2, 6, 7a, 7b, 7c, 7d, 8, 9, 10, vc")
+		tbl      = fs.String("table", "", "only this table: 1, 2, 3")
+		machName = fs.String("machine", "", "machine preset for every run: paper16 (default), m32, m64, or a power-of-two core count")
+		machList = fs.String("machines", "", "comma-separated machine presets: run the Fig 2 matrix once per machine and print the cross-machine comparison")
+		scale    = fs.Float64("scale", 1.0, "problem scale (1.0 = Table II ÷ 16)")
+		jobs     = fs.Int("jobs", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
+		csvPath  = fs.String("csv", "", "write raw results as CSV to this file")
+		synths   = fs.String("synth", "", "synthetic workload spec(s) to add to the matrix, comma-separated: preset[/key=val]...")
+		traces   = fs.String("trace", "", "RTF trace file(s) to add to the matrix, comma-separated")
+		only     = fs.Bool("only-extra", false, "run only the -synth/-trace workloads, not the paper set")
+		cache    = fs.String("cache", "", "memoize runs in this result-store directory (shareable with raccdd)")
+		quiet    = fs.Bool("q", false, "suppress per-run progress")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -69,15 +74,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	mach, err := machine.Parse(*machName)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweep:", err)
+		return 2
+	}
+	var machines []machine.Machine
+	for _, name := range strings.Split(*machList, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			mc, err := machine.Parse(name)
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 2
+			}
+			machines = append(machines, mc)
+		}
+	}
+
+	if len(machines) > 0 && *tbl != "" {
+		fmt.Fprintln(stderr, "sweep: -machines renders the Fig 2 comparison; use -machine to pick a table's machine")
+		return 2
+	}
+
 	switch *tbl {
 	case "1":
-		fmt.Fprintln(stdout, report.Table1())
+		fmt.Fprintln(stdout, report.Table1For(mach.Params()))
 		return 0
 	case "2":
 		fmt.Fprintln(stdout, report.Table2())
 		return 0
 	case "3":
-		fmt.Fprintln(stdout, report.Table3())
+		fmt.Fprintln(stdout, report.Table3For(mach.Params()))
 		return 0
 	case "":
 	default:
@@ -100,6 +127,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	m := report.DefaultMatrix()
 	m.Scale = *scale
 	m.Jobs = *jobs
+	m.Machine = mach
 	var extra []string
 	for _, s := range strings.Split(*synths, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -135,6 +163,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "cache %s: %d hits, %d simulated, %d objects (%d KiB)\n",
 				*cache, st.Hits+st.Coalesced, st.Misses, st.Objects, st.Bytes/1024)
 		}()
+	}
+
+	// -machines: run the Fig 2 matrix once per named machine and print the
+	// cross-machine comparison (how the deactivation opportunity moves as
+	// the chip grows).
+	if len(machines) > 0 {
+		if *fig != "" && *fig != "2" {
+			fmt.Fprintln(stderr, "sweep: -machines renders the Fig 2 comparison; combine it only with -fig 2")
+			return 2
+		}
+		m.Ratios = []int{1}
+		m.ADR = false
+		sets, err := m.RunMachinesContext(ctx, machines)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, report.Fig2AcrossMachines(sets))
+		if *csvPath != "" {
+			var all strings.Builder
+			for _, ms := range sets {
+				fmt.Fprintf(&all, "# machine %s\n%s", ms.Machine.Name(), ms.Set.CSV())
+			}
+			if err := os.WriteFile(*csvPath, []byte(all.String()), 0o644); err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "raw results written to %s\n", *csvPath)
+		}
+		return 0
 	}
 
 	if *fig == "vc" {
@@ -173,9 +231,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		for _, k := range figureOrder {
 			fmt.Fprintln(stdout, render[k]())
 		}
-		fmt.Fprintln(stdout, report.Table1())
+		fmt.Fprintln(stdout, report.Table1For(mach.Params()))
 		fmt.Fprintln(stdout, report.Table2())
-		fmt.Fprintln(stdout, report.Table3())
+		fmt.Fprintln(stdout, report.Table3For(mach.Params()))
 	}
 
 	if *csvPath != "" {

@@ -2,10 +2,12 @@
 // directory protocol, with the non-coherent transaction variants that RaCCD
 // and the PT baseline use to bypass the directory (§III-C3).
 //
-// Topology (Table I, capacity-scaled ÷16; see DESIGN.md §4): 16 tiles, each
-// with a core, a private write-back L1 data cache, one LLC bank and one
-// directory bank, connected by a 4×4 mesh. Blocks are interleaved across
-// banks by their low block-number bits.
+// Topology (Table I, capacity-scaled ÷16; see DESIGN.md §4): a tile per
+// core — private write-back L1 data cache, one LLC bank and one directory
+// bank — connected by a W×H mesh. The default geometry is the paper's 16
+// tiles on a 4×4 mesh; Params scales it (internal/machine holds the
+// presets). Blocks are interleaved across banks by their low block-number
+// bits.
 //
 // Inclusion invariants maintained for coherent blocks:
 //
@@ -90,6 +92,10 @@ func (m Mode) String() string {
 // Params configures the hierarchy geometry and latencies.
 type Params struct {
 	Cores int
+	// MeshW, MeshH are the mesh dimensions in tiles; MeshW×MeshH must equal
+	// Cores. Both 0 selects noc.DefaultMeshDims(Cores). Ring topologies
+	// ignore them.
+	MeshW, MeshH int
 
 	L1Sets, L1Ways          int
 	LLCSetsPerBank, LLCWays int
@@ -120,6 +126,8 @@ type Params struct {
 func DefaultParams() Params {
 	return Params{
 		Cores:             16,
+		MeshW:             4,
+		MeshH:             4,
 		L1Sets:            64, // × 2 ways × 64 B = 8 KiB
 		L1Ways:            2,
 		LLCSetsPerBank:    256, // × 8 ways × 16 banks × 64 B = 2 MiB
@@ -236,7 +244,7 @@ func New(mode Mode, p Params) *Hierarchy {
 	h := &Hierarchy{
 		Mode:      mode,
 		Params:    p,
-		mesh:      noc.NewNet(noc.NewTopology(p.NoCTopology, p.Cores)),
+		mesh:      noc.NewNet(noc.NewTopologyWH(p.NoCTopology, p.Cores, p.MeshW, p.MeshH)),
 		store:     mem.NewBlockStore(),
 		pageTable: vm.NewPageTable(p.Contiguity, p.Seed),
 	}

@@ -3,8 +3,8 @@
 // 8-way, pseudo-LRU, one bank per core tile).
 //
 // Each entry tracks one coherent cache block: which cores hold it (a sharer
-// bit-vector, 16 bits for the 16-core machine) and which core, if any, owns
-// it exclusively. The directory is inclusive of the LLC for coherent blocks:
+// bit-vector — one 64-bit word, which is what caps the machine model at 64
+// cores) and which core, if any, owns it exclusively. The directory is inclusive of the LLC for coherent blocks:
 // evicting a directory entry forces the corresponding LLC line and all L1
 // copies to be invalidated — the capacity-pressure mechanism that makes
 // small directories catastrophic for the FullCoh baseline (Fig 6/7b).

@@ -1,0 +1,71 @@
+package directory
+
+import (
+	"testing"
+
+	"raccd/internal/mem"
+)
+
+// TestBankMappingAcrossGeometries is the geometry-scaling check for the
+// directory's address interleaving on the machine presets' bank counts:
+// blocks spread round-robin over 16, 32 and 64 banks, and every block maps
+// into a valid set of its bank at each geometry.
+func TestBankMappingAcrossGeometries(t *testing.T) {
+	for _, banks := range []int{16, 32, 64} {
+		d := New(Config{Banks: banks, Ways: 8, SetsPerBank: 256})
+		if d.Banks() != banks {
+			t.Fatalf("Banks() = %d, want %d", d.Banks(), banks)
+		}
+		if got, want := d.Capacity(), banks*256*8; got != want {
+			t.Fatalf("%d banks: capacity %d, want %d", banks, got, want)
+		}
+		// Round-robin interleaving by low block bits.
+		for i := 0; i < 4*banks; i++ {
+			b := mem.Block(i)
+			if got, want := d.BankOf(b), i%banks; got != want {
+				t.Errorf("%d banks: BankOf(%d) = %d, want %d", banks, i, got, want)
+			}
+		}
+		// Consecutive blocks of one bank walk consecutive sets: the bank
+		// bits must be dropped before set indexing.
+		for k := 0; k < 4; k++ {
+			b := mem.Block(k * banks) // all map to bank 0
+			idx := d.setIndex(b)
+			if bank := idx / d.SetsPerBank(); bank != 0 {
+				t.Errorf("%d banks: block %d set index lands in bank %d", banks, uint64(b), bank)
+			}
+			if within := idx % d.SetsPerBank(); within != k {
+				t.Errorf("%d banks: block %d set-within-bank = %d, want %d", banks, uint64(b), within, k)
+			}
+		}
+		// An allocation at each geometry lands in the right bank's slice.
+		for i := 0; i < banks; i++ {
+			_, e := d.Allocate(mem.Block(i))
+			if e == nil || e.Block != mem.Block(i) {
+				t.Fatalf("%d banks: allocate block %d failed", banks, i)
+			}
+		}
+		if d.Occupancy() != banks {
+			t.Fatalf("%d banks: occupancy %d after %d allocations", banks, d.Occupancy(), banks)
+		}
+	}
+}
+
+// TestSharerVectorAt64Cores: the Entry sharer bit-vector must hold the
+// largest machine (64 cores) without truncation.
+func TestSharerVectorAt64Cores(t *testing.T) {
+	var e Entry
+	for c := 0; c < 64; c++ {
+		e.AddSharer(c)
+	}
+	if e.NumSharers() != 64 {
+		t.Fatalf("NumSharers = %d, want 64", e.NumSharers())
+	}
+	if !e.HasSharer(63) || e.HasSharer(62) == false {
+		t.Fatal("high sharer bits lost")
+	}
+	e.RemoveSharer(63)
+	if e.HasSharer(63) || e.NumSharers() != 63 {
+		t.Fatal("RemoveSharer(63) failed")
+	}
+}

@@ -1,0 +1,189 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"raccd/internal/coherence"
+)
+
+// TestZeroMachineIsPaper16 pins the compatibility contract the whole API
+// redesign rests on: a zero-value Machine projects to exactly
+// coherence.DefaultParams(), so code that never mentions a Machine keeps
+// simulating the paper's chip bit-for-bit.
+func TestZeroMachineIsPaper16(t *testing.T) {
+	var zero Machine
+	if got, want := zero.Params(), coherence.DefaultParams(); got != want {
+		t.Fatalf("zero Machine projects to %+v, want DefaultParams %+v", got, want)
+	}
+	if got, want := Paper16().Params(), coherence.DefaultParams(); got != want {
+		t.Fatalf("Paper16 projects to %+v, want DefaultParams %+v", got, want)
+	}
+	if !zero.IsZero() {
+		t.Error("zero value not IsZero")
+	}
+	if Paper16().IsZero() {
+		t.Error("Paper16 must not be the zero struct (explicit fields)")
+	}
+	if zero.Name() != "paper16" || Paper16().Name() != "paper16" {
+		t.Errorf("names: zero=%q paper16=%q, want paper16", zero.Name(), Paper16().Name())
+	}
+}
+
+// TestPresetGeometry checks the scaling rule: every preset keeps Paper16's
+// per-tile resources and grows the mesh.
+func TestPresetGeometry(t *testing.T) {
+	cases := []struct {
+		m           Machine
+		cores, w, h int
+		name        string
+		dirEntries  int
+		llcBytes    int
+	}{
+		{Paper16(), 16, 4, 4, "paper16", 32768, 2 << 20},
+		{Machine32(), 32, 8, 4, "m32", 65536, 4 << 20},
+		{Machine64(), 64, 8, 8, "m64", 131072, 8 << 20},
+	}
+	for _, c := range cases {
+		if c.m.Cores != c.cores || c.m.MeshW != c.w || c.m.MeshH != c.h {
+			t.Errorf("%s: geometry %d cores %d×%d, want %d cores %d×%d",
+				c.name, c.m.Cores, c.m.MeshW, c.m.MeshH, c.cores, c.w, c.h)
+		}
+		if err := c.m.Check(); err != nil {
+			t.Errorf("%s: Check: %v", c.name, err)
+		}
+		if got := c.m.Name(); got != c.name {
+			t.Errorf("Name() = %q, want %q", got, c.name)
+		}
+		if got := c.m.DirEntries(); got != c.dirEntries {
+			t.Errorf("%s: DirEntries = %d, want %d", c.name, got, c.dirEntries)
+		}
+		if got := c.m.LLCBytes(); got != c.llcBytes {
+			t.Errorf("%s: LLCBytes = %d, want %d", c.name, got, c.llcBytes)
+		}
+		// Per-tile resources identical to the paper tile.
+		p := c.m.Params()
+		d := coherence.DefaultParams()
+		if p.L1Sets != d.L1Sets || p.L1Ways != d.L1Ways || p.TLBEntries != d.TLBEntries ||
+			p.NCRTEntries != d.NCRTEntries || p.LLCSetsPerBank != d.LLCSetsPerBank ||
+			p.DirSetsPerBank != d.DirSetsPerBank {
+			t.Errorf("%s: tile resources diverge from Paper16: %+v", c.name, p)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, c := range []struct {
+		in    string
+		cores int
+	}{
+		{"", 16}, {"paper16", 16}, {"PAPER16", 16},
+		{"m32", 32}, {"machine32", 32}, {"32", 32},
+		{"m64", 64}, {"machine64", 64}, {"64", 64},
+		{"4", 4}, {"8", 8},
+	} {
+		m, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := m.Params().Cores; got != c.cores {
+			t.Errorf("Parse(%q): %d cores, want %d", c.in, got, c.cores)
+		}
+	}
+	for _, bad := range []string{"m128", "128", "12", "m12", "0", "-16", "paper", "mesh"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	// Every name Machine.Name can render parses back to the same machine
+	// (Name → Parse round-trip; m8 etc. appear in CLI output and table
+	// labels, so they must be valid inputs).
+	for _, cores := range []int{2, 4, 8, 16, 32, 64} {
+		m := Scaled(cores)
+		got, err := Parse(m.Name())
+		if err != nil {
+			t.Errorf("Parse(Scaled(%d).Name()=%q): %v", cores, m.Name(), err)
+			continue
+		}
+		if got.Params() != m.Params() {
+			t.Errorf("Name round-trip for %d cores: %+v != %+v", cores, got, m)
+		}
+	}
+}
+
+func TestPartialLiteralComposition(t *testing.T) {
+	// Only Cores set: every other field takes its Paper16 per-tile value.
+	m := Machine{Cores: 32}
+	if err := m.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	p := m.Params()
+	if p.Cores != 32 || p.MeshW != 8 || p.MeshH != 4 {
+		t.Fatalf("partial literal: %d cores %d×%d, want 32 cores 8×4", p.Cores, p.MeshW, p.MeshH)
+	}
+	if p.L1Sets != 64 || p.NCRTEntries != 32 {
+		t.Fatalf("partial literal lost tile defaults: %+v", p)
+	}
+	if m.Params() != Machine32().Params() {
+		t.Fatal("Machine{Cores: 32} must project like Machine32()")
+	}
+	// Explicit rectangular mesh override.
+	r := Machine{Cores: 16, MeshW: 8, MeshH: 2}
+	if err := r.Check(); err != nil {
+		t.Fatalf("8×2 mesh: %v", err)
+	}
+	if r.Name() != "custom16" {
+		t.Errorf("custom geometry Name = %q, want custom16", r.Name())
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	cases := map[string]Machine{
+		"non-pow2 cores":  {Cores: 12},
+		"too many cores":  {Cores: 128},
+		"mesh mismatch":   {Cores: 16, MeshW: 4, MeshH: 2},
+		"half-set mesh":   {Cores: 16, MeshW: 4, MeshH: -1},
+		"non-pow2 L1":     {L1Sets: 48},
+		"excessive assoc": {DirWays: 32},
+		"negative TLB":    {TLBEntries: -1},
+		"negative NCRT":   {NCRTEntries: -4},
+	}
+	for name, m := range cases {
+		if err := m.Check(); err == nil {
+			t.Errorf("%s: Check accepted %+v", name, m)
+		}
+	}
+}
+
+func TestFromParamsRoundTrip(t *testing.T) {
+	for _, m := range []Machine{Paper16(), Machine32(), Machine64()} {
+		if got := FromParams(m.Params()); got != m {
+			t.Errorf("FromParams(%s.Params()) = %+v, want %+v", m.Name(), got, m)
+		}
+	}
+}
+
+func TestStringAndNames(t *testing.T) {
+	if s := Machine64().String(); !strings.Contains(s, "m64") || !strings.Contains(s, "8×8") {
+		t.Errorf("String() = %q", s)
+	}
+	names := Names()
+	if len(names) != 3 {
+		t.Fatalf("Names() = %v", names)
+	}
+	for _, n := range names {
+		if _, err := Parse(n); err != nil {
+			t.Errorf("preset %q does not parse: %v", n, err)
+		}
+	}
+}
+
+func TestLogicalCPUs(t *testing.T) {
+	if got := Machine64().LogicalCPUs(0); got != 64 {
+		t.Errorf("LogicalCPUs(0) = %d, want 64", got)
+	}
+	if got := Paper16().LogicalCPUs(2); got != 32 {
+		t.Errorf("LogicalCPUs(2) = %d, want 32", got)
+	}
+}

@@ -1,0 +1,106 @@
+package noc
+
+import "testing"
+
+// TestDefaultMeshDims pins the canonical factorization the machine presets
+// rely on: near-square, wider than tall.
+func TestDefaultMeshDims(t *testing.T) {
+	cases := []struct{ n, w, h int }{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {8, 4, 2},
+		{16, 4, 4}, {32, 8, 4}, {64, 8, 8}, {128, 16, 8},
+	}
+	for _, c := range cases {
+		w, h := DefaultMeshDims(c.n)
+		if w != c.w || h != c.h {
+			t.Errorf("DefaultMeshDims(%d) = %d×%d, want %d×%d", c.n, w, h, c.w, c.h)
+		}
+	}
+}
+
+// TestMeshHopsAcrossGeometries is the table-driven geometry-scaling check
+// of the machine presets' interconnects: XY-routing hop counts on the 4×4
+// (Paper16), 8×4 (Machine32) and 8×8 (Machine64) meshes.
+func TestMeshHopsAcrossGeometries(t *testing.T) {
+	type hop struct {
+		from, to int
+		want     uint64
+	}
+	cases := []struct {
+		name  string
+		w, h  int
+		tiles int
+		hops  []hop
+	}{
+		{"paper16-4x4", 4, 4, 16, []hop{
+			{0, 0, 1},  // self: local router
+			{0, 3, 3},  // across the top row
+			{0, 12, 3}, // down the left column
+			{0, 15, 6}, // corner to corner: 3+3
+			{5, 10, 2}, // interior diagonal
+			{15, 0, 6}, // symmetric
+		}},
+		{"m32-8x4", 8, 4, 32, []hop{
+			{0, 0, 1},
+			{0, 7, 7},   // across the long edge
+			{0, 24, 3},  // down the short edge
+			{0, 31, 10}, // corner to corner: 7+3
+			{7, 24, 10}, // the other diagonal
+			{9, 18, 2},  // (1,1) → (2,2)
+		}},
+		{"m64-8x8", 8, 8, 64, []hop{
+			{0, 0, 1},
+			{0, 7, 7},
+			{0, 56, 7},
+			{0, 63, 14}, // corner to corner: 7+7
+			{63, 0, 14},
+			{9, 54, 10}, // (1,1) → (6,6): 5+5
+		}},
+	}
+	for _, c := range cases {
+		topo := NewMeshTopologyWH(c.w, c.h)
+		if topo.Tiles() != c.tiles {
+			t.Errorf("%s: %d tiles, want %d", c.name, topo.Tiles(), c.tiles)
+		}
+		net := NewNet(topo)
+		if w, h := net.Dims(); w != c.w || h != c.h {
+			t.Errorf("%s: Dims = %d×%d", c.name, w, h)
+		}
+		for _, hp := range c.hops {
+			if got := net.Hops(hp.from, hp.to); got != hp.want {
+				t.Errorf("%s: Hops(%d,%d) = %d, want %d", c.name, hp.from, hp.to, got, hp.want)
+			}
+			if got := net.Hops(hp.to, hp.from); got != hp.want {
+				t.Errorf("%s: Hops(%d,%d) asymmetric: %d != %d", c.name, hp.to, hp.from, got, hp.want)
+			}
+		}
+	}
+}
+
+// TestCanonicalMeshMatchesWH: NewMeshTopology(n) and the explicit canonical
+// dims must route identically.
+func TestCanonicalMeshMatchesWH(t *testing.T) {
+	for _, n := range []int{4, 16, 32, 64} {
+		a := NewNet(NewMeshTopology(n))
+		w, h := DefaultMeshDims(n)
+		b := NewNet(NewMeshTopologyWH(w, h))
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				if a.Hops(from, to) != b.Hops(from, to) {
+					t.Fatalf("n=%d: Hops(%d,%d) differ: %d vs %d",
+						n, from, to, a.Hops(from, to), b.Hops(from, to))
+				}
+			}
+		}
+	}
+}
+
+// TestNonSquareSide: Side() reports 0 for rectangular meshes so legacy
+// square-only callers cannot misread an 8×4 machine as having "side 8".
+func TestNonSquareSide(t *testing.T) {
+	if s := NewNet(NewMeshTopologyWH(8, 4)).Side(); s != 0 {
+		t.Errorf("Side() of 8×4 mesh = %d, want 0", s)
+	}
+	if s := NewNet(NewMeshTopologyWH(8, 8)).Side(); s != 8 {
+		t.Errorf("Side() of 8×8 mesh = %d, want 8", s)
+	}
+}

@@ -1,5 +1,7 @@
-// Package noc models the 4×4 mesh network-on-chip of the simulated machine
-// (Table I: 4x4 mesh, link 1 cycle, router 1 cycle).
+// Package noc models the network-on-chip of the simulated machine: a W×H
+// mesh with XY routing (Table I evaluates the 4×4 point; the machine
+// presets scale it to 8×4 and 8×8) with link 1 cycle, router 1 cycle, or
+// a bidirectional ring for the topology ablation.
 //
 // The simulator does not model contention or per-flit pipelining; it accounts
 // traffic (message count and bytes × hops, the metric behind Fig 7c) and
@@ -76,8 +78,8 @@ type Net struct {
 // Mesh is the historical name of Net; the default topology is a mesh.
 type Mesh = Net
 
-// NewMesh builds a mesh network for n tiles; n must be a square power of two
-// (16 → 4×4).
+// NewMesh builds a mesh network for n tiles (a positive power of two) at
+// the canonical DefaultMeshDims geometry (16 → 4×4, 32 → 8×4, 64 → 8×8).
 func NewMesh(n int) *Net { return NewNet(NewMeshTopology(n)) }
 
 // NewNet builds a network over an arbitrary topology.
@@ -92,12 +94,22 @@ func NewNet(t Topology) *Net {
 	return &Net{topo: t, hops: hops, tiles: n, HopCycles: 2}
 }
 
-// Side returns the mesh edge length in tiles (0 for non-mesh topologies).
+// Side returns the edge length of a square mesh in tiles (0 for non-mesh
+// topologies and rectangular meshes; use Dims for those).
 func (m *Net) Side() int {
-	if mt, ok := m.topo.(MeshTopology); ok {
-		return mt.side
+	if mt, ok := m.topo.(MeshTopology); ok && mt.w == mt.h {
+		return mt.w
 	}
 	return 0
+}
+
+// Dims returns the mesh width and height in tiles (0, 0 for non-mesh
+// topologies).
+func (m *Net) Dims() (w, h int) {
+	if mt, ok := m.topo.(MeshTopology); ok {
+		return mt.w, mt.h
+	}
+	return 0, 0
 }
 
 // Topology returns the underlying topology.

@@ -1,6 +1,9 @@
 package noc
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Topology computes hop distances between tiles. The mesh of Table I is the
 // default; a bidirectional ring is provided as an architectural ablation
@@ -16,31 +19,50 @@ type Topology interface {
 	Name() string
 }
 
-// MeshTopology is a square 2D mesh with XY routing.
-type MeshTopology struct{ side int }
+// MeshTopology is a W×H 2D mesh with XY routing. Tile i sits at column
+// i mod W, row i / W.
+type MeshTopology struct{ w, h int }
 
-// NewMeshTopology builds a mesh for n tiles (a square power of two).
-func NewMeshTopology(n int) MeshTopology {
+// DefaultMeshDims returns the canonical mesh dimensions for n tiles (a
+// positive power of two): as square as possible, wider than tall when n is
+// not a perfect square (16 → 4×4, 32 → 8×4, 64 → 8×8).
+func DefaultMeshDims(n int) (w, h int) {
 	if n <= 0 || n&(n-1) != 0 {
 		panic("noc: tile count must be a positive power of two")
 	}
 	lg := bits.Len(uint(n)) - 1
-	if lg%2 != 0 {
-		panic("noc: tile count must be a square (4, 16, 64, ...)")
+	w = 1 << ((lg + 1) / 2)
+	return w, n / w
+}
+
+// NewMeshTopology builds a mesh for n tiles (a positive power of two) at
+// the canonical DefaultMeshDims geometry.
+func NewMeshTopology(n int) MeshTopology {
+	w, h := DefaultMeshDims(n)
+	return NewMeshTopologyWH(w, h)
+}
+
+// NewMeshTopologyWH builds a w×h mesh (both positive).
+func NewMeshTopologyWH(w, h int) MeshTopology {
+	if w <= 0 || h <= 0 {
+		panic("noc: mesh dimensions must be positive")
 	}
-	return MeshTopology{side: 1 << (lg / 2)}
+	return MeshTopology{w: w, h: h}
 }
 
 // Tiles implements Topology.
-func (m MeshTopology) Tiles() int { return m.side * m.side }
+func (m MeshTopology) Tiles() int { return m.w * m.h }
 
 // Name implements Topology.
 func (m MeshTopology) Name() string { return "mesh" }
 
+// Dims returns the mesh width and height in tiles.
+func (m MeshTopology) Dims() (w, h int) { return m.w, m.h }
+
 // Hops implements Topology.
 func (m MeshTopology) Hops(from, to int) uint64 {
-	fx, fy := from%m.side, from/m.side
-	tx, ty := to%m.side, to/m.side
+	fx, fy := from%m.w, from/m.w
+	tx, ty := to%m.w, to/m.w
 	h := abs(fx-tx) + abs(fy-ty)
 	if h == 0 {
 		return 1
@@ -77,11 +99,24 @@ func (r RingTopology) Hops(from, to int) uint64 {
 	return uint64(d)
 }
 
-// NewTopology builds a topology by name ("mesh", "ring").
+// NewTopology builds a topology by name ("mesh", "ring") at the canonical
+// geometry for the tile count.
 func NewTopology(name string, tiles int) Topology {
+	return NewTopologyWH(name, tiles, 0, 0)
+}
+
+// NewTopologyWH builds a topology by name with explicit mesh dimensions;
+// w and h of 0 select DefaultMeshDims(tiles). Rings ignore the dimensions.
+func NewTopologyWH(name string, tiles, w, h int) Topology {
 	switch name {
 	case "", "mesh":
-		return NewMeshTopology(tiles)
+		if w == 0 && h == 0 {
+			return NewMeshTopology(tiles)
+		}
+		if w*h != tiles {
+			panic(fmt.Sprintf("noc: %d×%d mesh cannot connect %d tiles", w, h, tiles))
+		}
+		return NewMeshTopologyWH(w, h)
 	case "ring":
 		return NewRingTopology(tiles)
 	}

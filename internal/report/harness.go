@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"raccd/internal/coherence"
+	"raccd/internal/machine"
 	"raccd/internal/resultstore"
 	"raccd/internal/runner"
 	"raccd/internal/sim"
@@ -20,6 +21,10 @@ type Matrix struct {
 	// ADR adds RaCCD+ADR (and PT+ADR if PT is in Systems) runs at 1:1.
 	ADR   bool
 	Scale float64
+	// Machine selects the simulated chip geometry for every run of the
+	// sweep; the zero value is the paper's 16-core machine. Use
+	// RunMachinesContext to sweep the same matrix across several machines.
+	Machine machine.Machine
 	// Validate enables golden-memory and invariant checking on every run.
 	Validate bool
 	// Jobs is the number of simulations run concurrently: 0 selects one
@@ -127,9 +132,8 @@ func (m Matrix) RunContext(ctx context.Context) (*Set, error) {
 	err := runner.Run(ctx, m.Jobs, len(specs),
 		func(_ context.Context, i int) (sim.Result, error) {
 			s := specs[i]
-			cfg := sim.DefaultConfig(s.sys, s.ratio)
+			cfg := m.config(s.sys, s.ratio)
 			cfg.ADR = s.adr
-			cfg.Validate = m.Validate
 			res, err := m.simulate(cfg, s.name)
 			if err != nil {
 				return sim.Result{}, fmt.Errorf("report: run %v (scale %g): %w", s, m.Scale, err)
@@ -174,9 +178,8 @@ func (m Matrix) RunNCRTSweepContext(ctx context.Context) (map[uint64]map[string]
 	err := runner.Run(ctx, m.Jobs, len(specs),
 		func(_ context.Context, i int) (sim.Result, error) {
 			s := specs[i]
-			cfg := sim.DefaultConfig(coherence.RaCCD, 1)
+			cfg := m.config(coherence.RaCCD, 1)
 			cfg.Params.NCRTLookupCycles = s.lat
-			cfg.Validate = m.Validate
 			res, err := m.simulate(cfg, s.name)
 			if err != nil {
 				return sim.Result{}, fmt.Errorf("report: run %s/RaCCD 1:1 ncrt=%d (scale %g): %w", s.name, s.lat, m.Scale, err)

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"raccd/internal/machine"
+)
+
+// TestEmitMachineBench measures sweep throughput across the machine-size
+// axis — the paper's Fig 2 matrix on the 16-core and 64-core presets — and
+// writes BENCH_machine.json when BENCH_MACHINE_OUT is set:
+//
+//	BENCH_MACHINE_OUT=$PWD/BENCH_machine.json go test ./internal/report -run TestEmitMachineBench -v
+//
+// BENCH_MACHINE_SCALE (default 1.0) sizes the problems. A 64-core machine
+// simulates the same problem with 4× the hierarchy state and a 2×-longer
+// mesh, so runs/s drops; the record keeps the perf trajectory honest as
+// the geometry axis grows.
+func TestEmitMachineBench(t *testing.T) {
+	out := os.Getenv("BENCH_MACHINE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_MACHINE_OUT=<path> to run the machine benchmark")
+	}
+	scale := 1.0
+	if s := os.Getenv("BENCH_MACHINE_SCALE"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("BENCH_MACHINE_SCALE: %v", err)
+		}
+		scale = v
+	}
+
+	fig2 := func(m machine.Machine) Matrix {
+		mx := DefaultMatrix()
+		mx.Ratios = []int{1}
+		mx.ADR = false
+		mx.Scale = scale
+		mx.Machine = m
+		return mx
+	}
+
+	headline := map[string]any{}
+	var runsPerSec [2]float64
+	presets := []machine.Machine{machine.Paper16(), machine.Machine64()}
+	for i, m := range presets {
+		mx := fig2(m)
+		runs := mx.NumRuns()
+		start := time.Now()
+		if _, err := mx.Run(); err != nil {
+			t.Fatalf("%s sweep: %v", m.Name(), err)
+		}
+		elapsed := time.Since(start)
+		runsPerSec[i] = float64(runs) / elapsed.Seconds()
+		headline[m.Name()+"_sweep_ns"] = elapsed.Nanoseconds()
+		headline[m.Name()+"_runs_per_s"] = runsPerSec[i]
+		headline[m.Name()+"_runs"] = runs
+		t.Logf("%s: %d runs in %v (%.1f runs/s)", m.Name(), runs, elapsed, runsPerSec[i])
+	}
+	headline["slowdown_64_vs_16"] = runsPerSec[0] / runsPerSec[1]
+
+	doc := map[string]any{
+		"description": fmt.Sprintf(
+			"Sweep throughput across the machine-size axis: the paper's Fig 2 matrix (nine benchmarks x FullCoh/PT/RaCCD at 1:1, scale %g) on the 16-core paper16 and 64-core m64 presets. Regenerate with BENCH_MACHINE_OUT=$PWD/BENCH_machine.json go test ./internal/report -run TestEmitMachineBench.",
+			scale),
+		"date":     time.Now().Format("2006-01-02"),
+		"machine":  fmt.Sprintf("%s/%s, %d CPU, %s", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.Version()),
+		"headline": headline,
+		"notes": []string{
+			"The 64-core preset keeps Paper16 per-tile resources: 4x directory and LLC capacity, an 8x8 mesh, the same problem sizes — so per-run cost grows with hierarchy state and hop distances, not with task count.",
+			"Paper16 byte-compatibility is pinned by report.TestSweepMatchesSeedGolden; m64 correctness by the cross-preset determinism and geometry tests.",
+		},
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -10,8 +10,11 @@ import (
 
 // Table1 renders the simulated machine configuration next to the paper's
 // Table I, making the ÷16 capacity scaling explicit.
-func Table1() string {
-	p := coherence.DefaultParams()
+func Table1() string { return Table1For(coherence.DefaultParams()) }
+
+// Table1For renders the Table I comparison for an arbitrary machine
+// geometry (the left column stays the paper's published machine).
+func Table1For(p coherence.Params) string {
 	var b strings.Builder
 	b.WriteString("Table I: simulated machine (paper value → ÷16-scaled value used here)\n")
 	row := func(name, paper, ours string) {
@@ -30,7 +33,11 @@ func Table1() string {
 	row("Directory", "524288 entries, 32768/bank, 8-way",
 		fmt.Sprintf("%d entries, %d/bank, %d-way",
 			p.Cores*p.DirSetsPerBank*p.DirWays, p.DirSetsPerBank*p.DirWays, p.DirWays))
-	row("NoC", "4x4 mesh, link 1 + router 1 cycle", "4x4 mesh, 2 cycles/hop")
+	noc := fmt.Sprintf("%dx%d mesh, 2 cycles/hop", p.MeshW, p.MeshH)
+	if p.NoCTopology == "ring" {
+		noc = fmt.Sprintf("%d-tile ring, 2 cycles/hop", p.Cores)
+	}
+	row("NoC", "4x4 mesh, link 1 + router 1 cycle", noc)
 	row("Memory", "(gem5 DRAM model)", fmt.Sprintf("%d cycles flat", p.MemCycles))
 	row("NCRT", "32 entries/core, 1 cycle",
 		fmt.Sprintf("%d entries/core, %d cycle(s), thread-tagged", p.NCRTEntries, p.NCRTLookupCycles))

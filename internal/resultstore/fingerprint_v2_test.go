@@ -1,0 +1,68 @@
+package resultstore
+
+import (
+	"strings"
+	"testing"
+
+	"raccd/internal/coherence"
+	"raccd/internal/sim"
+)
+
+// TestFingerprintV2InvalidatesV1Objects pins the cache-migration story of
+// the fingerprint schema bump: results stored under a v1 fingerprint key —
+// the pre-parametric-machine canonical form — are clean misses for every
+// v2 key, never stale hits and never errors, and both generations coexist
+// in one directory (a shared cache dir may be served by old and new
+// binaries during a rolling upgrade).
+func TestFingerprintV2InvalidatesV1Objects(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(coherence.RaCCD, 16)
+	v2 := cfg.Fingerprint()
+	if !strings.HasPrefix(v2, "cfg/v2 ") {
+		t.Fatalf("current fingerprint %q is not v2; update this test alongside the schema", v2)
+	}
+	// Reconstruct what a v1 binary would have written for the same
+	// machine: the same sorted pairs minus the mesh keys, under the v1
+	// version tag.
+	var v1Pairs []string
+	for _, pair := range strings.Fields(strings.TrimPrefix(v2, "cfg/v2 ")) {
+		if strings.HasPrefix(pair, "meshw=") || strings.HasPrefix(pair, "meshh=") {
+			continue
+		}
+		v1Pairs = append(v1Pairs, pair)
+	}
+	v1 := "cfg/v1 " + strings.Join(v1Pairs, " ")
+	const workload = "bench:Jacobi/1"
+
+	stale := sim.Result{Workload: "Jacobi", Cycles: 12345}
+	if err := st.Put(KeyOf(v1, workload), stale); err != nil {
+		t.Fatal(err)
+	}
+
+	// The v2 key must miss cleanly — the stale v1 result is unreachable.
+	if res, ok := st.Get(KeyOf(v2, workload)); ok {
+		t.Fatalf("v2 key hit a v1 object: %+v", res)
+	}
+	if st.Stats().Misses != 1 {
+		t.Fatalf("stats after v2 probe: %+v", st.Stats())
+	}
+
+	// GetOrCompute recomputes and stores under v2 without disturbing the
+	// v1 object: both generations coexist.
+	fresh := sim.Result{Workload: "Jacobi", Cycles: 999}
+	res, cached, err := st.GetOrCompute(KeyOf(v2, workload), func() (sim.Result, error) {
+		return fresh, nil
+	})
+	if err != nil || cached || res.Cycles != fresh.Cycles {
+		t.Fatalf("GetOrCompute: res=%+v cached=%v err=%v", res, cached, err)
+	}
+	if res, ok := st.Get(KeyOf(v1, workload)); !ok || res.Cycles != stale.Cycles {
+		t.Fatalf("v1 object disturbed: ok=%v res=%+v", ok, res)
+	}
+	if res, ok := st.Get(KeyOf(v2, workload)); !ok || res.Cycles != fresh.Cycles {
+		t.Fatalf("v2 object not stored: ok=%v res=%+v", ok, res)
+	}
+}

@@ -1,0 +1,48 @@
+package rts
+
+import (
+	"errors"
+	"testing"
+
+	"raccd/internal/mem"
+)
+
+// nullMachine is a zero-latency machine for runtime-only tests.
+type nullMachine struct{}
+
+func (nullMachine) Access(int, mem.Addr, bool, uint64) uint64 { return 0 }
+func (nullMachine) RegisterRegion(int, mem.Range) uint64      { return 0 }
+func (nullMachine) InvalidateNC(int) uint64                   { return 0 }
+
+// TestRunCancel: a tripped Cancel hook aborts the dispatch loop without
+// executing further tasks.
+func TestRunCancel(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 8; i++ {
+		g.Add("t", nil, func(c *Ctx) { c.Compute(10) })
+	}
+	errStop := errors.New("stop")
+	var dispatched int
+	rt := NewRuntime(nullMachine{}, 2, nil)
+	rt.Cancel = func() error {
+		dispatched++
+		if dispatched > 3 {
+			return errStop
+		}
+		return nil
+	}
+	rt.Run(g)
+	if rt.Stats.TasksRun >= 8 {
+		t.Fatalf("cancelled run executed all %d tasks", rt.Stats.TasksRun)
+	}
+	// An unset hook runs to completion.
+	g2 := NewGraph()
+	for i := 0; i < 8; i++ {
+		g2.Add("t", nil, func(c *Ctx) { c.Compute(10) })
+	}
+	rt2 := NewRuntime(nullMachine{}, 2, nil)
+	rt2.Run(g2)
+	if rt2.Stats.TasksRun != 8 {
+		t.Fatalf("uncancelled run executed %d tasks, want 8", rt2.Stats.TasksRun)
+	}
+}

@@ -137,6 +137,12 @@ type Runtime struct {
 	// by workload tests.
 	StrictAnnotations bool
 
+	// Cancel, when non-nil, is polled before every task dispatch; a
+	// non-nil return abandons the run immediately (context.Context.Err
+	// threaded in by sim.RunContext). The partial makespan an abandoned
+	// run returns is meaningless; callers must discard it.
+	Cancel func() error
+
 	// The runtime system's own memory traffic. Task descriptors and the
 	// ready queue live in shared memory and are touched coherently by
 	// every scheduling and wake-up phase; task bodies also touch their
@@ -224,6 +230,9 @@ func (r *Runtime) Run(g *Graph) (makespan uint64) {
 	}
 	remaining := g.NumTasks()
 	for remaining > 0 {
+		if r.Cancel != nil && r.Cancel() != nil {
+			return 0
+		}
 		// Pick the core with the smallest clock.
 		c := 0
 		for i := 1; i < r.Cores; i++ {

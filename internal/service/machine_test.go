@@ -1,0 +1,104 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"raccd/client"
+)
+
+// TestRunOnMachinePresetOverHTTP is the service leg of the machine-model
+// acceptance criteria: the same run submitted on two machine presets must
+// simulate twice (distinct fingerprints → distinct cache keys), and the
+// result CSVs must differ — the 8×8 mesh carries different NoC traffic.
+func TestRunOnMachinePresetOverHTTP(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	ctx := context.Background()
+
+	submit := func(machine string) string {
+		t.Helper()
+		st, err := c.SubmitRun(ctx, client.RunRequest{
+			Workload: "Jacobi", Scale: 0.1,
+			System: "RaCCD", DirRatio: 1, Machine: machine,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err = c.Wait(ctx, st.ID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "done" {
+			t.Fatalf("machine %q: job %s: %+v", machine, st.State, st)
+		}
+		csv, err := c.Result(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return csv
+	}
+
+	paper := submit("")    // default: paper16
+	big := submit("m64")   // 64 cores, 8×8 mesh
+	again := submit("m64") // warm: served from cache
+	if paper == big {
+		t.Error("paper16 and m64 runs returned identical CSV; machine not threaded through")
+	}
+	if big != again {
+		t.Error("repeated m64 run not byte-identical")
+	}
+	st := s.Stats()
+	if st.SimsRun != 2 {
+		t.Errorf("sims_run = %d, want 2 (paper16 + m64, the repeat cached)", st.SimsRun)
+	}
+	if st.CacheHits != 1 {
+		t.Errorf("cache_hits = %d, want 1", st.CacheHits)
+	}
+}
+
+// TestSweepOnMachinePresetOverHTTP submits a tiny sweep pinned to a
+// machine preset and checks it completes with per-run CSV rows.
+func TestSweepOnMachinePresetOverHTTP(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	st, err := c.SubmitSweep(ctx, client.SweepRequest{
+		Workloads: []string{"MD5"},
+		Systems:   []string{"PT", "RaCCD"},
+		Ratios:    []int{1},
+		Scale:     0.05,
+		Machine:   "m32",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Wait(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.RunsDone != 2 {
+		t.Fatalf("sweep: %+v", st)
+	}
+	csv, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv, "MD5,PT,1,") || !strings.Contains(csv, "MD5,RaCCD,1,") {
+		t.Fatalf("sweep CSV missing rows:\n%s", csv)
+	}
+}
+
+// TestBadMachineRejected: an unknown machine name is a 400 at submission,
+// for both runs and sweeps.
+func TestBadMachineRejected(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	_, err := c.SubmitRun(ctx, client.RunRequest{Workload: "Jacobi", System: "PT", Machine: "m128"})
+	if apiErr, ok := err.(*client.APIError); !ok || apiErr.StatusCode != 400 {
+		t.Fatalf("run with bad machine: err = %v, want 400", err)
+	}
+	_, err = c.SubmitSweep(ctx, client.SweepRequest{Scale: 0.05, Machine: "quantum"})
+	if apiErr, ok := err.(*client.APIError); !ok || apiErr.StatusCode != 400 {
+		t.Fatalf("sweep with bad machine: err = %v, want 400", err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"raccd/internal/coherence"
+	"raccd/internal/machine"
 	"raccd/internal/report"
 	"raccd/internal/resultstore"
 	"raccd/internal/sim"
@@ -157,11 +158,10 @@ func (s *Server) executeJob(j *job) (csv string, err error) {
 // Shutdown drains the daemon: new submissions are rejected immediately,
 // and the workers get until ctx's deadline to finish every accepted job
 // (in-flight and queued). When the deadline passes, remaining jobs are
-// cancelled — sweeps stop at the next run boundary and jobs that have
-// not started their simulation are marked canceled; an individual
-// simulation already in flight is not preemptible and is awaited. It
-// returns nil on a clean drain, or ctx's error when the deadline forced
-// cancellation.
+// cancelled — sweeps stop at the next run boundary, a single simulation
+// already in flight aborts at its next task dispatch (sim.RunContext),
+// and jobs that have not started are marked canceled. It returns nil on
+// a clean drain, or ctx's error when the deadline forced cancellation.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closing {
@@ -199,7 +199,11 @@ type RunRequest struct {
 	Workload string  `json:"workload"`
 	Scale    float64 `json:"scale,omitempty"` // default 1.0
 
-	System       string  `json:"system"`              // FullCoh, PT, PT-RO, RaCCD
+	System string `json:"system"` // FullCoh, PT, PT-RO, RaCCD
+	// Machine selects the simulated chip geometry: a preset name
+	// ("paper16", "m32", "m64") or a power-of-two core count ("32").
+	// Empty selects the paper's 16-core machine.
+	Machine      string  `json:"machine,omitempty"`
 	DirRatio     int     `json:"dir_ratio,omitempty"` // default 1
 	ADR          bool    `json:"adr,omitempty"`
 	Scheduler    string  `json:"scheduler,omitempty"`
@@ -217,11 +221,16 @@ func (r RunRequest) config() (sim.Config, error) {
 	if err != nil {
 		return sim.Config{}, err
 	}
+	mach, err := machine.Parse(r.Machine)
+	if err != nil {
+		return sim.Config{}, err
+	}
 	ratio := r.DirRatio
 	if ratio == 0 {
 		ratio = 1
 	}
 	cfg := sim.DefaultConfig(mode, ratio)
+	cfg.Params = mach.Params()
 	cfg.ADR = r.ADR
 	cfg.Scheduler = r.Scheduler
 	cfg.SMTWays = r.SMTWays
@@ -249,8 +258,11 @@ type SweepRequest struct {
 	Systems   []string `json:"systems,omitempty"`   // default: FullCoh, PT, RaCCD
 	Ratios    []int    `json:"ratios,omitempty"`    // default: 1..256
 	ADR       bool     `json:"adr,omitempty"`
-	Scale     float64  `json:"scale,omitempty"`    // default 1.0
-	Validate  *bool    `json:"validate,omitempty"` // default true
+	// Machine selects the chip geometry for every run of the sweep
+	// ("paper16" when empty; see RunRequest.Machine).
+	Machine  string  `json:"machine,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`    // default 1.0
+	Validate *bool   `json:"validate,omitempty"` // default true
 }
 
 // matrix materializes the request as a report.Matrix wired to the
@@ -260,6 +272,11 @@ func (s *Server) matrix(r SweepRequest) (report.Matrix, error) {
 	m.Jobs = s.opts.SimJobs
 	m.Cache = s.opts.Store
 	m.ADR = r.ADR
+	mach, err := machine.Parse(r.Machine)
+	if err != nil {
+		return report.Matrix{}, err
+	}
+	m.Machine = mach
 	if len(r.Workloads) > 0 {
 		m.Workloads = r.Workloads
 	}
@@ -289,7 +306,9 @@ func (s *Server) matrix(r SweepRequest) (report.Matrix, error) {
 	}
 	for _, sys := range m.Systems {
 		for _, ratio := range m.Ratios {
-			if err := sim.DefaultConfig(sys, ratio).Check(); err != nil {
+			cfg := sim.DefaultConfig(sys, ratio)
+			cfg.Params = mach.Params()
+			if err := cfg.Check(); err != nil {
 				return report.Matrix{}, err
 			}
 		}
@@ -354,8 +373,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	j.execute = func(j *job) (string, error) {
 		res, cached, err := store.GetOrCompute(key, func() (sim.Result, error) {
 			// Forced shutdown between dequeue and compute: don't start a
-			// simulation nobody will wait for (a simulation already in
-			// flight is not preemptible).
+			// simulation nobody will wait for.
 			if err := runCtx.Err(); err != nil {
 				return sim.Result{}, err
 			}
@@ -363,7 +381,9 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			return sim.Run(w, cfg)
+			// RunContext: a forced shutdown aborts even a single
+			// in-flight simulation at its next task dispatch.
+			return sim.RunContext(runCtx, w, cfg)
 		})
 		if err != nil {
 			return "", err

@@ -7,12 +7,17 @@ import (
 	"strings"
 
 	"raccd/internal/coherence"
+	"raccd/internal/noc"
 	"raccd/internal/rts"
 )
 
 // fingerprintVersion is bumped whenever the canonical form below changes
 // meaning, so stale cached results can never be mistaken for current ones.
-const fingerprintVersion = 1
+//
+// v2: the machine geometry became parametric — meshw/meshh joined the
+// canonical form (and cores/cache/directory fields became genuinely
+// variable through raccd.Machine). Every v1 key is a clean miss under v2.
+const fingerprintVersion = 2
 
 // Fingerprint returns the canonical identity of the simulated machine this
 // configuration describes: two Configs produce the same fingerprint exactly
@@ -25,8 +30,10 @@ const fingerprintVersion = 1
 //   - Canonical: zero-value fields are normalized to what Run actually
 //     uses before rendering (Params zero → DefaultParams, DirRatio 0 → 1,
 //     Scheduler "" → fifo, SMTWays 0 → 1, ComputePerAccess 0 → the
-//     runtime default, NoCTopology "" → mesh), so a default-by-omission
-//     Config and an explicit-default Config fingerprint identically.
+//     runtime default, NoCTopology "" → mesh, mesh dims 0×0 → the
+//     canonical noc.DefaultMeshDims factorization), so a default-by-
+//     omission Config and an explicit-default Config fingerprint
+//     identically.
 //   - Field-order-independent: fields are emitted as sorted key=value
 //     pairs, so the rendering never depends on struct layout.
 //   - Complete over result-affecting fields: every Config field and every
@@ -55,6 +62,14 @@ func (c Config) Fingerprint() string {
 	if p.NoCTopology == "" {
 		p.NoCTopology = "mesh"
 	}
+	if p.Cores > 0 && p.Cores&(p.Cores-1) == 0 {
+		if p.MeshW == 0 && p.MeshH == 0 || p.NoCTopology == "ring" {
+			// Unset dims take the canonical factorization; a ring ignores
+			// mesh dims entirely, so they are normalized away — otherwise
+			// identical ring simulations would get distinct cache keys.
+			p.MeshW, p.MeshH = noc.DefaultMeshDims(p.Cores)
+		}
+	}
 	pairs := []string{
 		"system=" + c.System.String(),
 		"dirratio=" + strconv.Itoa(c.DirRatio),
@@ -63,6 +78,8 @@ func (c Config) Fingerprint() string {
 		"smt=" + strconv.Itoa(c.SMTWays),
 		"compute=" + strconv.FormatUint(c.ComputePerAccess, 10),
 		"cores=" + strconv.Itoa(p.Cores),
+		"meshw=" + strconv.Itoa(p.MeshW),
+		"meshh=" + strconv.Itoa(p.MeshH),
 		"l1sets=" + strconv.Itoa(p.L1Sets),
 		"l1ways=" + strconv.Itoa(p.L1Ways),
 		"llcsets=" + strconv.Itoa(p.LLCSetsPerBank),

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"raccd/internal/coherence"
+	"raccd/internal/machine"
 )
 
 // TestFingerprintDistinct enumerates every configuration the evaluation
@@ -95,6 +96,8 @@ func TestFingerprintSensitive(t *testing.T) {
 		"contiguity":   func(c *Config) { c.Params.Contiguity = 0.5 },
 		"seed":         func(c *Config) { c.Params.Seed = 7 },
 		"noc":          func(c *Config) { c.Params.NoCTopology = "ring" },
+		"mesh-dims":    func(c *Config) { c.Params.MeshW, c.Params.MeshH = 8, 2 },
+		"cores":        func(c *Config) { c.Params = machine.Machine64().Params() },
 	}
 	for name, f := range mutate {
 		cfg := base
@@ -113,14 +116,15 @@ func TestFingerprintCoversAllFields(t *testing.T) {
 	if n := reflect.TypeOf(Config{}).NumField(); n != 8 {
 		t.Errorf("sim.Config has %d fields, Fingerprint was written for 8 — extend it and update this count", n)
 	}
-	if n := reflect.TypeOf(coherence.Params{}).NumField(); n != 18 {
-		t.Errorf("coherence.Params has %d fields, Fingerprint was written for 18 — extend it and update this count", n)
+	if n := reflect.TypeOf(coherence.Params{}).NumField(); n != 20 {
+		t.Errorf("coherence.Params has %d fields, Fingerprint was written for 20 — extend it and update this count", n)
 	}
 	// Every key appears exactly once in the rendering.
 	fp := DefaultConfig(coherence.RaCCD, 1).Fingerprint()
 	for _, key := range []string{"system=", "dirratio=", "adr=", "sched=", "smt=",
-		"compute=", "cores=", "l1sets=", "l1ways=", "llcsets=", "llcways=",
-		"dirsets=", "dirways=", "dirminsets=", "ncrt=", "ncrtlat=", "tlb=",
+		"compute=", "cores=", "meshw=", "meshh=", "l1sets=", "l1ways=",
+		"llcsets=", "llcways=", "dirsets=", "dirways=", "dirminsets=",
+		"ncrt=", "ncrtlat=", "tlb=",
 		"l1hit=", "llccyc=", "memcyc=", "wt=", "contig=", "seed=", "noc="} {
 		if strings.Count(fp, " "+key) != 1 {
 			t.Errorf("fingerprint %q: key %q appears %d times, want 1", fp, key, strings.Count(fp, " "+key))

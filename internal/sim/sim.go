@@ -4,12 +4,15 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"raccd/internal/coherence"
 	"raccd/internal/core"
 	"raccd/internal/energy"
+	"raccd/internal/machine"
 	"raccd/internal/mem"
+	"raccd/internal/noc"
 	"raccd/internal/rts"
 	"raccd/internal/tracefile"
 )
@@ -79,6 +82,21 @@ func (c Config) Check() error {
 	if params.Cores == 0 {
 		params = coherence.DefaultParams()
 	}
+	if params.Cores <= 0 || params.Cores&(params.Cores-1) != 0 {
+		return fmt.Errorf("sim: core count %d must be a positive power of two", params.Cores)
+	}
+	if params.Cores > machine.MaxCores {
+		return fmt.Errorf("sim: core count %d exceeds the %d-bit directory sharer vector", params.Cores, machine.MaxCores)
+	}
+	if params.NoCTopology == "" || params.NoCTopology == "mesh" {
+		w, h := params.MeshW, params.MeshH
+		if w == 0 && h == 0 {
+			w, h = noc.DefaultMeshDims(params.Cores)
+		}
+		if w <= 0 || h <= 0 || w*h != params.Cores {
+			return fmt.Errorf("sim: %d×%d mesh cannot connect %d cores", params.MeshW, params.MeshH, params.Cores)
+		}
+	}
 	if c.DirRatio < 0 {
 		return fmt.Errorf("sim: negative directory ratio 1:%d", c.DirRatio)
 	}
@@ -140,6 +158,13 @@ type Result struct {
 
 // Run executes workload w under cfg and returns the collected metrics.
 func Run(w Workload, cfg Config) (Result, error) {
+	return RunContext(context.Background(), w, cfg)
+}
+
+// RunContext is Run with cancellation: the runtime polls ctx at every task
+// dispatch, so even a single long simulation — not just a sweep — stops
+// promptly when ctx is cancelled, returning ctx's error.
+func RunContext(ctx context.Context, w Workload, cfg Config) (Result, error) {
 	if err := cfg.Check(); err != nil {
 		return Result{}, err
 	}
@@ -179,18 +204,24 @@ func Run(w Workload, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("sim: %s: %w", w.Name(), err)
 	}
 
-	var machine rts.Machine = h
+	var mach rts.Machine = h
 	logical := params.Cores
 	if cfg.SMTWays > 1 {
-		machine = smtMachine{h: h, ways: cfg.SMTWays}
+		mach = smtMachine{h: h, ways: cfg.SMTWays}
 		logical = params.Cores * cfg.SMTWays
 	}
-	rt := rts.NewRuntime(machine, logical, rts.NewScheduler(cfg.Scheduler))
+	rt := rts.NewRuntime(mach, logical, rts.NewScheduler(cfg.Scheduler))
 	if cfg.ComputePerAccess != 0 {
 		rt.ComputePerAccess = cfg.ComputePerAccess
 	}
 	rt.StrictAnnotations = cfg.Validate
+	if ctx.Done() != nil {
+		rt.Cancel = ctx.Err
+	}
 	cycles := rt.Run(g)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 
 	if cfg.Validate {
 		if err := h.CheckInvariants(); err != nil {

@@ -2,10 +2,12 @@
 // "Runtime-Assisted Cache Coherence Deactivation in Task Parallel Programs"
 // (Caheny, Alvarez, Valero, Moretó, Casas — SC 2018).
 //
-// It models a 16-core machine with private L1 caches, a banked shared LLC,
-// a MESI directory, a 4×4 mesh NoC, TLBs and a page table; a task-based
-// data-flow runtime (tasks with in/out/inout range annotations, dependence
-// graph, dynamic scheduling); and four coherence schemes:
+// It models a parametric tiled machine — private L1 caches, a banked
+// shared LLC, a MESI directory, a W×H mesh NoC, TLBs and a page table —
+// whose default geometry is the paper's 16-core, 4×4-mesh chip (see
+// Machine and docs/MACHINE.md for the 32- and 64-core presets); a
+// task-based data-flow runtime (tasks with in/out/inout range annotations,
+// dependence graph, dynamic scheduling); and four coherence schemes:
 //
 //   - FullCoh — the conventional baseline that tracks every block.
 //   - PT      — OS page-table private/shared classification (Cuesta [5]).
@@ -102,6 +104,11 @@ type Matrix = report.Matrix
 type Config struct {
 	// System is FullCoh, PT or RaCCD.
 	System System
+	// Machine is the simulated chip geometry; the zero value is the
+	// paper's 16-core machine (Paper16). Select presets with Machine32,
+	// Machine64 or ScaledMachine, or compose a custom geometry — see
+	// docs/MACHINE.md.
+	Machine Machine
 	// DirRatio is the 1:N directory reduction; 1, 2, 4, 8, 16, 64 or 256.
 	DirRatio int
 	// ADR enables Adaptive Directory Reduction (PT or RaCCD only).
@@ -148,11 +155,15 @@ func (c Config) Check() error {
 	if c.NCRTEntries < 0 {
 		return fmt.Errorf("raccd: negative NCRT capacity %d", c.NCRTEntries)
 	}
+	if err := c.Machine.Check(); err != nil {
+		return err
+	}
 	return c.toSim().Check()
 }
 
 func (c Config) toSim() sim.Config {
 	cfg := sim.DefaultConfig(c.System, c.DirRatio)
+	cfg.Params = c.Machine.Params()
 	cfg.ADR = c.ADR
 	cfg.Scheduler = c.Scheduler
 	cfg.Validate = c.Validate
@@ -190,10 +201,17 @@ func WorkloadIdentity(name string, scale float64) (string, error) {
 // Run executes workload w under cfg. Invalid configurations fail with a
 // descriptive error before any simulation work (see Config.Check).
 func Run(w Workload, cfg Config) (Result, error) {
+	return RunContext(context.Background(), w, cfg)
+}
+
+// RunContext is Run with cancellation: the simulator polls ctx at every
+// task dispatch, so even one long-running simulation stops promptly when
+// ctx is cancelled, returning ctx's error.
+func RunContext(ctx context.Context, w Workload, cfg Config) (Result, error) {
 	if err := cfg.Check(); err != nil {
 		return Result{}, err
 	}
-	return sim.Run(w, cfg.toSim())
+	return sim.RunContext(ctx, w, cfg.toSim())
 }
 
 // Benchmarks returns every bundled workload name (the paper's nine plus
@@ -277,9 +295,10 @@ func RunSweepContext(ctx context.Context, m Matrix) (*ResultSet, error) { return
 func Table3() string { return report.Table3() }
 
 // Validate runs a minimal self-check of the simulator: a small workload on
-// every system with full validation, returning the first error found.
+// every shipped system — FullCoh, PT, PT-RO and RaCCD — with full
+// validation, returning the first error found.
 func Validate() error {
-	for _, sys := range []System{FullCoh, PT, RaCCD} {
+	for _, sys := range []System{FullCoh, PT, PTRO, RaCCD} {
 		w, err := NewWorkload("Jacobi", 0.05)
 		if err != nil {
 			return err
