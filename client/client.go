@@ -59,6 +59,12 @@ type RunRequest struct {
 	WriteThrough bool    `json:"write_through,omitempty"`
 	Contiguity   float64 `json:"contiguity,omitempty"`
 	Validate     *bool   `json:"validate,omitempty"`
+	// Engine/Shards select how the server executes the simulation:
+	// "seq" (one goroutine) or "epoch" (Shards parallel workers; 0 →
+	// one per server CPU). Empty uses the server's default. Engines are
+	// metric-identical, so the result bytes never depend on them.
+	Engine string `json:"engine,omitempty"`
+	Shards int    `json:"shards,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweeps. Zero-value fields select
@@ -74,6 +80,10 @@ type SweepRequest struct {
 	Machine  string  `json:"machine,omitempty"`
 	Scale    float64 `json:"scale,omitempty"`
 	Validate *bool   `json:"validate,omitempty"`
+	// Engine/Shards select how the server executes each simulation of
+	// the sweep (see RunRequest.Engine). Empty uses the server default.
+	Engine string `json:"engine,omitempty"`
+	Shards int    `json:"shards,omitempty"`
 }
 
 // Status mirrors the service's job status JSON.
@@ -112,12 +122,25 @@ type Stats struct {
 	RunsCompleted uint64         `json:"runs_completed"`
 	SimsRun       uint64         `json:"sims_run"`
 	SimsPerSec    float64        `json:"sims_per_sec"`
-	CacheHits     uint64         `json:"cache_hits"`
-	CacheMisses   uint64         `json:"cache_misses"`
-	CacheHitRate  float64        `json:"cache_hit_rate"`
-	CacheBytes    uint64         `json:"cache_bytes"`
-	CacheObjects  int            `json:"cache_objects"`
-	CacheEvicted  uint64         `json:"cache_evictions"`
+	// Engine/Shards echo the server's default execution engine;
+	// EngineSims breaks executed simulations down by the engine that
+	// ran them (keyed by engine name).
+	Engine       string                `json:"engine"`
+	Shards       int                   `json:"shards,omitempty"`
+	EngineSims   map[string]EngineSims `json:"engine_sims,omitempty"`
+	CacheHits    uint64                `json:"cache_hits"`
+	CacheMisses  uint64                `json:"cache_misses"`
+	CacheHitRate float64               `json:"cache_hit_rate"`
+	CacheBytes   uint64                `json:"cache_bytes"`
+	CacheObjects int                   `json:"cache_objects"`
+	CacheEvicted uint64                `json:"cache_evictions"`
+}
+
+// EngineSims is one engine's row of Stats.EngineSims.
+type EngineSims struct {
+	Sims       uint64  `json:"sims"`
+	Seconds    float64 `json:"seconds"`
+	SimsPerSec float64 `json:"sims_per_sec"`
 }
 
 // APIError is a non-2xx response decoded from the service's error JSON.

@@ -8,6 +8,8 @@
 //	raccdd -addr :9090 -cache ~/.raccd  # persistent cache shared with
 //	                                    # `sweep -cache ~/.raccd`
 //	raccdd -max-cache-mb 512            # LRU-bound the cache
+//	raccdd -engine epoch -shards 4      # default engine for requests
+//	                                    # that name none (docs/ENGINE.md)
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
 // jobs for up to -drain (default 30s), then cancels whatever remains and
@@ -43,6 +45,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		jobs       = fs.Int("jobs", 0, "concurrent simulations per job (0 = one per CPU)")
 		jobWorkers = fs.Int("job-workers", 2, "jobs executed concurrently")
 		queueDepth = fs.Int("queue", 64, "max queued jobs before submissions get 503")
+		engine     = fs.String("engine", "", "default execution engine for requests that name none: seq or epoch (metric-identical)")
+		shards     = fs.Int("shards", 0, "epoch engine worker count (0 = one per host CPU)")
 		drain      = fs.Duration("drain", 30*time.Second, "shutdown deadline for in-flight jobs")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +78,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		simJobs:    *jobs,
 		jobWorkers: *jobWorkers,
 		queueDepth: *queueDepth,
+		engine:     *engine,
+		shards:     *shards,
 		drain:      *drain,
 	}, ln, stdout, stderr)
 }
@@ -85,6 +91,8 @@ type serveOptions struct {
 	simJobs    int
 	jobWorkers int
 	queueDepth int
+	engine     string
+	shards     int
 	drain      time.Duration
 }
 
@@ -103,6 +111,8 @@ func serve(ctx context.Context, opts serveOptions, ln net.Listener, stdout, stde
 		SimJobs:    opts.simJobs,
 		JobWorkers: opts.jobWorkers,
 		QueueDepth: opts.queueDepth,
+		Engine:     opts.engine,
+		Shards:     opts.shards,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "raccdd:", err)

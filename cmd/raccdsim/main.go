@@ -52,6 +52,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		contiguity  = fs.Float64("contiguity", 1.0, "physical page contiguity 0..1")
 		novalidate  = fs.Bool("novalidate", false, "skip golden-memory validation")
 		smt         = fs.Int("smt", 1, "hardware threads per core (SMT ways)")
+		engine      = fs.String("engine", "", "execution engine: seq (default) or epoch; metric-identical, epoch uses host CPUs inside one run")
+		shards      = fs.Int("shards", 0, "epoch engine worker count (0 = one per host CPU)")
 		jobs        = fs.Int("jobs", 0, "concurrent runs when several benchmarks are named (0 = one per CPU)")
 		asJSON      = fs.Bool("json", false, "emit the result as JSON")
 		list        = fs.Bool("list", false, "list benchmarks and exit")
@@ -131,6 +133,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg.Contiguity = *contiguity
 	cfg.Validate = !*novalidate
 	cfg.SMTWays = *smt
+	cfg.Engine = *engine
+	cfg.Shards = *shards
 	// Reject impossible configurations before any simulation runs.
 	if err := cfg.Check(); err != nil {
 		fmt.Fprintln(stderr, "raccdsim:", err)

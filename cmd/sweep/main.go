@@ -60,6 +60,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		machList = fs.String("machines", "", "comma-separated machine presets: run the Fig 2 matrix once per machine and print the cross-machine comparison")
 		scale    = fs.Float64("scale", 1.0, "problem scale (1.0 = Table II ÷ 16)")
 		jobs     = fs.Int("jobs", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
+		engine   = fs.String("engine", "", "per-run execution engine: seq (default) or epoch; metric-identical, epoch spreads one run across host CPUs")
+		shards   = fs.Int("shards", 0, "epoch engine worker count (0 = one per host CPU)")
 		csvPath  = fs.String("csv", "", "write raw results as CSV to this file")
 		synths   = fs.String("synth", "", "synthetic workload spec(s) to add to the matrix, comma-separated: preset[/key=val]...")
 		traces   = fs.String("trace", "", "RTF trace file(s) to add to the matrix, comma-separated")
@@ -128,6 +130,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	m.Scale = *scale
 	m.Jobs = *jobs
 	m.Machine = mach
+	m.Engine = *engine
+	m.Shards = *shards
 	var extra []string
 	for _, s := range strings.Split(*synths, ",") {
 		if s = strings.TrimSpace(s); s != "" {

@@ -255,16 +255,25 @@ func New(mode Mode, p Params) *Hierarchy {
 		MinSets:     p.DirMinSetsPerBank,
 	})
 	bankBits := uint(bits.Len(uint(p.Cores)) - 1)
-	for i := 0; i < p.Cores; i++ {
-		h.l1 = append(h.l1, cache.New(p.L1Sets, p.L1Ways))
-		h.llc = append(h.llc, cache.NewBanked(p.LLCSetsPerBank, p.LLCWays, bankBits))
-		h.mmus = append(h.mmus, vm.NewMMU(i, p.TLBEntries, h.pageTable))
+	h.l1 = make([]*cache.Cache, p.Cores)
+	h.llc = make([]*cache.Cache, p.Cores)
+	h.mmus = make([]*vm.MMU, p.Cores)
+	if mode == RaCCD {
+		h.ncrts = make([]*core.NCRT, p.Cores)
+	}
+	// A tile's structures are a deterministic function of (i, p) and touch
+	// nothing shared, so big machines construct their tiles across host
+	// CPUs; order cannot affect results.
+	parallelTiles(p.Cores, func(i int) {
+		h.l1[i] = cache.New(p.L1Sets, p.L1Ways)
+		h.llc[i] = cache.NewBanked(p.LLCSetsPerBank, p.LLCWays, bankBits)
+		h.mmus[i] = vm.NewMMU(i, p.TLBEntries, h.pageTable)
 		if mode == RaCCD {
 			n := core.NewNCRT(p.NCRTEntries)
 			n.LookupCycles = p.NCRTLookupCycles
-			h.ncrts = append(h.ncrts, n)
+			h.ncrts[i] = n
 		}
-	}
+	})
 	if mode == PT {
 		h.classifier = classify.New()
 	}

@@ -1,0 +1,41 @@
+package coherence
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelTiles runs fn(i) for i in [0, n) across host CPUs. It is for
+// per-tile work that is independent and deterministic per index —
+// construction of tile-private structures, read-only invariant walks — so
+// the execution order can never affect results. On a single-CPU host (or
+// for tiny n) it degenerates to the plain loop.
+func parallelTiles(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -94,8 +94,11 @@ func (h *Hierarchy) CheckInvariants() error {
 		}
 	}
 	// Inclusion: coherent L1 line ⇒ LLC line ⇒ directory entry; NC lines
-	// have no directory entry.
-	for c := range h.l1 {
+	// have no directory entry. These walks only Peek (no LRU updates, no
+	// counters), so each tile checks in parallel; the first error in tile
+	// order is reported, keeping the result deterministic.
+	l1Errs := make([]error, len(h.l1))
+	parallelTiles(len(h.l1), func(c int) {
 		var err error
 		h.l1[c].Walk(func(ln *cache.Line) {
 			if err != nil || ln.NC {
@@ -110,11 +113,15 @@ func (h *Hierarchy) CheckInvariants() error {
 				err = fmt.Errorf("coherent L1 line %d (core %d) missing from directory", ln.Block, c)
 			}
 		})
+		l1Errs[c] = err
+	})
+	for _, err := range l1Errs {
 		if err != nil {
 			return err
 		}
 	}
-	for bank := range h.llc {
+	llcErrs := make([]error, len(h.llc))
+	parallelTiles(len(h.llc), func(bank int) {
 		var err error
 		h.llc[bank].Walk(func(ln *cache.Line) {
 			if err != nil {
@@ -128,6 +135,9 @@ func (h *Hierarchy) CheckInvariants() error {
 				err = fmt.Errorf("coherent LLC line %d has no directory entry", ln.Block)
 			}
 		})
+		llcErrs[bank] = err
+	})
+	for _, err := range llcErrs {
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,131 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"raccd/internal/machine"
+)
+
+// TestEmitEngineBench measures one-run scaling across the execution-engine
+// axis — the paper's Fig 2 matrix on the 64-core m64 preset, run strictly
+// one simulation at a time (Jobs=1) so the engine inside each run is the
+// only source of host parallelism — and writes BENCH_engine.json when
+// BENCH_ENGINE_OUT is set:
+//
+//	BENCH_ENGINE_OUT=$PWD/BENCH_engine.json go test ./internal/report -run TestEmitEngineBench -v
+//
+// BENCH_ENGINE_SCALE (default 1.0) sizes the problems; BENCH_ENGINE_SHARDS
+// (default "2,4,8") picks the epoch shard counts to measure. The headline
+// records seq and epoch throughput plus the speedup ratios the perfgate
+// tool compares, so the engine's scaling trajectory stays honest across
+// hosts: on a single-CPU host the epoch engine can only add overhead
+// (speedup <= 1), and the recorded numbers must say so.
+func TestEmitEngineBench(t *testing.T) {
+	out := os.Getenv("BENCH_ENGINE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_ENGINE_OUT=<path> to run the engine benchmark")
+	}
+	scale := 1.0
+	if s := os.Getenv("BENCH_ENGINE_SCALE"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("BENCH_ENGINE_SCALE: %v", err)
+		}
+		scale = v
+	}
+	shardList := []int{2, 4, 8}
+	if s := os.Getenv("BENCH_ENGINE_SHARDS"); s != "" {
+		shardList = shardList[:0]
+		for _, f := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				t.Fatalf("BENCH_ENGINE_SHARDS: bad count %q", f)
+			}
+			shardList = append(shardList, n)
+		}
+	}
+
+	matrix := func(engine string, shards int) Matrix {
+		mx := DefaultMatrix()
+		mx.Ratios = []int{1}
+		mx.ADR = false
+		mx.Scale = scale
+		mx.Machine = machine.Machine64()
+		mx.Jobs = 1
+		mx.Engine = engine
+		mx.Shards = shards
+		return mx
+	}
+
+	// Best of reps, after one untimed warm-up sweep: the first sweep of a
+	// process pays one-off costs (workload materialization, allocator
+	// growth) that would otherwise be charged to whichever engine runs
+	// first.
+	const reps = 2
+	measure := func(label, engine string, shards int) float64 {
+		mx := matrix(engine, shards)
+		runs := mx.NumRuns()
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, err := mx.Run(); err != nil {
+				t.Fatalf("%s sweep: %v", label, err)
+			}
+			elapsed := time.Since(start)
+			if rps := float64(runs) / elapsed.Seconds(); rps > best {
+				best = rps
+			}
+		}
+		t.Logf("%s: %d runs, best of %d: %.1f runs/s", label, runs, reps, best)
+		return best
+	}
+
+	if _, err := matrix("", 0).Run(); err != nil { // warm-up
+		t.Fatal(err)
+	}
+
+	headline := map[string]any{"runs": matrix("", 0).NumRuns()}
+	seq := measure("seq", "", 0)
+	headline["seq_runs_per_s"] = seq
+	best := 0.0
+	for _, n := range shardList {
+		label := fmt.Sprintf("epoch%d", n)
+		rps := measure(label, "epoch", n)
+		headline[label+"_runs_per_s"] = rps
+		headline["speedup_"+label+"_vs_seq"] = rps / seq
+		if rps/seq > best {
+			best = rps / seq
+		}
+	}
+	headline["best_speedup_epoch_vs_seq"] = best
+
+	doc := map[string]any{
+		"description": fmt.Sprintf(
+			"One-run scaling across the execution-engine axis: the paper's Fig 2 matrix (nine benchmarks x FullCoh/PT/RaCCD at 1:1, scale %g) on the 64-core m64 preset with Jobs=1, under engine=seq and engine=epoch at several shard counts. Regenerate with BENCH_ENGINE_OUT=$PWD/BENCH_engine.json go test ./internal/report -run TestEmitEngineBench.",
+			scale),
+		"date":     time.Now().Format("2006-01-02"),
+		"machine":  fmt.Sprintf("%s/%s, %d CPU, %s", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.Version()),
+		"headline": headline,
+		"notes": []string{
+			"Engines are metric-identical: every figure, CSV byte and cache key is pinned equal across engines by TestSweepMatchesSeedGoldenEpoch, TestEngineEquivalence and TestCacheSharedAcrossEngines. This record is about wall-clock only.",
+			"The epoch engine parallelizes task-body execution (address-stream generation) across shards; commit — the machine model itself — replays streams serially to keep results exact. Profiling puts the serial commit at roughly 70% of a run on this matrix, so Amdahl bounds the speedup near 1.4x regardless of shard count; docs/ENGINE.md derives the ceiling.",
+			"On a single-CPU host (see the machine field) shards time-slice one core, so speedups at or below 1.0 are the honest expectation there; multi-core speedup must be measured on a multi-core host.",
+			"The perfgate tool compares the speedup_* ratios of a regenerated record against this checked-in one; absolute runs/s are host-dependent and deliberately not gated.",
+		},
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -3,6 +3,7 @@ package report
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"raccd/internal/coherence"
 	"raccd/internal/machine"
@@ -41,6 +42,19 @@ type Matrix struct {
 	// stored otherwise. Figures, CSV and Progress output are byte-
 	// identical with or without a cache, warm or cold.
 	Cache *resultstore.Store
+	// Engine selects the per-run host execution strategy ("" or "seq",
+	// or "epoch"); Shards is the epoch engine's worker count (0 → one
+	// per host CPU). Engines are metric-identical, so every figure, CSV
+	// line and cache key is unchanged by these knobs — they only decide
+	// how each simulation uses host CPUs (Jobs decides how many run at
+	// once; Engine/Shards decide how wide each one runs).
+	Engine string
+	Shards int
+	// OnSimulated, if non-nil, is called once per simulation actually
+	// executed (cache hits do not fire it) with the run's engine name
+	// ("" means seq) and wall-clock duration. Calls may be concurrent
+	// when Jobs > 1; the hook must be safe for that.
+	OnSimulated func(engine string, elapsed time.Duration)
 }
 
 // DefaultMatrix is the paper's full evaluation at the scaled problem sizes.
@@ -100,7 +114,12 @@ func (m Matrix) simulate(cfg sim.Config, name string) (sim.Result, error) {
 		if err != nil {
 			return sim.Result{}, err
 		}
-		return sim.Run(w, cfg)
+		start := time.Now()
+		res, err := sim.Run(w, cfg)
+		if err == nil && m.OnSimulated != nil {
+			m.OnSimulated(cfg.Engine, time.Since(start))
+		}
+		return res, err
 	}
 	if m.Cache == nil {
 		return run()

@@ -127,5 +127,7 @@ func (m Matrix) config(sys coherence.Mode, ratio int) sim.Config {
 	cfg := sim.DefaultConfig(sys, ratio)
 	cfg.Params = m.Machine.Params()
 	cfg.Validate = m.Validate
+	cfg.Engine = m.Engine
+	cfg.Shards = m.Shards
 	return cfg
 }

@@ -46,3 +46,58 @@ func TestRunCancel(t *testing.T) {
 		t.Fatalf("uncancelled run executed %d tasks, want 8", rt2.Stats.TasksRun)
 	}
 }
+
+// countingMachine counts accesses so tests can observe how far into a body
+// a run got before stopping.
+type countingMachine struct{ accesses uint64 }
+
+func (m *countingMachine) Access(int, mem.Addr, bool, uint64) uint64 { m.accesses++; return 0 }
+func (m *countingMachine) RegisterRegion(int, mem.Range) uint64      { return 0 }
+func (m *countingMachine) InvalidateNC(int) uint64                   { return 0 }
+
+// TestRunCancelMidTask: cancellation lands inside one long task body, not
+// just at the next dispatch — the single-task cancellation gap. The graph
+// is ONE task issuing far more accesses than cancelPollInterval; Cancel
+// trips after the first in-body poll, and the run must stop long before
+// the body completes.
+func TestRunCancelMidTask(t *testing.T) {
+	const bodyAccesses = 64 * cancelPollInterval
+	for _, engine := range []string{"seq", "epoch"} {
+		eng, err := ParseEngine(engine, map[string]int{"seq": 0, "epoch": 2}[engine])
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGraph()
+		g.Add("long", nil, func(c *Ctx) {
+			for i := 0; i < bodyAccesses; i++ {
+				c.Load(mem.Addr(0x40_0000) + mem.Addr(i)*mem.BlockSize)
+			}
+		})
+		errStop := errors.New("stop")
+		var polls int
+		m := &countingMachine{}
+		rt := NewRuntime(m, 2, nil)
+		rt.Engine = eng
+		rt.Cancel = func() error {
+			// First call is the dispatch-time poll; the next one is the
+			// first in-body poll, which trips.
+			polls++
+			if polls > 1 {
+				return errStop
+			}
+			return nil
+		}
+		if mk := rt.Run(g); mk != 0 {
+			t.Fatalf("%s: cancelled run returned makespan %d, want 0", engine, mk)
+		}
+		// The body must have stopped at (or within one interval of) the
+		// first poll, not run its full 64 intervals. Under the epoch
+		// engine the commit replay may consume up to one extra interval
+		// relative to the generation-side count; 2 intervals of slack
+		// covers both engines with room to spare.
+		if m.accesses > 2*cancelPollInterval+64 {
+			t.Fatalf("%s: cancelled mid-task run still issued %d machine accesses (poll interval %d)",
+				engine, m.accesses, cancelPollInterval)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package rts
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// Engine is an execution strategy for Runtime.Run. Engines differ only in
+// how they use host CPUs, never in what they compute: every engine must
+// produce the makespan, Stats, golden image and machine state the
+// sequential engine produces, bit for bit, regardless of goroutine
+// interleaving. The equivalence property tests in internal/sim and the
+// seed-golden sweep CSV pin that contract.
+type Engine interface {
+	// Name returns the engine's canonical name ("seq", "epoch").
+	Name() string
+	// run executes g on r and returns the makespan.
+	run(r *Runtime, g *Graph) uint64
+}
+
+// EngineNames returns the recognized engine names in preference order.
+func EngineNames() []string { return []string{"seq", "epoch"} }
+
+// ParseEngine resolves an engine name and shard count to an Engine.
+// The empty name and "seq" select the sequential engine, which takes no
+// shards. "epoch" selects the epoch engine with the given number of shard
+// workers; shards 0 means one worker per host CPU (GOMAXPROCS).
+func ParseEngine(name string, shards int) (Engine, error) {
+	switch name {
+	case "", "seq":
+		if shards != 0 {
+			return nil, fmt.Errorf("rts: engine seq is single-threaded and takes no shard count (got %d; use engine epoch)", shards)
+		}
+		return seqEngine{}, nil
+	case "epoch":
+		if shards < 0 {
+			return nil, fmt.Errorf("rts: negative shard count %d", shards)
+		}
+		if shards == 0 {
+			shards = runtime.GOMAXPROCS(0)
+		}
+		return &epochEngine{shards: shards}, nil
+	}
+	return nil, fmt.Errorf("rts: unknown engine %q (want %s)", name, strings.Join(EngineNames(), " or "))
+}
+
+// seqEngine is the historical engine: one goroutine dispatches tasks and
+// runs their bodies in place. It is the default and the behavioural
+// reference every other engine must match.
+type seqEngine struct{}
+
+func (seqEngine) Name() string { return "seq" }
+
+func (seqEngine) run(r *Runtime, g *Graph) uint64 {
+	return r.runDispatch(g, func(c int, t *Task, ctx *Ctx) {
+		ctx.cancel = r.Cancel
+		if t.Body != nil {
+			t.Body(ctx)
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package rts
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"raccd/internal/mem"
+)
+
+func TestParseEngine(t *testing.T) {
+	for _, name := range []string{"", "seq"} {
+		e, err := ParseEngine(name, 0)
+		if err != nil {
+			t.Fatalf("ParseEngine(%q, 0): %v", name, err)
+		}
+		if e.Name() != "seq" {
+			t.Fatalf("ParseEngine(%q, 0).Name() = %q, want seq", name, e.Name())
+		}
+	}
+	if _, err := ParseEngine("seq", 4); err == nil {
+		t.Fatal("ParseEngine(seq, 4) accepted a shard count")
+	}
+	e, err := ParseEngine("epoch", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep, ok := e.(*epochEngine); !ok || ep.Shards() != 3 {
+		t.Fatalf("ParseEngine(epoch, 3) = %#v, want 3-shard epoch engine", e)
+	}
+	e, err = ParseEngine("epoch", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.(*epochEngine).Shards(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("ParseEngine(epoch, 0) shards = %d, want GOMAXPROCS %d", got, want)
+	}
+	if _, err := ParseEngine("epoch", -1); err == nil {
+		t.Fatal("ParseEngine(epoch, -1) accepted a negative shard count")
+	}
+	if _, err := ParseEngine("warp", 0); err == nil {
+		t.Fatal("ParseEngine(warp, 0) accepted an unknown engine")
+	}
+}
+
+// latencyMachine gives every access a small address-dependent latency and
+// counts accesses, so dispatch order (and thus every runtime decision)
+// depends on the access stream — a divergence between engines cannot hide.
+type latencyMachine struct {
+	accesses uint64
+	writes   uint64
+}
+
+func (m *latencyMachine) Access(core int, va mem.Addr, write bool, val uint64) uint64 {
+	m.accesses++
+	if write {
+		m.writes++
+	}
+	return 1 + uint64(va>>6)%7
+}
+func (m *latencyMachine) RegisterRegion(int, mem.Range) uint64 { return 3 }
+func (m *latencyMachine) InvalidateNC(int) uint64              { return 5 }
+
+// diamondGraph builds a fan-out/fan-in TDG whose bodies mix loads, stores
+// and pure compute over disjoint and shared ranges.
+func diamondGraph() *Graph {
+	g := NewGraph()
+	const base = mem.Addr(0x10_0000)
+	blk := func(i int) mem.Range {
+		return mem.Range{Start: base + mem.Addr(i)*mem.BlockSize, Size: uint64(mem.BlockSize)}
+	}
+	root := blk(0)
+	g.Add("root", []Dep{{Range: root, Mode: Out}}, func(c *Ctx) {
+		c.StoreRange(root)
+		c.Compute(40)
+	})
+	for i := 1; i <= 6; i++ {
+		r := blk(i)
+		g.Add(fmt.Sprintf("mid%d", i), []Dep{{Range: root, Mode: In}, {Range: r, Mode: Out}}, func(c *Ctx) {
+			c.LoadRange(root)
+			c.StoreRange(r)
+			c.Compute(uint64(10 * i))
+		})
+	}
+	all := mem.Range{Start: base, Size: 7 * uint64(mem.BlockSize)}
+	g.Add("join", []Dep{{Range: all, Mode: InOut}}, func(c *Ctx) {
+		c.LoadRange(all)
+		c.StoreRange(all)
+	})
+	return g
+}
+
+// TestEpochMatchesSeq: the epoch engine reproduces the seq engine's
+// makespan, Stats, golden image and machine-visible access stream exactly,
+// at several shard counts.
+func TestEpochMatchesSeq(t *testing.T) {
+	run := func(eng Engine) (uint64, Stats, map[mem.Block]uint64, latencyMachine) {
+		m := &latencyMachine{}
+		rt := NewRuntime(m, 4, nil)
+		rt.StrictAnnotations = true
+		rt.Engine = eng
+		mk := rt.Run(diamondGraph())
+		return mk, rt.Stats, rt.Golden(), *m
+	}
+	wantMk, wantStats, wantGolden, wantM := run(nil)
+	for _, shards := range []int{1, 2, 4, 8} {
+		eng, err := ParseEngine("epoch", shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk, stats, golden, m := run(eng)
+		if mk != wantMk {
+			t.Fatalf("epoch/%d makespan %d, want %d", shards, mk, wantMk)
+		}
+		if stats != wantStats {
+			t.Fatalf("epoch/%d stats %+v, want %+v", shards, stats, wantStats)
+		}
+		if m != wantM {
+			t.Fatalf("epoch/%d machine saw %+v, want %+v", shards, m, wantM)
+		}
+		if !reflect.DeepEqual(golden, wantGolden) {
+			t.Fatalf("epoch/%d golden image diverged", shards)
+		}
+	}
+}
+
+// TestEpochWindow: a graph much larger than the speculation window
+// completes (workers block on the window and resume as the commit frontier
+// advances) and still matches seq.
+func TestEpochWindow(t *testing.T) {
+	build := func() *Graph {
+		g := NewGraph()
+		const base = mem.Addr(0x20_0000)
+		for i := 0; i < 4*epochWindow; i++ {
+			r := mem.Range{Start: base + mem.Addr(i)*mem.BlockSize, Size: uint64(mem.BlockSize)}
+			g.Add("t", []Dep{{Range: r, Mode: Out}}, func(c *Ctx) { c.StoreRange(r) })
+		}
+		return g
+	}
+	m1 := &latencyMachine{}
+	rt1 := NewRuntime(m1, 4, nil)
+	want := rt1.Run(build())
+
+	eng, err := ParseEngine("epoch", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := &latencyMachine{}
+	rt2 := NewRuntime(m2, 4, nil)
+	rt2.Engine = eng
+	got := rt2.Run(build())
+	if got != want || *m1 != *m2 || rt1.Stats != rt2.Stats {
+		t.Fatalf("epoch run over %d tasks diverged from seq: makespan %d vs %d", 4*epochWindow, got, want)
+	}
+}
+
+// TestEpochStrictPanic: a strict-annotation violation detected during
+// speculative pre-execution surfaces as the same panic, at commit time.
+func TestEpochStrictPanic(t *testing.T) {
+	g := NewGraph()
+	r := mem.Range{Start: 0x30_0000, Size: uint64(mem.BlockSize)}
+	g.Add("bad", []Dep{{Range: r, Mode: Out}}, func(c *Ctx) {
+		c.Store(r.Start + 4*mem.BlockSize) // outside the declared range
+	})
+	eng, err := ParseEngine("epoch", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(nullMachine{}, 2, nil)
+	rt.StrictAnnotations = true
+	rt.Engine = eng
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("strict violation did not panic under the epoch engine")
+		}
+	}()
+	rt.Run(g)
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{TasksRun: 1, ScheduleCycles: 2, RegisterCycles: 3, ExecCycles: 4, InvalidateCycles: 5, WakeupCycles: 6, IdleCycles: 7}
+	b := a
+	b.Add(a)
+	want := Stats{TasksRun: 2, ScheduleCycles: 4, RegisterCycles: 6, ExecCycles: 8, InvalidateCycles: 10, WakeupCycles: 12, IdleCycles: 14}
+	if b != want {
+		t.Fatalf("Stats.Add = %+v, want %+v", b, want)
+	}
+}

@@ -1,0 +1,230 @@
+package rts
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"raccd/internal/mem"
+)
+
+// The epoch engine splits one run across host CPUs without changing a
+// single metric. It exploits the one side of the simulation that is
+// embarrassingly parallel: task bodies are pure functions of their task —
+// they issue the same access stream on any core, against any machine state
+// (the record/replay contract internal/tracefile already depends on). So
+// shard workers speculatively pre-execute bodies into packed access
+// streams, epochs ahead of dispatch, while the commit goroutine runs the
+// exact sequential dispatch loop and replays each stream through the real
+// machine in canonical order.
+//
+// Determinism: the commit goroutine owns every piece of shared state — the
+// scheduler, the core clocks, the coherence hierarchy, Stats, the golden
+// store — and touches it in an order fixed by the graph and the machine's
+// latencies. Worker interleaving decides only *who* records a stream, and
+// streams depend on nothing but the task. Results are therefore identical
+// to the seq engine for any shard count and any goroutine schedule; see
+// docs/ENGINE.md for the full argument and for why sharding the coherence
+// state itself cannot preserve exactness.
+
+// recWrite flags a packed access record as a store; the low 63 bits are
+// the virtual address (workload VAs are far below 2^63).
+const recWrite = uint64(1) << 63
+
+// epochWindow bounds speculation depth: shard workers pre-execute at most
+// this many tasks ahead of the commit frontier, so stream memory stays
+// O(window × body size) instead of O(graph).
+const epochWindow = 256
+
+// Task pre-execution states, held in taskRec.state.
+const (
+	recTodo = iota
+	recInflight
+	recDone
+)
+
+// taskRec is one task's pre-executed execution phase.
+type taskRec struct {
+	state    atomic.Int32
+	pure     uint64   // pure-compute cycles issued via Ctx.Compute
+	accs     []uint64 // packed body accesses, in issue order
+	panicVal any      // captured body panic (strict-annotation violations)
+}
+
+// epochEngine runs the task-execution phases of up to epochWindow tasks
+// ahead of time on shard worker goroutines.
+type epochEngine struct {
+	shards int
+}
+
+func (e *epochEngine) Name() string { return "epoch" }
+
+// Shards returns the number of shard workers the engine runs.
+func (e *epochEngine) Shards() int { return e.shards }
+
+func (e *epochEngine) run(r *Runtime, g *Graph) uint64 {
+	st := &epochState{
+		r:     r,
+		tasks: g.Tasks(),
+		recs:  make([]taskRec, g.NumTasks()),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	// stop releases the workers even when the dispatch loop unwinds with a
+	// panic (cancellation, strict-annotation violation, deadlock).
+	defer st.stop()
+	var next atomic.Int64
+	for i := 0; i < e.shards; i++ {
+		go st.worker(&next)
+	}
+	return r.runDispatch(g, st.runBody)
+}
+
+// epochState is the shared state of one epoch run.
+type epochState struct {
+	r     *Runtime
+	tasks []*Task
+	recs  []taskRec // indexed by Task.seq (creation order)
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	committed int // tasks whose streams the commit loop has consumed
+	stopped   bool
+}
+
+// worker claims tasks in creation order and pre-executes their bodies,
+// staying within epochWindow of the commit frontier.
+func (st *epochState) worker(next *atomic.Int64) {
+	for {
+		i := int(next.Add(1) - 1)
+		if i >= len(st.recs) {
+			return
+		}
+		st.mu.Lock()
+		for i >= st.committed+epochWindow && !st.stopped {
+			st.cond.Wait()
+		}
+		stopped := st.stopped
+		st.mu.Unlock()
+		if stopped {
+			return
+		}
+		rec := &st.recs[i]
+		// The commit goroutine may have stolen this task (scheduler ran
+		// ahead of the workers); whoever wins the CAS generates it.
+		if rec.state.CompareAndSwap(recTodo, recInflight) {
+			st.generate(st.tasks[i], rec, nil)
+		}
+	}
+}
+
+// generate pre-executes t's body against a capturing zero-latency machine,
+// recording its packed access stream and pure-compute total into rec. A
+// body panic (a strict-annotation violation) is captured and re-raised at
+// commit time, in canonical order; a cancellation panic on the commit
+// goroutine (cancel non-nil) propagates instead.
+func (st *epochState) generate(t *Task, rec *taskRec, cancel func() error) {
+	ctx := &Ctx{
+		Core:    0, // bodies are core-agnostic; see docs/ENGINE.md
+		Task:    t,
+		machine: captureMachine{rec},
+		strict:  st.r.StrictAnnotations,
+		cancel:  cancel,
+	}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if _, ok := p.(runCancelled); ok {
+					panic(p)
+				}
+				rec.panicVal = p
+			}
+		}()
+		if t.Body != nil {
+			t.Body(ctx)
+		}
+	}()
+	// Zero-latency machine, zero computePerAccess: the accumulated cycles
+	// are exactly the body's pure-Compute total.
+	rec.pure = ctx.cycles
+	st.mu.Lock()
+	rec.state.Store(recDone)
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+// runBody is the epoch engine's task-execution phase: fetch t's
+// pre-executed stream (generating it inline if the workers have not got to
+// it yet) and replay it through the real machine, reproducing exactly the
+// accesses, cycles and golden writes the seq engine's in-place body run
+// would have issued.
+func (st *epochState) runBody(c int, t *Task, ctx *Ctx) {
+	rec := &st.recs[t.seq]
+	if rec.state.Load() != recDone {
+		if rec.state.CompareAndSwap(recTodo, recInflight) {
+			// Commit-side steal: generate inline. This is the commit
+			// goroutine, so cancellation is polled during generation.
+			st.generate(t, rec, st.r.Cancel)
+		} else {
+			st.mu.Lock()
+			for rec.state.Load() != recDone {
+				st.cond.Wait()
+			}
+			st.mu.Unlock()
+		}
+	}
+	if rec.panicVal != nil {
+		panic(rec.panicVal)
+	}
+	r := st.r
+	ctx.cycles += rec.pure
+	since := 0
+	for _, a := range rec.accs {
+		write := a&recWrite != 0
+		va := mem.Addr(a &^ recWrite)
+		var val uint64
+		if write {
+			val = t.ID
+		}
+		ctx.cycles += r.Machine.Access(c, va, write, val)
+		ctx.cycles += r.ComputePerAccess
+		if write && r.golden != nil {
+			r.golden.Store(mem.BlockOf(va), t.ID)
+		}
+		if r.Cancel != nil {
+			if since++; since >= cancelPollInterval {
+				since = 0
+				if err := r.Cancel(); err != nil {
+					panic(runCancelled{err})
+				}
+			}
+		}
+	}
+	rec.accs = nil // the stream is spent; free it before the window moves
+	st.mu.Lock()
+	st.committed++
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+// stop wakes and retires every worker.
+func (st *epochState) stop() {
+	st.mu.Lock()
+	st.stopped = true
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+// captureMachine records a task body's access stream at zero latency; it
+// is the Machine the shard workers pre-execute against.
+type captureMachine struct{ rec *taskRec }
+
+func (m captureMachine) Access(core int, va mem.Addr, write bool, val uint64) uint64 {
+	a := uint64(va)
+	if write {
+		a |= recWrite
+	}
+	m.rec.accs = append(m.rec.accs, a)
+	return 0
+}
+
+func (captureMachine) RegisterRegion(int, mem.Range) uint64 { return 0 }
+func (captureMachine) InvalidateNC(int) uint64              { return 0 }

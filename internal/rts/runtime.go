@@ -34,6 +34,33 @@ type Ctx struct {
 	lastWriteDep     int // memoized Deps index that covered the last Store
 
 	golden *mem.BlockStore // shared across the run; final writers
+
+	// cancel, when non-nil, is polled every cancelPollInterval accesses so
+	// a cancelled run stops promptly even inside one long task body (the
+	// dispatch-time poll alone would let a single task run to completion).
+	// A non-nil error unwinds the run via a runCancelled panic that
+	// Runtime.Run recovers.
+	cancel    func() error
+	sincePoll int
+}
+
+// cancelPollInterval is how many Ctx accesses may pass between Cancel
+// polls inside a task body: small enough that cancellation lands within
+// microseconds of wall time, large enough that the poll never shows up in
+// a profile.
+const cancelPollInterval = 1024
+
+// runCancelled carries a Cancel error out of a task body; Runtime.Run
+// recovers it and abandons the run.
+type runCancelled struct{ err error }
+
+func (c *Ctx) pollCancel() {
+	if c.sincePoll++; c.sincePoll >= cancelPollInterval {
+		c.sincePoll = 0
+		if err := c.cancel(); err != nil {
+			panic(runCancelled{err})
+		}
+	}
 }
 
 // NewCtx returns an execution context for t bound to machine m on the given
@@ -54,6 +81,9 @@ func (c *Ctx) Cycles() uint64 { return c.cycles }
 
 // Load reads the block containing va.
 func (c *Ctx) Load(va mem.Addr) {
+	if c.cancel != nil {
+		c.pollCancel()
+	}
 	c.cycles += c.machine.Access(c.Core, va, false, 0)
 	c.cycles += c.computePerAccess
 }
@@ -61,6 +91,9 @@ func (c *Ctx) Load(va mem.Addr) {
 // Store writes the block containing va; the stored value is the task ID so
 // final memory can be validated against the TDG's golden writers.
 func (c *Ctx) Store(va mem.Addr) {
+	if c.cancel != nil {
+		c.pollCancel()
+	}
 	if c.strict && len(c.Task.Deps) > 0 {
 		// Stores stream through a range, so the dep that covered the
 		// previous store almost always covers this one too.
@@ -117,6 +150,18 @@ type Stats struct {
 	IdleCycles       uint64 // cores waiting for ready tasks
 }
 
+// Add accumulates o into s. Engines or harnesses that split execution
+// across several Runtimes merge their per-slice counters with it.
+func (s *Stats) Add(o Stats) {
+	s.TasksRun += o.TasksRun
+	s.ScheduleCycles += o.ScheduleCycles
+	s.RegisterCycles += o.RegisterCycles
+	s.ExecCycles += o.ExecCycles
+	s.InvalidateCycles += o.InvalidateCycles
+	s.WakeupCycles += o.WakeupCycles
+	s.IdleCycles += o.IdleCycles
+}
+
 // Runtime executes a TDG on the simulated machine, reproducing the task
 // life cycle of Fig 3: schedule → deactivate coherence (register) → execute
 // → invalidate non-coherent data → wake-up.
@@ -137,11 +182,17 @@ type Runtime struct {
 	// by workload tests.
 	StrictAnnotations bool
 
-	// Cancel, when non-nil, is polled before every task dispatch; a
-	// non-nil return abandons the run immediately (context.Context.Err
-	// threaded in by sim.RunContext). The partial makespan an abandoned
-	// run returns is meaningless; callers must discard it.
+	// Cancel, when non-nil, is polled before every task dispatch and
+	// every cancelPollInterval accesses inside task bodies; a non-nil
+	// return abandons the run immediately (context.Context.Err threaded
+	// in by sim.RunContext). The partial makespan an abandoned run
+	// returns is meaningless; callers must discard it.
 	Cancel func() error
+
+	// Engine selects the execution strategy (nil → the sequential
+	// engine). Every engine is metric-identical by contract: see
+	// ParseEngine and docs/ENGINE.md.
+	Engine Engine
 
 	// The runtime system's own memory traffic. Task descriptors and the
 	// ready queue live in shared memory and are touched coherently by
@@ -213,8 +264,39 @@ func (r *Runtime) EachGolden(fn func(b mem.Block, id uint64)) {
 
 // Run executes the graph to completion and returns the makespan: the largest
 // core clock when the last task finishes. It panics on a deadlocked graph
-// (impossible for graphs built by Graph.Add, which are acyclic).
+// (impossible for graphs built by Graph.Add, which are acyclic). The
+// execution strategy is r.Engine (nil → sequential); every engine returns
+// identical makespans, metrics and machine state.
 func (r *Runtime) Run(g *Graph) (makespan uint64) {
+	eng := r.Engine
+	if eng == nil {
+		eng = seqEngine{}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(runCancelled); ok {
+				// Same contract as the dispatch-time cancel path: the
+				// partial makespan is meaningless, return 0.
+				makespan = 0
+				return
+			}
+			panic(p)
+		}
+	}()
+	return eng.run(r, g)
+}
+
+// runDispatch is the canonical dispatch loop every engine commits through:
+// pick the core with the smallest clock, pop a ready task, run its life
+// cycle via execute. runBody supplies the task-execution phase — the seq
+// engine runs the body in place, the epoch engine replays a pre-executed
+// access stream — and everything else (scheduling, register, stack,
+// invalidate, wake-up traffic and all machine state) happens here, on the
+// calling goroutine, in an order fully determined by the graph, the
+// scheduler and the machine's latencies. That is the determinism argument:
+// whatever an engine does concurrently, its observable effects funnel
+// through this loop in canonical order.
+func (r *Runtime) runDispatch(g *Graph, runBody func(c int, t *Task, ctx *Ctx)) (makespan uint64) {
 	clocks := make([]uint64, r.Cores)
 	for _, t := range g.Tasks() {
 		t.waiting = t.npreds
@@ -260,7 +342,7 @@ func (r *Runtime) Run(g *Graph) (makespan uint64) {
 			clocks[c] = minReady
 			continue
 		}
-		clocks[c] = r.execute(c, t, clocks[c])
+		clocks[c] = r.execute(c, t, clocks[c], runBody)
 		remaining--
 	}
 	for _, cl := range clocks {
@@ -271,9 +353,10 @@ func (r *Runtime) Run(g *Graph) (makespan uint64) {
 	return makespan
 }
 
-// execute runs one task on core c starting at time now and returns the
-// core's clock after the wake-up phase.
-func (r *Runtime) execute(c int, t *Task, now uint64) uint64 {
+// execute runs one task's life cycle on core c starting at time now and
+// returns the core's clock after the wake-up phase; runBody supplies the
+// task-execution phase (see runDispatch).
+func (r *Runtime) execute(c int, t *Task, now uint64, runBody func(c int, t *Task, ctx *Ctx)) uint64 {
 	r.Stats.TasksRun++
 	t.CoreRun = c
 
@@ -304,9 +387,7 @@ func (r *Runtime) execute(c int, t *Task, now uint64) uint64 {
 		strict:           r.StrictAnnotations,
 		golden:           r.golden,
 	}
-	if t.Body != nil {
-		t.Body(ctx)
-	}
+	runBody(c, t, ctx)
 	// Per-task stack traffic: spills, locals and call frames on the
 	// executing core's stack. Never annotated: coherent under RaCCD and
 	// FullCoh, private pages under PT.

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"raccd/client"
+	"raccd/internal/resultstore"
+)
+
+// TestSweepEngineOverHTTP pins the served-bytes contract for the epoch
+// engine: a sweep requested with engine=epoch returns the seed golden CSV
+// byte-identically, and /v1/stats attributes the executed simulations to
+// the epoch engine with a positive throughput.
+func TestSweepEngineOverHTTP(t *testing.T) {
+	want, err := os.ReadFile("../report/testdata/golden_small_sweep.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, c := newTestServer(t, Options{})
+	ctx := context.Background()
+
+	req := goldenSweep()
+	req.Engine = "epoch"
+	req.Shards = 2
+	st, err := c.SubmitSweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != "done" {
+		t.Fatalf("job finished %q (%s)", fin.State, fin.Error)
+	}
+	got, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatal("engine=epoch sweep over HTTP diverged from the seed golden")
+	}
+
+	snap, err := c.ServerStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Engine != "seq" || snap.Shards != 0 {
+		t.Fatalf("server default engine = %s/%d, want seq/0", snap.Engine, snap.Shards)
+	}
+	es, ok := snap.EngineSims["epoch"]
+	if !ok {
+		t.Fatalf("engine_sims missing epoch row: %+v", snap.EngineSims)
+	}
+	if es.Sims != uint64(st.RunsTotal) {
+		t.Fatalf("epoch sims = %d, want %d (every run executed by epoch)", es.Sims, st.RunsTotal)
+	}
+	if es.Seconds <= 0 || es.SimsPerSec <= 0 {
+		t.Fatalf("epoch throughput not reported: %+v", es)
+	}
+	if _, ok := snap.EngineSims["seq"]; ok {
+		t.Fatal("seq row present but no seq simulation ran")
+	}
+	if d := s.Stats(); d.SimsRun != es.Sims {
+		t.Fatalf("sims_run %d disagrees with epoch sims %d", d.SimsRun, es.Sims)
+	}
+}
+
+// TestServerDefaultEngine starts a daemon with -engine epoch semantics
+// (Options.Engine): requests that name no engine run under the server
+// default, requests that do name one override it, and /v1/stats echoes
+// the configured default.
+func TestServerDefaultEngine(t *testing.T) {
+	_, c := newTestServer(t, Options{Engine: "epoch", Shards: 2})
+	ctx := context.Background()
+
+	st, err := c.SubmitRun(ctx, client.RunRequest{Workload: "MD5", Scale: 0.05, System: "RaCCD", DirRatio: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := c.Wait(ctx, st.ID, nil); err != nil || fin.State != "done" {
+		t.Fatalf("default-engine run: %v, state %+v", err, fin)
+	}
+
+	over, err := c.SubmitRun(ctx, client.RunRequest{
+		Workload: "MD5", Scale: 0.05, System: "PT", Engine: "seq",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := c.Wait(ctx, over.ID, nil); err != nil || fin.State != "done" {
+		t.Fatalf("override run: %v, state %+v", err, fin)
+	}
+
+	snap, err := c.ServerStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Engine != "epoch" || snap.Shards != 2 {
+		t.Fatalf("stats engine = %s/%d, want epoch/2", snap.Engine, snap.Shards)
+	}
+	if es := snap.EngineSims["epoch"]; es.Sims != 1 {
+		t.Fatalf("epoch sims = %d, want 1 (the defaulted run)", es.Sims)
+	}
+	if es := snap.EngineSims["seq"]; es.Sims != 1 {
+		t.Fatalf("seq sims = %d, want 1 (the override run)", es.Sims)
+	}
+}
+
+// TestEngineRequestValidation covers rejection paths: unknown engines and
+// shards-without-epoch fail at submission time with 400, and a bad server
+// default fails at construction.
+func TestEngineRequestValidation(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	ctx := context.Background()
+
+	if _, err := c.SubmitRun(ctx, client.RunRequest{Workload: "Jacobi", System: "PT", Engine: "warp"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if _, err := c.SubmitRun(ctx, client.RunRequest{Workload: "Jacobi", System: "PT", Shards: 4}); err == nil {
+		t.Fatal("shards without engine=epoch accepted")
+	}
+	if _, err := c.SubmitSweep(ctx, client.SweepRequest{Scale: 0.05, Engine: "warp"}); err == nil {
+		t.Fatal("sweep with unknown engine accepted")
+	}
+
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Store: store, Engine: "warp"}); err == nil {
+		t.Fatal("server with unknown default engine constructed")
+	}
+	if _, err := New(Options{Store: store, Shards: 3}); err == nil {
+		t.Fatal("server with shards but no epoch engine constructed")
+	}
+}

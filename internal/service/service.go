@@ -31,6 +31,7 @@ import (
 	"raccd/internal/machine"
 	"raccd/internal/report"
 	"raccd/internal/resultstore"
+	"raccd/internal/rts"
 	"raccd/internal/sim"
 	"raccd/internal/workloads"
 )
@@ -55,6 +56,14 @@ type Options struct {
 	// MaxSweepRuns rejects sweeps that expand to more simulations than
 	// this (default 100000).
 	MaxSweepRuns int
+	// Engine and Shards select the default per-simulation execution
+	// engine for requests that do not name one: "" or "seq" runs each
+	// simulation on one goroutine, "epoch" spreads it across Shards
+	// workers (0 → one per host CPU). Engines are metric-identical and
+	// excluded from the result-cache key, so this knob never changes
+	// what a client receives — only how the server spends its CPUs.
+	Engine string
+	Shards int
 }
 
 // Server implements the HTTP API. Create with New, serve s.Handler(),
@@ -75,7 +84,35 @@ type Server struct {
 	queue   chan *job
 	closing bool
 
+	// simMu guards sims: per-engine counters of simulations this server
+	// actually executed (cache hits are not sims) and the wall-clock
+	// time they took, fed by run jobs and sweep OnSimulated hooks.
+	simMu sync.Mutex
+	sims  map[string]*engineSims
+
 	workers sync.WaitGroup
+}
+
+// engineSims accumulates one engine's executed-simulation tally.
+type engineSims struct {
+	n       uint64
+	seconds float64
+}
+
+// noteSim records one executed simulation under its engine name.
+func (s *Server) noteSim(engine string, elapsed time.Duration) {
+	if engine == "" {
+		engine = "seq"
+	}
+	s.simMu.Lock()
+	es := s.sims[engine]
+	if es == nil {
+		es = &engineSims{}
+		s.sims[engine] = es
+	}
+	es.n++
+	es.seconds += elapsed.Seconds()
+	s.simMu.Unlock()
 }
 
 // New validates opts, starts the job workers and returns a ready server.
@@ -92,12 +129,16 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxSweepRuns <= 0 {
 		opts.MaxSweepRuns = 100000
 	}
+	if _, err := rts.ParseEngine(opts.Engine, opts.Shards); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
 	s := &Server{
 		opts:  opts,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 		jobs:  make(map[string]*job),
 		queue: make(chan *job, opts.QueueDepth),
+		sims:  make(map[string]*engineSims),
 	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
 
@@ -213,10 +254,17 @@ type RunRequest struct {
 	WriteThrough bool    `json:"write_through,omitempty"`
 	Contiguity   float64 `json:"contiguity,omitempty"`
 	Validate     *bool   `json:"validate,omitempty"` // default true
+	// Engine/Shards select how the server executes this simulation
+	// ("seq" or "epoch"; shards 0 → one worker per host CPU). Empty
+	// uses the server's default. Metric-identical: results and cache
+	// keys are unaffected.
+	Engine string `json:"engine,omitempty"`
+	Shards int    `json:"shards,omitempty"`
 }
 
-// config materializes the request as a checked sim.Config.
-func (r RunRequest) config() (sim.Config, error) {
+// config materializes the request as a checked sim.Config. An empty
+// engine selection falls back to the server default def.
+func (r RunRequest) config(def Options) (sim.Config, error) {
 	mode, err := parseSystem(r.System)
 	if err != nil {
 		return sim.Config{}, err
@@ -248,6 +296,11 @@ func (r RunRequest) config() (sim.Config, error) {
 		cfg.Params.Contiguity = r.Contiguity
 	}
 	cfg.Validate = r.Validate == nil || *r.Validate
+	cfg.Engine = r.Engine
+	cfg.Shards = r.Shards
+	if cfg.Engine == "" && cfg.Shards == 0 {
+		cfg.Engine, cfg.Shards = def.Engine, def.Shards
+	}
 	return cfg, cfg.Check()
 }
 
@@ -263,6 +316,10 @@ type SweepRequest struct {
 	Machine  string  `json:"machine,omitempty"`
 	Scale    float64 `json:"scale,omitempty"`    // default 1.0
 	Validate *bool   `json:"validate,omitempty"` // default true
+	// Engine/Shards select how the server executes each simulation of
+	// the sweep (see RunRequest.Engine). Empty uses the server default.
+	Engine string `json:"engine,omitempty"`
+	Shards int    `json:"shards,omitempty"`
 }
 
 // matrix materializes the request as a report.Matrix wired to the
@@ -297,6 +354,11 @@ func (s *Server) matrix(r SweepRequest) (report.Matrix, error) {
 		m.Scale = r.Scale
 	}
 	m.Validate = r.Validate == nil || *r.Validate
+	m.Engine = r.Engine
+	m.Shards = r.Shards
+	if m.Engine == "" && m.Shards == 0 {
+		m.Engine, m.Shards = s.opts.Engine, s.opts.Shards
+	}
 	// Validate the matrix up front: every workload must resolve and every
 	// (system, ratio) cell must describe a runnable machine.
 	for _, name := range m.Workloads {
@@ -308,6 +370,8 @@ func (s *Server) matrix(r SweepRequest) (report.Matrix, error) {
 		for _, ratio := range m.Ratios {
 			cfg := sim.DefaultConfig(sys, ratio)
 			cfg.Params = mach.Params()
+			cfg.Engine = m.Engine
+			cfg.Shards = m.Shards
 			if err := cfg.Check(); err != nil {
 				return report.Matrix{}, err
 			}
@@ -352,7 +416,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	cfg, err := req.config()
+	cfg, err := req.config(s.opts)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -383,7 +447,12 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 			}
 			// RunContext: a forced shutdown aborts even a single
 			// in-flight simulation at its next task dispatch.
-			return sim.RunContext(runCtx, w, cfg)
+			start := time.Now()
+			res, err := sim.RunContext(runCtx, w, cfg)
+			if err == nil {
+				s.noteSim(cfg.Engine, time.Since(start))
+			}
+			return res, err
 		})
 		if err != nil {
 			return "", err
@@ -424,6 +493,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	runCtx := s.runCtx
 	j.execute = func(j *job) (string, error) {
 		m.Progress = func(line string) { j.progress(line) }
+		m.OnSimulated = s.noteSim
 		set, err := m.RunContext(runCtx)
 		if err != nil {
 			return "", err
@@ -569,12 +639,28 @@ type StatsSnapshot struct {
 	RunsCompleted uint64         `json:"runs_completed"`
 	SimsRun       uint64         `json:"sims_run"`
 	SimsPerSec    float64        `json:"sims_per_sec"`
-	CacheHits     uint64         `json:"cache_hits"`
-	CacheMisses   uint64         `json:"cache_misses"`
-	CacheHitRate  float64        `json:"cache_hit_rate"`
-	CacheBytes    uint64         `json:"cache_bytes"`
-	CacheObjects  int            `json:"cache_objects"`
-	CacheEvicted  uint64         `json:"cache_evictions"`
+	// Engine and Shards echo the server's default execution engine
+	// (Options.Engine/Shards; "seq" when unset). EngineSims breaks the
+	// simulations this server executed down by the engine that ran
+	// them, with per-engine throughput over the engine's own busy time
+	// — on a multi-core host this is what shows whether epoch sharding
+	// is paying off.
+	Engine       string                `json:"engine"`
+	Shards       int                   `json:"shards,omitempty"`
+	EngineSims   map[string]EngineSims `json:"engine_sims,omitempty"`
+	CacheHits    uint64                `json:"cache_hits"`
+	CacheMisses  uint64                `json:"cache_misses"`
+	CacheHitRate float64               `json:"cache_hit_rate"`
+	CacheBytes   uint64                `json:"cache_bytes"`
+	CacheObjects int                   `json:"cache_objects"`
+	CacheEvicted uint64                `json:"cache_evictions"`
+}
+
+// EngineSims is one engine's row of StatsSnapshot.EngineSims.
+type EngineSims struct {
+	Sims       uint64  `json:"sims"`         // simulations executed by this engine
+	Seconds    float64 `json:"seconds"`      // wall-clock time spent in them
+	SimsPerSec float64 `json:"sims_per_sec"` // Sims / Seconds
 }
 
 // Stats snapshots the server's counters.
@@ -591,12 +677,18 @@ func (s *Server) Stats() StatsSnapshot {
 	depth := len(s.queue)
 	s.mu.Unlock()
 	up := time.Since(s.start).Seconds()
+	engine := s.opts.Engine
+	if engine == "" {
+		engine = "seq"
+	}
 	snap := StatsSnapshot{
 		UptimeSeconds: up,
 		QueueDepth:    depth,
 		Jobs:          byState,
 		RunsCompleted: uint64(runsDone),
 		SimsRun:       st.Misses,
+		Engine:        engine,
+		Shards:        s.opts.Shards,
 		CacheHits:     st.Hits + st.Coalesced,
 		CacheMisses:   st.Misses,
 		CacheHitRate:  st.HitRate(),
@@ -607,6 +699,18 @@ func (s *Server) Stats() StatsSnapshot {
 	if up > 0 {
 		snap.SimsPerSec = float64(st.Misses) / up
 	}
+	s.simMu.Lock()
+	if len(s.sims) > 0 {
+		snap.EngineSims = make(map[string]EngineSims, len(s.sims))
+		for name, es := range s.sims {
+			row := EngineSims{Sims: es.n, Seconds: es.seconds}
+			if es.seconds > 0 {
+				row.SimsPerSec = float64(es.n) / es.seconds
+			}
+			snap.EngineSims[name] = row
+		}
+	}
+	s.simMu.Unlock()
 	return snap
 }
 

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"raccd/internal/coherence"
+	"raccd/internal/machine"
+	"raccd/internal/workloads"
+)
+
+// TestEngineEquivalence is the epoch engine's end-to-end contract: over a
+// matrix of seeded synthetic task graphs × machine presets × shard counts,
+// engine=epoch produces a metric-identical Result to engine=seq — every
+// cycle count, hit ratio, energy figure and stat, not just the headline
+// makespan. Run under -race in CI, this also shakes out data races between
+// the shard workers and the commit goroutine.
+func TestEngineEquivalence(t *testing.T) {
+	specs := []string{
+		"synth:chain/seed=1/width=4/depth=6/blocks=8",
+		"synth:stencil/seed=7/width=4/depth=4/blocks=4",
+		"synth:forkjoin/seed=3/width=8/depth=3/blocks=4",
+	}
+	presets := []struct {
+		name   string
+		params coherence.Params
+	}{
+		{"paper16", machine.Paper16().Params()},
+		{"m32", machine.Machine32().Params()},
+		{"m64", machine.Machine64().Params()},
+	}
+	for _, spec := range specs {
+		w, err := workloads.Get(spec, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range presets {
+			cfg := Config{
+				System:   coherence.RaCCD,
+				DirRatio: 16,
+				Params:   p.params,
+				Validate: true,
+			}
+			want, err := Run(w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want.Hierarchy = nil // pointer identity, not a metric
+			for _, shards := range []int{1, 2, 4, 8} {
+				t.Run(fmt.Sprintf("%s/%s/shards=%d", spec, p.name, shards), func(t *testing.T) {
+					ecfg := cfg
+					ecfg.Engine = "epoch"
+					ecfg.Shards = shards
+					got, err := Run(w, ecfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got.Hierarchy = nil
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("engine=epoch result diverged from engine=seq:\n got %+v\nwant %+v", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEngineEquivalenceSMT covers the smtMachine wrapper: logical-processor
+// to (core, thread) mapping must survive the epoch engine's stream replay.
+func TestEngineEquivalenceSMT(t *testing.T) {
+	w, err := workloads.Get("synth:chain/seed=5/width=4/depth=4/blocks=6", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(coherence.RaCCD, 16)
+	cfg.SMTWays = 2
+	want, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Hierarchy = nil
+	cfg.Engine = "epoch"
+	cfg.Shards = 4
+	got, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Hierarchy = nil
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SMT epoch result diverged from seq:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEngineCheck pins Config.Check's engine validation.
+func TestEngineCheck(t *testing.T) {
+	cfg := DefaultConfig(coherence.RaCCD, 1)
+	cfg.Engine = "warp"
+	if err := cfg.Check(); err == nil {
+		t.Error("Check accepted an unknown engine")
+	}
+	cfg = DefaultConfig(coherence.RaCCD, 1)
+	cfg.Shards = 4
+	if err := cfg.Check(); err == nil {
+		t.Error("Check accepted shards with the seq engine")
+	}
+	cfg = DefaultConfig(coherence.RaCCD, 1)
+	cfg.Engine = "epoch"
+	cfg.Shards = 8
+	if err := cfg.Check(); err != nil {
+		t.Errorf("Check rejected engine=epoch shards=8: %v", err)
+	}
+}

@@ -73,6 +73,16 @@ func TestFingerprintCanonical(t *testing.T) {
 	if v.Fingerprint() != base.Fingerprint() {
 		t.Error("Validate must not change the fingerprint")
 	}
+	// Engine and Shards select the host execution strategy; engines are
+	// metric-identical by contract, so a cached result computed by one
+	// engine must be shared with every other — they are deliberately not
+	// part of the fingerprint.
+	e := base
+	e.Engine = "epoch"
+	e.Shards = 8
+	if e.Fingerprint() != base.Fingerprint() {
+		t.Error("Engine/Shards must not change the fingerprint (cached results are shared across engines)")
+	}
 	// Stability: the same value twice.
 	if base.Fingerprint() != base.Fingerprint() {
 		t.Error("fingerprint is not stable")
@@ -113,8 +123,8 @@ func TestFingerprintSensitive(t *testing.T) {
 // to extend Fingerprint (and bump fingerprintVersion if the canonical
 // form changes meaning).
 func TestFingerprintCoversAllFields(t *testing.T) {
-	if n := reflect.TypeOf(Config{}).NumField(); n != 8 {
-		t.Errorf("sim.Config has %d fields, Fingerprint was written for 8 — extend it and update this count", n)
+	if n := reflect.TypeOf(Config{}).NumField(); n != 10 {
+		t.Errorf("sim.Config has %d fields, Fingerprint was written for 10 (8 covered + Engine/Shards deliberately excluded) — extend it and update this count", n)
 	}
 	if n := reflect.TypeOf(coherence.Params{}).NumField(); n != 20 {
 		t.Errorf("coherence.Params has %d fields, Fingerprint was written for 20 — extend it and update this count", n)

@@ -48,6 +48,15 @@ type Config struct {
 	// threads on a core share its L1 and NCRT (entries tagged by thread),
 	// and recovery flushes are per-thread. 0 or 1 disables SMT.
 	SMTWays int
+	// Engine selects the host execution strategy: "" or "seq" (the
+	// sequential reference), or "epoch" (shard workers pre-execute task
+	// bodies across host CPUs). Engines are metric-identical by contract —
+	// Engine and Shards change how fast a run finishes, never what it
+	// computes — so neither participates in Fingerprint.
+	Engine string
+	// Shards is the worker count for Engine "epoch" (0 → one per host
+	// CPU). Must be 0 for the seq engine.
+	Shards int
 }
 
 // DefaultConfig returns a validated baseline configuration.
@@ -112,6 +121,9 @@ func (c Config) Check() error {
 	}
 	if c.ADR && c.System == coherence.FullCoh {
 		return fmt.Errorf("sim: ADR requires a coherence-deactivation system (PT or RaCCD)")
+	}
+	if _, err := rts.ParseEngine(c.Engine, c.Shards); err != nil {
+		return err
 	}
 	return nil
 }
@@ -215,6 +227,12 @@ func RunContext(ctx context.Context, w Workload, cfg Config) (Result, error) {
 		rt.ComputePerAccess = cfg.ComputePerAccess
 	}
 	rt.StrictAnnotations = cfg.Validate
+	// Check validated the pair above, so this cannot fail here.
+	eng, err := rts.ParseEngine(cfg.Engine, cfg.Shards)
+	if err != nil {
+		return Result{}, err
+	}
+	rt.Engine = eng
 	if ctx.Done() != nil {
 		rt.Cancel = ctx.Err
 	}

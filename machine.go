@@ -3,6 +3,7 @@ package raccd
 import (
 	"raccd/internal/machine"
 	"raccd/internal/report"
+	"raccd/internal/rts"
 )
 
 // Machine describes the simulated chip: core count, mesh geometry, per-tile
@@ -98,6 +99,19 @@ func WithContiguity(f float64) Option { return func(c *Config) { c.Contiguity = 
 // WithoutValidation disables golden-memory and invariant checking (faster;
 // production sweeps that only need metrics).
 func WithoutValidation() Option { return func(c *Config) { c.Validate = false } }
+
+// WithEngine selects the host execution strategy ("seq" or "epoch").
+// Engines are metric-identical — the knob trades host CPUs for wall time,
+// never changing the Result — so it does not enter the fingerprint and
+// cached results are shared across engines. See docs/ENGINE.md.
+func WithEngine(name string) Option { return func(c *Config) { c.Engine = name } }
+
+// WithShards sets the epoch engine's worker count (0 → one per host CPU).
+// Compose with WithEngine("epoch"); the seq engine takes no shards.
+func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
+
+// EngineNames returns the recognized execution engine names.
+func EngineNames() []string { return rts.EngineNames() }
 
 // MachineResultSet pairs one machine with the results of a sweep on it.
 type MachineResultSet = report.MachineSet
