@@ -17,9 +17,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 )
@@ -29,13 +32,92 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// retries/backoff configure WithRetry; retries == 0 (the default)
+	// disables retrying entirely.
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithRetry enables bounded retry with jittered exponential backoff on
+// transient failures: HTTP 503 (the daemon's queue is full) and
+// connection-level errors (refused, reset, DNS). retries is the number
+// of re-attempts after the first try; base is the initial backoff
+// (doubled per attempt, jittered ±50%, capped at 5s). Off by default
+// because a resubmitted POST /v1/runs creates a second job — harmless
+// (identical runs dedupe through the result store) but surprising for
+// interactive use. The fabric coordinator turns it on so a briefly
+// saturated worker does not fail a whole batch.
+func WithRetry(retries int, base time.Duration) Option {
+	return func(c *Client) {
+		if retries < 0 {
+			retries = 0
+		}
+		if base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		c.retries = retries
+		c.backoff = base
+	}
+}
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transport, timeout policy).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
 }
 
 // New returns a client for the daemon at baseURL (e.g.
 // "http://localhost:8080"). The client reuses http.DefaultTransport;
 // requests carry whatever deadline their context has.
-func New(baseURL string) *Client {
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// retryable reports whether an error is worth re-attempting: a 503 from
+// the daemon (queue full) or a connection-level failure. Context
+// cancellation is never retryable.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusServiceUnavailable
+	}
+	var urlErr *url.Error
+	if errors.As(err, &urlErr) {
+		return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	}
+	return false
+}
+
+// withRetry runs op, re-attempting transient failures per the client's
+// retry policy. With retries == 0 it is exactly one op() call.
+func (c *Client) withRetry(ctx context.Context, op func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || attempt >= c.retries || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+		d := c.backoff << attempt
+		if d > 5*time.Second {
+			d = 5 * time.Second
+		}
+		// Jitter ±50% so a fleet of retrying clients doesn't re-stampede
+		// the worker that just shed them.
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return err
+		}
+	}
 }
 
 // RunRequest is the body of POST /v1/runs. Workload accepts a bundled
@@ -154,36 +236,42 @@ func (e *APIError) Error() string {
 }
 
 // do issues a request and decodes the JSON response into out (when
-// non-nil), converting error responses to *APIError.
+// non-nil), converting error responses to *APIError. Transient failures
+// are re-attempted per the client's retry policy.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
+		var err error
+		if data, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	return c.withRetry(ctx, func() error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(data)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(data)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return decodeError(resp)
-	}
-	if out == nil {
-		io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return decodeError(resp)
+		}
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
 }
 
 func decodeError(resp *http.Response) error {
@@ -223,6 +311,24 @@ func (c *Client) SubmitSweep(ctx context.Context, req SweepRequest) (Status, err
 	return st, err
 }
 
+// BatchRequest is the body of POST /v1/batch: an explicit list of runs
+// executed as one job. One request can carry thousands of runs; the
+// daemon validates every run up front, executes them (partitioned
+// across its worker fleet when it is a coordinator), streams progress
+// per completed run in deterministic submission-independent order, and
+// serves one merged CSV — identical rows to submitting the runs one by
+// one, sorted the way `sweep -csv` sorts them.
+type BatchRequest struct {
+	Runs []RunRequest `json:"runs"`
+}
+
+// SubmitBatch queues a batch of runs as one job and returns its status.
+func (c *Client) SubmitBatch(ctx context.Context, req BatchRequest) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/v1/batch", req, &st)
+	return st, err
+}
+
 // Job fetches the status of a job.
 func (c *Client) Job(ctx context.Context, id string) (Status, error) {
 	var st Status
@@ -242,20 +348,25 @@ func (c *Client) Jobs(ctx context.Context) ([]Status, error) {
 // Result fetches a finished job's CSV — byte-identical to the CSV a local
 // `sweep -csv` of the same matrix would write.
 func (c *Client) Result(ctx context.Context, id string) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
-	if err != nil {
-		return "", err
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return "", decodeError(resp)
-	}
-	data, err := io.ReadAll(resp.Body)
-	return string(data), err
+	var out string
+	err := c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		data, err := io.ReadAll(resp.Body)
+		out = string(data)
+		return err
+	})
+	return out, err
 }
 
 // Events streams a job's progress events, invoking fn for each, starting
@@ -263,20 +374,30 @@ func (c *Client) Result(ctx context.Context, id string) (string, error) {
 // the job reaches a terminal state, fn returns an error, or ctx is
 // cancelled.
 func (c *Client) Events(ctx context.Context, id string, after int, fn func(Event) error) error {
-	url := fmt.Sprintf("%s/v1/jobs/%s/events?after=%d", c.base, id, after)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Accept", "text/event-stream")
-	resp, err := c.hc.Do(req)
+	// Stream establishment retries transient failures; once frames flow,
+	// a drop surfaces as an error so the caller can resume with ?after=.
+	var resp *http.Response
+	err := c.withRetry(ctx, func() error {
+		url := fmt.Sprintf("%s/v1/jobs/%s/events?after=%d", c.base, id, after)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		if resp, err = c.hc.Do(req); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			err := decodeError(resp)
+			resp.Body.Close()
+			return err
+		}
+		return nil
+	})
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
-	}
 
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)

@@ -1,0 +1,137 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flaky503 serves n 503 responses on /healthz before succeeding, counting
+// attempts.
+func flaky503(n int) (*httptest.Server, *atomic.Int64) {
+	var attempts atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= int64(n) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"job queue full"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	return hs, &attempts
+}
+
+// TestRetryOffByDefault pins the default: one attempt, the 503 surfaces
+// immediately as an APIError.
+func TestRetryOffByDefault(t *testing.T) {
+	hs, attempts := flaky503(1)
+	defer hs.Close()
+	err := New(hs.URL).Health(context.Background())
+	if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != 503 {
+		t.Fatalf("err = %v, want the 503 to surface", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("%d attempts without WithRetry, want exactly 1", got)
+	}
+}
+
+// TestRetryRecoversFrom503 is the happy path: two 503s then success,
+// within the retry budget.
+func TestRetryRecoversFrom503(t *testing.T) {
+	hs, attempts := flaky503(2)
+	defer hs.Close()
+	c := New(hs.URL, WithRetry(3, time.Millisecond))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health after retries: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3 (two 503s + success)", got)
+	}
+}
+
+// TestRetryBudgetExhausted: more 503s than retries → the last 503
+// surfaces, with retries+1 total attempts.
+func TestRetryBudgetExhausted(t *testing.T) {
+	hs, attempts := flaky503(100)
+	defer hs.Close()
+	c := New(hs.URL, WithRetry(2, time.Millisecond))
+	err := c.Health(context.Background())
+	if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != 503 {
+		t.Fatalf("err = %v, want 503 after budget exhausted", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestRetryConnectionRefused: a dead endpoint is retried (connection
+// errors are transient) and the connection error surfaces once the
+// budget runs out.
+func TestRetryConnectionRefused(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := hs.URL
+	hs.Close() // nothing listens here any more
+
+	start := time.Now()
+	c := New(url, WithRetry(2, time.Millisecond))
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("health against a closed port succeeded")
+	}
+	// Backoff ran (1ms then 2ms, jittered down to at least half): the
+	// call cannot have returned instantaneously after one attempt.
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("no backoff observed between attempts")
+	}
+}
+
+// TestRetryNeverRetriesNonTransient: 4xx responses are the caller's
+// fault and must not be re-attempted.
+func TestRetryNeverRetriesNonTransient(t *testing.T) {
+	var attempts atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"bad request"}`)
+	}))
+	defer hs.Close()
+	c := New(hs.URL, WithRetry(5, time.Millisecond))
+	err := c.Health(context.Background())
+	if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != 400 {
+		t.Fatalf("err = %v, want 400", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("%d attempts for a 400, want exactly 1", got)
+	}
+}
+
+// TestRetryStopsOnContextCancel: a cancelled context ends the retry loop
+// instead of sleeping through the backoff.
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	hs, attempts := flaky503(100)
+	defer hs.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(hs.URL, WithRetry(50, time.Hour)) // a full backoff would hang the test
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() { done <- c.Health(ctx) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("health succeeded against an all-503 server")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry loop did not stop on cancel")
+	}
+	if got := attempts.Load(); got < 1 || got > 2 {
+		t.Fatalf("%d attempts, want the loop to stop promptly", got)
+	}
+}

@@ -10,6 +10,10 @@
 //	raccdd -max-cache-mb 512            # LRU-bound the cache
 //	raccdd -engine epoch -shards 4      # default engine for requests
 //	                                    # that name none (docs/ENGINE.md)
+//	raccdd -workers http://h1:8080,http://h2:8080
+//	                                    # coordinator mode: partition runs
+//	                                    # across worker daemons by
+//	                                    # rendezvous hash (docs/SERVICE.md)
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
 // jobs for up to -drain (default 30s), then cancels whatever remains and
@@ -26,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +53,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		engine     = fs.String("engine", "", "default execution engine for requests that name none: seq or epoch (metric-identical)")
 		shards     = fs.Int("shards", 0, "epoch engine worker count (0 = one per host CPU)")
 		drain      = fs.Duration("drain", 30*time.Second, "shutdown deadline for in-flight jobs")
+		workers    = fs.String("workers", "", "comma-separated worker raccdd URLs; runs execute on the fleet instead of in-process, partitioned by rendezvous hash")
+		inflight   = fs.Int("worker-inflight", 0, "max runs dispatched concurrently to each worker (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -73,27 +80,43 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return serve(ctx, serveOptions{
-		cacheDir:   dir,
-		maxBytes:   *maxCacheMB << 20,
-		simJobs:    *jobs,
-		jobWorkers: *jobWorkers,
-		queueDepth: *queueDepth,
-		engine:     *engine,
-		shards:     *shards,
-		drain:      *drain,
+		cacheDir:       dir,
+		maxBytes:       *maxCacheMB << 20,
+		simJobs:        *jobs,
+		jobWorkers:     *jobWorkers,
+		queueDepth:     *queueDepth,
+		engine:         *engine,
+		shards:         *shards,
+		drain:          *drain,
+		workers:        splitList(*workers),
+		workerInFlight: *inflight,
 	}, ln, stdout, stderr)
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries
+// so trailing commas are harmless.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // serveOptions carries the resolved daemon configuration.
 type serveOptions struct {
-	cacheDir   string
-	maxBytes   uint64
-	simJobs    int
-	jobWorkers int
-	queueDepth int
-	engine     string
-	shards     int
-	drain      time.Duration
+	cacheDir       string
+	maxBytes       uint64
+	simJobs        int
+	jobWorkers     int
+	queueDepth     int
+	engine         string
+	shards         int
+	drain          time.Duration
+	workers        []string
+	workerInFlight int
 }
 
 // serve runs the daemon on an already-bound listener until ctx is
@@ -107,12 +130,14 @@ func serve(ctx context.Context, opts serveOptions, ln net.Listener, stdout, stde
 	}
 	store.MaxBytes = opts.maxBytes
 	svc, err := service.New(service.Options{
-		Store:      store,
-		SimJobs:    opts.simJobs,
-		JobWorkers: opts.jobWorkers,
-		QueueDepth: opts.queueDepth,
-		Engine:     opts.engine,
-		Shards:     opts.shards,
+		Store:          store,
+		SimJobs:        opts.simJobs,
+		JobWorkers:     opts.jobWorkers,
+		QueueDepth:     opts.queueDepth,
+		Engine:         opts.engine,
+		Shards:         opts.shards,
+		Workers:        opts.workers,
+		WorkerInFlight: opts.workerInFlight,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "raccdd:", err)
@@ -122,6 +147,10 @@ func serve(ctx context.Context, opts serveOptions, ln net.Listener, stdout, stde
 
 	hs := &http.Server{Handler: svc.Handler()}
 	fmt.Fprintf(stderr, "raccdd: listening on %s (cache %s)\n", ln.Addr(), opts.cacheDir)
+	if len(opts.workers) > 0 {
+		fmt.Fprintf(stderr, "raccdd: coordinating %d workers: %s\n",
+			len(opts.workers), strings.Join(opts.workers, ", "))
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

@@ -115,6 +115,122 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// startDaemon boots serve() on a loopback port and returns its base URL
+// plus the exit-code channel. Shutdown happens when ctx is cancelled.
+func startDaemon(t *testing.T, ctx context.Context, opts serveOptions) (string, chan int) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr syncBuffer
+	codec := make(chan int, 1)
+	go func() { codec <- serve(ctx, opts, ln, &stdout, &stderr) }()
+	url := "http://" + ln.Addr().String()
+	c := client.New(url)
+	hctx, hcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer hcancel()
+	for {
+		if err := c.Health(hctx); err == nil {
+			return url, codec
+		}
+		select {
+		case <-hctx.Done():
+			t.Fatalf("daemon never became healthy; stderr:\n%s", stderr.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestCoordinatorModeEndToEnd boots two worker daemons plus a coordinator
+// wired to them via the workers option (the -workers flag path): a run
+// submitted to the coordinator must simulate on exactly one worker and
+// never in the coordinator's own process.
+func TestCoordinatorModeEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base := serveOptions{jobWorkers: 2, queueDepth: 8, drain: 30 * time.Second}
+
+	var urls []string
+	var codecs []chan int
+	for i := 0; i < 2; i++ {
+		opts := base
+		opts.cacheDir = t.TempDir()
+		url, codec := startDaemon(t, ctx, opts)
+		urls = append(urls, url)
+		codecs = append(codecs, codec)
+	}
+	coordOpts := base
+	coordOpts.cacheDir = t.TempDir()
+	coordOpts.workers = urls
+	coordOpts.workerInFlight = 2
+	coordURL, coordCodec := startDaemon(t, ctx, coordOpts)
+	codecs = append(codecs, coordCodec)
+
+	c := client.New(coordURL)
+	st, err := c.SubmitRun(ctx, client.RunRequest{Workload: "Jacobi", Scale: 0.05, System: "RaCCD", DirRatio: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != "done" {
+		t.Fatalf("job state %q (%s)", fin.State, fin.Error)
+	}
+	csv, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv, "Jacobi,RaCCD,16,") {
+		t.Fatalf("unexpected CSV:\n%s", csv)
+	}
+
+	coordStats, err := c.ServerStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coordStats.SimsRun != 0 {
+		t.Fatalf("coordinator simulated %d runs itself, want 0", coordStats.SimsRun)
+	}
+	var workerSims uint64
+	for _, u := range urls {
+		ws, err := client.New(u).ServerStats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workerSims += ws.SimsRun
+	}
+	if workerSims != 1 {
+		t.Fatalf("workers simulated %d runs, want exactly 1", workerSims)
+	}
+
+	cancel()
+	for i, codec := range codecs {
+		select {
+		case code := <-codec:
+			if code != 0 {
+				t.Fatalf("daemon %d exit code %d", i, code)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("daemon %d did not drain", i)
+		}
+	}
+}
+
+// TestSplitList pins the -workers parser: whitespace and stray commas
+// are dropped, an empty value yields nil.
+func TestSplitList(t *testing.T) {
+	got := splitList(" http://a:8080, http://b:8080 ,,")
+	if len(got) != 2 || got[0] != "http://a:8080" || got[1] != "http://b:8080" {
+		t.Fatalf("splitList = %q", got)
+	}
+	if splitList("") != nil {
+		t.Fatal("empty list should be nil")
+	}
+}
+
 // TestRunFlagErrors covers flag/startup failures.
 func TestRunFlagErrors(t *testing.T) {
 	var stdout, stderr syncBuffer

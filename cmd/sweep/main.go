@@ -15,6 +15,8 @@
 //	sweep -cache ~/.raccd  # memoize runs in a content-addressed store
 //	sweep -machine m64     # the whole evaluation on a 64-core machine
 //	sweep -machines paper16,m32,m64     # Fig 2 across machine presets
+//	sweep -remote http://h1:8080,http://h2:8080
+//	                       # simulate on raccdd daemons, render locally
 //
 // Simulations fan out across -jobs workers (default: one per CPU) with
 // results — figures, CSV, progress lines — identical to a sequential
@@ -25,6 +27,12 @@
 // sweeps cost only the runs that changed. The same directory can back a
 // raccdd daemon (see docs/SERVICE.md): offline sweeps and served requests
 // share one cache, and cached output is byte-identical to simulating.
+//
+// With -remote the simulations run on a fleet of raccdd daemons instead:
+// each endpoint receives its rendezvous-hashed partition of the matrix as
+// one batch job, identical runs dedupe in the endpoints' caches
+// fleet-wide, and the merged results render locally — figures and CSV
+// byte-identical to a local sweep.
 package main
 
 import (
@@ -67,6 +75,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		traces   = fs.String("trace", "", "RTF trace file(s) to add to the matrix, comma-separated")
 		only     = fs.Bool("only-extra", false, "run only the -synth/-trace workloads, not the paper set")
 		cache    = fs.String("cache", "", "memoize runs in this result-store directory (shareable with raccdd)")
+		remote   = fs.String("remote", "", "comma-separated raccdd endpoints: simulate on the fleet instead of locally, one batch per endpoint (rendezvous-partitioned), figures rendered here")
 		quiet    = fs.Bool("q", false, "suppress per-run progress")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +105,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(machines) > 0 && *tbl != "" {
 		fmt.Fprintln(stderr, "sweep: -machines renders the Fig 2 comparison; use -machine to pick a table's machine")
 		return 2
+	}
+
+	var endpoints []string
+	for _, e := range strings.Split(*remote, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			endpoints = append(endpoints, e)
+		}
+	}
+	if len(endpoints) > 0 {
+		// Remote execution ships plain run requests; the matrix variants
+		// that need in-process hooks stay local-only.
+		switch {
+		case len(machines) > 0:
+			fmt.Fprintln(stderr, "sweep: -remote cannot run the -machines comparison; run it per machine with -machine")
+			return 2
+		case *fig == "vc":
+			fmt.Fprintln(stderr, "sweep: -remote cannot run the NCRT latency study; it needs in-process latency overrides")
+			return 2
+		case *cache != "":
+			fmt.Fprintln(stderr, "sweep: -remote uses the endpoints' caches; drop -cache")
+			return 2
+		}
 	}
 
 	switch *tbl {
@@ -218,7 +249,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		m.Ratios = []int{1}
 	}
 
-	set, err := m.RunContext(ctx)
+	var set *report.Set
+	if len(endpoints) > 0 {
+		set, err = runRemote(ctx, m, *machName, endpoints)
+	} else {
+		set, err = m.RunContext(ctx)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "sweep:", err)
 		return 1

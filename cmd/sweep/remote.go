@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"raccd/client"
+	"raccd/internal/report"
+	"raccd/internal/service/fabric"
+	"raccd/internal/sim"
+)
+
+// Transient worker hiccups (503 queue-full, connection refused during a
+// restart) are retried with jittered backoff instead of failing the
+// whole sweep.
+const (
+	remoteRetries = 3
+	remoteBackoff = 200 * time.Millisecond
+)
+
+// runRemote executes the matrix on a fleet of raccdd endpoints instead
+// of simulating locally. The runs are rendezvous-partitioned by
+// (fingerprint, workload identity) — the same mapping a coordinator
+// daemon uses — so every client routes an identical run to the same
+// endpoint and its cache dedupes it globally. Each endpoint receives its
+// whole partition as one POST /v1/batch; the partial CSVs merge into one
+// Set whose CSV() is byte-identical to a local sweep of the same matrix,
+// because Set sorts rows by key regardless of arrival order.
+func runRemote(ctx context.Context, m report.Matrix, machineName string, endpoints []string) (*report.Set, error) {
+	specs, err := fabric.SpecsFromMatrix(m, machineName)
+	if err != nil {
+		return nil, err
+	}
+	parts := fabric.Partition(specs, endpoints)
+
+	// Progress lines from different endpoints interleave arbitrarily;
+	// only the merged set is deterministic.
+	var mu sync.Mutex
+	progress := func(line string) {
+		if m.Progress != nil {
+			mu.Lock()
+			m.Progress(line)
+			mu.Unlock()
+		}
+	}
+
+	csvs := make([]string, len(endpoints))
+	errs := make([]error, len(endpoints))
+	var wg sync.WaitGroup
+	for i := range endpoints {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			remote := fabric.NewRemote(endpoints[i], client.WithRetry(remoteRetries, remoteBackoff))
+			csvs[i], errs[i] = remote.RunBatch(ctx, parts[i], progress)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Workers return their partition sorted in CSV row order; re-index
+	// and re-insert in matrix order so figure row order (which follows
+	// first insertion) matches a local sweep exactly.
+	byKey := make(map[report.Key]sim.Result, len(specs))
+	for i, csv := range csvs {
+		if csv == "" {
+			continue
+		}
+		part, err := report.ParseCSV(strings.NewReader(csv))
+		if err != nil {
+			return nil, fmt.Errorf("worker %s: parsing results: %w", endpoints[i], err)
+		}
+		for _, res := range part.Results() {
+			byKey[report.Key{Workload: res.Workload, System: res.System, Ratio: res.DirRatio, ADR: res.ADR}] = res
+		}
+	}
+	set := report.NewSet(nil)
+	for _, k := range m.Keys() {
+		res, ok := byKey[k]
+		if !ok {
+			return nil, fmt.Errorf("fleet results missing %s/%s 1:%d", k.Workload, k.System, k.Ratio)
+		}
+		set.Add(res)
+	}
+	return set, nil
+}

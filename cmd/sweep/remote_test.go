@@ -1,0 +1,128 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"raccd/internal/report"
+	"raccd/internal/resultstore"
+	"raccd/internal/service"
+)
+
+// startWorkers boots n in-process raccdd services over httptest and
+// returns their base URLs joined for the -remote flag, plus the servers
+// for stats assertions.
+func startWorkers(t *testing.T, n int) (string, []*service.Server) {
+	t.Helper()
+	urls := make([]string, n)
+	servers := make([]*service.Server, n)
+	for i := 0; i < n; i++ {
+		store, err := resultstore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := service.New(service.Options{Store: store, JobWorkers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(s.Handler())
+		t.Cleanup(hs.Close)
+		urls[i] = hs.URL
+		servers[i] = s
+	}
+	return strings.Join(urls, ","), servers
+}
+
+// TestRemoteSweepMatchesLocal pins the -remote contract: the same figure
+// sweep executed on two raccdd endpoints renders byte-identical figures
+// and CSV to a local run, with the simulations actually split across the
+// fleet and none run locally.
+func TestRemoteSweepMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	dir := t.TempDir()
+	localCSV := filepath.Join(dir, "local.csv")
+	code, localOut, stderr := runSweep(t, "-fig", "2", "-scale", "0.05", "-q", "-jobs", "2", "-csv", localCSV)
+	if code != 0 {
+		t.Fatalf("local: exit %d, stderr: %s", code, stderr)
+	}
+
+	endpoints, servers := startWorkers(t, 2)
+	remoteCSV := filepath.Join(dir, "remote.csv")
+	code, remoteOut, stderr := runSweep(t, "-fig", "2", "-scale", "0.05", "-q", "-remote", endpoints, "-csv", remoteCSV)
+	if code != 0 {
+		t.Fatalf("remote: exit %d, stderr: %s", code, stderr)
+	}
+
+	if remoteOut != localOut {
+		t.Errorf("remote figure output differs from local:\n--- local ---\n%s\n--- remote ---\n%s", localOut, remoteOut)
+	}
+	read := func(p string) string {
+		t.Helper()
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if read(remoteCSV) != read(localCSV) {
+		t.Error("remote CSV differs from local CSV")
+	}
+
+	// The work really happened on the fleet, split across both endpoints.
+	fig2 := report.DefaultMatrix()
+	fig2.Ratios = []int{1}
+	fig2.ADR = false
+	want := uint64(fig2.NumRuns())
+	var total uint64
+	for i, s := range servers {
+		st := s.Stats()
+		if st.SimsRun == 0 {
+			t.Errorf("worker %d simulated nothing (degenerate partition)", i)
+		}
+		total += st.SimsRun
+	}
+	if total != want {
+		t.Errorf("fleet simulated %d runs, want %d (the fig 2 matrix)", total, want)
+	}
+}
+
+// TestRemoteFlagConflicts: matrix variants that need in-process hooks
+// are rejected up front rather than failing mid-sweep.
+func TestRemoteFlagConflicts(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-remote", "http://x", "-machines", "paper16,m32"}, "-machines"},
+		{[]string{"-remote", "http://x", "-fig", "vc"}, "NCRT"},
+		{[]string{"-remote", "http://x", "-cache", "/tmp/c"}, "-cache"},
+	} {
+		code, _, stderr := runSweep(t, tc.args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2", tc.args, code)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Errorf("%v: stderr %q missing %q", tc.args, stderr, tc.want)
+		}
+	}
+}
+
+// TestRemoteUnreachableEndpointFails: a dead endpoint fails the sweep
+// with a diagnostic naming it, after the client's retry budget.
+func TestRemoteUnreachableEndpointFails(t *testing.T) {
+	hs := httptest.NewServer(nil)
+	url := hs.URL
+	hs.Close() // nothing listens here any more
+	code, _, stderr := runSweep(t, "-fig", "2", "-scale", "0.05", "-q", "-remote", url)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, url) {
+		t.Fatalf("stderr does not name the dead endpoint: %q", stderr)
+	}
+}

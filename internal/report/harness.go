@@ -41,7 +41,8 @@ type Matrix struct {
 	// identity) and served from the store when present, simulated and
 	// stored otherwise. Figures, CSV and Progress output are byte-
 	// identical with or without a cache, warm or cold.
-	Cache *resultstore.Store
+	// *resultstore.Store is the canonical implementation.
+	Cache Cache
 	// Engine selects the per-run host execution strategy ("" or "seq",
 	// or "epoch"); Shards is the epoch engine's worker count (0 → one
 	// per host CPU). Engines are metric-identical, so every figure, CSV
@@ -52,9 +53,17 @@ type Matrix struct {
 	Shards int
 	// OnSimulated, if non-nil, is called once per simulation actually
 	// executed (cache hits do not fire it) with the run's engine name
-	// ("" means seq) and wall-clock duration. Calls may be concurrent
-	// when Jobs > 1; the hook must be safe for that.
-	OnSimulated func(engine string, elapsed time.Duration)
+	// ("" means seq), its coherence scheme, and wall-clock duration.
+	// Calls may be concurrent when Jobs > 1; the hook must be safe for
+	// that.
+	OnSimulated func(engine string, system coherence.Mode, elapsed time.Duration)
+}
+
+// Cache is the memoization seam of a Matrix: the subset of
+// *resultstore.Store a sweep needs. internal/service/store narrows the
+// full store to the same shape for the serving layers.
+type Cache interface {
+	GetOrCompute(key resultstore.Key, compute func() (sim.Result, error)) (sim.Result, bool, error)
 }
 
 // DefaultMatrix is the paper's full evaluation at the scaled problem sizes.
@@ -117,7 +126,7 @@ func (m Matrix) simulate(cfg sim.Config, name string) (sim.Result, error) {
 		start := time.Now()
 		res, err := sim.Run(w, cfg)
 		if err == nil && m.OnSimulated != nil {
-			m.OnSimulated(cfg.Engine, time.Since(start))
+			m.OnSimulated(cfg.Engine, cfg.System, time.Since(start))
 		}
 		return res, err
 	}
@@ -136,6 +145,18 @@ func (m Matrix) simulate(cfg sim.Config, name string) (sim.Result, error) {
 // serving layer needs to size progress reporting and enforce request
 // limits without running anything.
 func (m Matrix) NumRuns() int { return len(m.specs()) }
+
+// Keys expands the matrix into its run list, in the order results are
+// reported — the enumeration a distributed coordinator partitions
+// across workers (internal/service/fabric) without running anything.
+func (m Matrix) Keys() []Key {
+	specs := m.specs()
+	out := make([]Key, len(specs))
+	for i, s := range specs {
+		out[i] = Key{Workload: s.name, System: s.sys, Ratio: s.ratio, ADR: s.adr}
+	}
+	return out
+}
 
 // Run executes the sweep and returns the indexed result set.
 func (m Matrix) Run() (*Set, error) {

@@ -67,6 +67,18 @@ func (s *Set) Get(w string, sys coherence.Mode, ratio int, adr bool) (sim.Result
 // Workloads returns the row order.
 func (s *Set) Workloads() []string { return s.workloads }
 
+// Results returns every result in the Set in CSV row order (sorted by
+// workload, system, ratio, ADR) — the deterministic enumeration the
+// fabric coordinator merges per-run results through.
+func (s *Set) Results() []sim.Result {
+	keys := s.sortedKeys()
+	out := make([]sim.Result, len(keys))
+	for i, k := range keys {
+		out[i] = s.m[k]
+	}
+	return out
+}
+
 // Ratios is the paper's directory reduction sweep.
 var Ratios = []int{1, 2, 4, 8, 16, 64, 256}
 
@@ -247,7 +259,8 @@ func (s *Set) Fig10() string {
 }
 
 // CSV renders every result as comma-separated rows for external plotting.
-func (s *Set) CSV() string {
+// sortedKeys returns the Set's keys in CSV row order.
+func (s *Set) sortedKeys() []Key {
 	var keys []Key
 	for k := range s.m {
 		keys = append(keys, k)
@@ -265,6 +278,11 @@ func (s *Set) CSV() string {
 		}
 		return !a.ADR && b.ADR
 	})
+	return keys
+}
+
+func (s *Set) CSV() string {
+	keys := s.sortedKeys()
 	var b strings.Builder
 	b.WriteString("workload,system,ratio,adr,cycles,dir_accesses,llc_hit_ratio,noc_byte_hops,dir_energy,dir_occupancy,nc_fraction,l1_hit_ratio,mem_reads,mem_writes,tasks\n")
 	for _, k := range keys {

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"raccd/internal/coherence"
+)
+
+// LatencyBuckets are the upper bounds (seconds) of the per-scheme
+// run-latency histogram, Prometheus classic style: cumulative
+// `le`-labeled buckets with a +Inf bucket implied by the count.
+var LatencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Metrics accumulates the executor's counters: how many simulations
+// each engine executed (cache hits are not sims) and how executed-run
+// latency distributes per coherence scheme. The zero value is ready.
+type Metrics struct {
+	mu      sync.Mutex
+	engines map[string]*engineCount
+	schemes map[string]*histogram
+}
+
+type engineCount struct {
+	sims    uint64
+	seconds float64
+}
+
+// histogram is one scheme's latency distribution: per-bucket (non-
+// cumulative) counts plus sum and total.
+type histogram struct {
+	counts []uint64 // len(LatencyBuckets)+1; last is the +Inf overflow
+	sum    float64
+	total  uint64
+}
+
+// Observe records one executed simulation. Matches the
+// report.Matrix.OnSimulated hook signature; safe for concurrent use.
+func (m *Metrics) Observe(engine string, system coherence.Mode, elapsed time.Duration) {
+	if engine == "" {
+		engine = "seq"
+	}
+	secs := elapsed.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.engines == nil {
+		m.engines = make(map[string]*engineCount)
+		m.schemes = make(map[string]*histogram)
+	}
+	ec := m.engines[engine]
+	if ec == nil {
+		ec = &engineCount{}
+		m.engines[engine] = ec
+	}
+	ec.sims++
+	ec.seconds += secs
+
+	name := system.String()
+	h := m.schemes[name]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(LatencyBuckets)+1)}
+		m.schemes[name] = h
+	}
+	i := sort.SearchFloat64s(LatencyBuckets, secs)
+	h.counts[i]++
+	h.sum += secs
+	h.total++
+}
+
+// EngineSnapshot is one engine's executed-simulation tally.
+type EngineSnapshot struct {
+	Sims    uint64
+	Seconds float64
+}
+
+// SimsPerSec is the engine's throughput over its own busy time.
+func (e EngineSnapshot) SimsPerSec() float64 {
+	if e.Seconds <= 0 {
+		return 0
+	}
+	return float64(e.Sims) / e.Seconds
+}
+
+// HistogramSnapshot is one scheme's latency distribution. Counts[i] is
+// the number of observations at or below LatencyBuckets[i]; the last
+// element is the +Inf overflow. Cumulative rendering is the exporter's
+// job.
+type HistogramSnapshot struct {
+	Counts []uint64
+	Sum    float64
+	Total  uint64
+}
+
+// Snapshot returns a coherent copy of all counters.
+func (m *Metrics) Snapshot() (engines map[string]EngineSnapshot, schemes map[string]HistogramSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	engines = make(map[string]EngineSnapshot, len(m.engines))
+	for name, ec := range m.engines {
+		engines[name] = EngineSnapshot{Sims: ec.sims, Seconds: ec.seconds}
+	}
+	schemes = make(map[string]HistogramSnapshot, len(m.schemes))
+	for name, h := range m.schemes {
+		schemes[name] = HistogramSnapshot{
+			Counts: append([]uint64(nil), h.counts...),
+			Sum:    h.sum,
+			Total:  h.total,
+		}
+	}
+	return engines, schemes
+}

@@ -1,0 +1,104 @@
+// Package fabric is the distribution layer of the simulation service:
+// a transport seam (Backend) over which one run executes either
+// in-process (Local, wrapping the exec layer) or on another raccdd
+// daemon (Remote, wrapping raccd/client), and a Coordinator that
+// partitions a batch of runs across backends by rendezvous-hashing each
+// run's (configuration fingerprint, workload identity) pair.
+//
+// The hashing is what makes dedupe global without any shared state:
+// identical runs — no matter which client submitted them, or when —
+// always land on the same backend, so that backend's content-addressed
+// store single-flights them down to one simulation. Results come back
+// as per-run report CSV and are merged in deterministic order, so a
+// distributed sweep reproduces a local one byte-identically.
+package fabric
+
+import (
+	"context"
+
+	"raccd/client"
+	"raccd/internal/service/exec"
+	"raccd/internal/workloads"
+)
+
+// Spec is one run of a batch: the wire request to forward plus the
+// identity pair the coordinator partitions and dedupes by. Build with
+// NewSpec so the pair is always the one the result store keys by.
+type Spec struct {
+	// Request is the validated wire request, with the coordinator's
+	// engine defaults baked in so every backend executes what the
+	// coordinator validated.
+	Request client.RunRequest
+	// Fingerprint is sim.Config.Fingerprint of the materialized request.
+	Fingerprint string
+	// Identity is workloads.Identity of the request's workload at its
+	// resolved scale.
+	Identity string
+}
+
+// Key is the identity the run is partitioned and cached by — the same
+// string resultstore.KeyOf hashes, so "lands on the same backend"
+// and "hits the same cache object" are one property.
+func (s Spec) Key() string { return s.Fingerprint + " | " + s.Identity }
+
+// NewSpec validates and materializes a wire request into a Spec,
+// resolving empty engine fields against the coordinator's defaults.
+// The error is the same the daemon's submit validation would return.
+func NewSpec(req client.RunRequest, defEngine string, defShards int) (Spec, error) {
+	cfg, err := exec.BuildConfig(req, defEngine, defShards)
+	if err != nil {
+		return Spec{}, err
+	}
+	id, err := workloads.Identity(req.Workload, exec.Scale(req))
+	if err != nil {
+		return Spec{}, err
+	}
+	if req.Engine == "" && req.Shards == 0 {
+		req.Engine, req.Shards = defEngine, defShards
+	}
+	return Spec{Request: req, Fingerprint: cfg.Fingerprint(), Identity: id}, nil
+}
+
+// Backend executes one run of a batch somewhere — in this process or
+// across the network. Implementations must be safe for concurrent Run
+// calls.
+type Backend interface {
+	// Name identifies the backend; it is the rendezvous-hash input, so
+	// it must be stable across restarts for cache locality to persist
+	// (Remote uses the worker URL).
+	Name() string
+	// Run executes the spec and returns its single-run report CSV
+	// (header + one row) plus the per-run progress lines the execution
+	// emitted, for the coordinator to merge into its own event log.
+	Run(ctx context.Context, spec Spec) (csv string, progress []string, err error)
+}
+
+// Local executes runs in-process through the exec layer — the backend a
+// single daemon is, and the degenerate one-node fabric. Byte-identical
+// to the daemon's own run jobs by construction: it is the same code.
+type Local struct {
+	name string
+	ex   *exec.Executor
+}
+
+// NewLocal wraps an executor as a Backend.
+func NewLocal(name string, ex *exec.Executor) *Local {
+	return &Local{name: name, ex: ex}
+}
+
+// Name implements Backend.
+func (l *Local) Name() string { return l.name }
+
+// Run implements Backend: materialize and execute through the store.
+func (l *Local) Run(ctx context.Context, spec Spec) (string, []string, error) {
+	// Engine defaults are already baked into the request by NewSpec.
+	cfg, err := exec.BuildConfig(spec.Request, "", 0)
+	if err != nil {
+		return "", nil, err
+	}
+	csv, res, cached, err := l.ex.Run(ctx, cfg, spec.Request.Workload, exec.Scale(spec.Request), spec.Identity)
+	if err != nil {
+		return "", nil, err
+	}
+	return csv, []string{exec.RunLine(res, cached)}, nil
+}

@@ -1,0 +1,194 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"raccd/client"
+	"raccd/internal/report"
+	"raccd/internal/runner"
+	"raccd/internal/sim"
+)
+
+// DefaultInFlight is the per-backend cap on concurrently dispatched
+// runs when the coordinator is not told otherwise: enough to keep a
+// default worker (2 job workers) fed with a queued reserve, small
+// enough not to flood its admission queue.
+const DefaultInFlight = 4
+
+// PickName returns the index of the name that wins the rendezvous hash
+// for key: the argmax of h(name, key) over names (highest-random-weight
+// hashing). Every caller with the same name list maps the same key to
+// the same index, no coordination or shared state required; removing a
+// name only remaps the keys that lived on it.
+func PickName(key string, names []string) int {
+	best, bestScore := 0, uint64(0)
+	for i, name := range names {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		h.Write([]byte(key))
+		s := h.Sum64()
+		if i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// SpecsFromMatrix expands a validated sweep matrix into the fabric's run
+// list: one spec per matrix cell, in matrix order, carrying the resolved
+// scale, machine and engine so every backend executes exactly what the
+// caller validated. machineName is the wire-level machine selector (the
+// -machine flag / SweepRequest.Machine), passed through verbatim because
+// it was already validated into m.Machine. The specs fingerprint
+// identically to the cells of an in-process sweep (sim.Config normalizes
+// zero-value fields), so a distributed sweep hits the same cache entries
+// a local one fills.
+func SpecsFromMatrix(m report.Matrix, machineName string) ([]Spec, error) {
+	keys := m.Keys()
+	specs := make([]Spec, 0, len(keys))
+	for _, k := range keys {
+		rr := client.RunRequest{
+			Workload: k.Workload,
+			Scale:    m.Scale,
+			System:   k.System.String(),
+			Machine:  machineName,
+			DirRatio: k.Ratio,
+			ADR:      k.ADR,
+			Validate: &m.Validate,
+			Engine:   m.Engine,
+			Shards:   m.Shards,
+		}
+		spec, err := NewSpec(rr, m.Engine, m.Shards)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// Partition splits specs into one bucket per name by rendezvous-hashing
+// each spec's key — the client-side half of the fabric, used by `sweep
+// -remote h1,h2` to build one batch per worker with the same mapping a
+// coordinator daemon would use.
+func Partition(specs []Spec, names []string) [][]Spec {
+	out := make([][]Spec, len(names))
+	for _, s := range specs {
+		i := PickName(s.Key(), names)
+		out[i] = append(out[i], s)
+	}
+	return out
+}
+
+// Coordinator fans a batch of runs out across backends, each run routed
+// by rendezvous hash so identical runs dedupe on their home backend,
+// and merges results and progress deterministically.
+type Coordinator struct {
+	backends []Backend
+	names    []string
+	sems     []chan struct{}
+}
+
+// NewCoordinator builds a coordinator over backends, dispatching at
+// most perBackend runs concurrently to each (<= 0 selects
+// DefaultInFlight).
+func NewCoordinator(backends []Backend, perBackend int) (*Coordinator, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("fabric: no backends")
+	}
+	if perBackend <= 0 {
+		perBackend = DefaultInFlight
+	}
+	c := &Coordinator{
+		backends: backends,
+		names:    make([]string, len(backends)),
+		sems:     make([]chan struct{}, len(backends)),
+	}
+	seen := make(map[string]bool, len(backends))
+	for i, b := range backends {
+		name := b.Name()
+		if strings.TrimSpace(name) == "" {
+			return nil, fmt.Errorf("fabric: backend %d has an empty name", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("fabric: duplicate backend %q", name)
+		}
+		seen[name] = true
+		c.names[i] = name
+		c.sems[i] = make(chan struct{}, perBackend)
+	}
+	return c, nil
+}
+
+// Backends returns the coordinator's backends in construction order.
+func (c *Coordinator) Backends() []Backend { return c.backends }
+
+// Pick returns the backend index the rendezvous hash homes key on.
+func (c *Coordinator) Pick(key string) int { return PickName(key, c.names) }
+
+// runOutcome carries one dispatched run back to the in-order committer.
+type runOutcome struct {
+	res   sim.Result
+	lines []string
+}
+
+// Execute runs every spec across the backends and returns the merged
+// result set. Runs dispatch concurrently (bounded per backend), but
+// results and progress commit strictly in spec order via the same
+// in-order pool local sweeps use — so the progress stream is
+// deterministic and lossless, and Set.CSV() of the returned set is
+// byte-identical to a local sweep of the same runs. The first failed
+// run cancels the rest and is returned.
+func (c *Coordinator) Execute(ctx context.Context, specs []Spec, progress func(line string)) (*report.Set, error) {
+	set := report.NewSet(nil)
+	workers := len(c.backends) * cap(c.sems[0])
+	err := runner.Run(ctx, workers, len(specs),
+		func(ctx context.Context, i int) (runOutcome, error) {
+			spec := specs[i]
+			bi := c.Pick(spec.Key())
+			select {
+			case c.sems[bi] <- struct{}{}:
+			case <-ctx.Done():
+				return runOutcome{}, ctx.Err()
+			}
+			defer func() { <-c.sems[bi] }()
+			csv, lines, err := c.backends[bi].Run(ctx, spec)
+			if err != nil {
+				return runOutcome{}, fmt.Errorf("fabric: run %d (%s): %w", i, spec.Key(), err)
+			}
+			res, err := parseRunCSV(csv)
+			if err != nil {
+				return runOutcome{}, fmt.Errorf("fabric: run %d from %s: %w", i, c.names[bi], err)
+			}
+			return runOutcome{res: res, lines: lines}, nil
+		},
+		func(i int, out runOutcome) {
+			set.Add(out.res)
+			if progress != nil {
+				for _, line := range out.lines {
+					progress(line)
+				}
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// parseRunCSV decodes a backend's single-run CSV (header + one row).
+func parseRunCSV(csv string) (sim.Result, error) {
+	set, err := report.ParseCSV(strings.NewReader(csv))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	results := set.Results()
+	if len(results) != 1 {
+		return sim.Result{}, fmt.Errorf("single-run CSV carried %d rows", len(results))
+	}
+	return results[0], nil
+}

@@ -1,0 +1,250 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"raccd/client"
+	"raccd/internal/coherence"
+	"raccd/internal/report"
+	"raccd/internal/sim"
+)
+
+func TestPickNameDeterministicAndStable(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c"}
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fp%d | id%d", i, i)
+	}
+	picks := make([]int, len(keys))
+	counts := make([]int, len(names))
+	for i, k := range keys {
+		p := PickName(k, names)
+		if p < 0 || p >= len(names) {
+			t.Fatalf("pick %d out of range", p)
+		}
+		if again := PickName(k, names); again != p {
+			t.Fatalf("key %q picked %d then %d", k, p, again)
+		}
+		picks[i] = p
+		counts[p]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("backend %d got no keys out of %d (degenerate hash): %v", i, len(keys), counts)
+		}
+	}
+	// Rendezvous property: removing one name only remaps the keys that
+	// lived on it; every other key keeps its backend.
+	reduced := []string{names[0], names[1]}
+	for i, k := range keys {
+		if picks[i] == 2 {
+			continue
+		}
+		if p := PickName(k, reduced); p != picks[i] {
+			t.Fatalf("key %q moved from %d to %d when an unrelated backend left", k, picks[i], p)
+		}
+	}
+}
+
+func TestPartitionCoversEverySpec(t *testing.T) {
+	names := []string{"w1", "w2"}
+	specs := make([]Spec, 50)
+	for i := range specs {
+		specs[i] = Spec{Fingerprint: fmt.Sprintf("fp%d", i), Identity: "id"}
+	}
+	parts := Partition(specs, names)
+	total := 0
+	for bi, part := range parts {
+		total += len(part)
+		for _, s := range part {
+			if PickName(s.Key(), names) != bi {
+				t.Fatalf("spec %q in partition %d but hashes elsewhere", s.Key(), bi)
+			}
+		}
+	}
+	if total != len(specs) {
+		t.Fatalf("partitions hold %d specs, want %d", total, len(specs))
+	}
+}
+
+func TestNewSpecKeyMatchesStoreIdentity(t *testing.T) {
+	req := client.RunRequest{Workload: "MD5", Scale: 0.05, System: "RaCCD", DirRatio: 16}
+	spec, err := NewSpec(req, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Fingerprint == "" || spec.Identity == "" {
+		t.Fatalf("spec = %+v, want fingerprint and identity", spec)
+	}
+	if spec.Key() != spec.Fingerprint+" | "+spec.Identity {
+		t.Fatalf("Key() = %q", spec.Key())
+	}
+	// Engines are metric-identical and excluded from the fingerprint: the
+	// same run under the default engine and epoch must share a key, or
+	// cross-node dedupe would split by engine.
+	epoch := req
+	epoch.Engine, epoch.Shards = "epoch", 2
+	spec2, err := NewSpec(epoch, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec2.Key() != spec.Key() {
+		t.Fatalf("engine changed the rendezvous key:\n%q\n%q", spec.Key(), spec2.Key())
+	}
+	// Default baking: a request that names no engine inherits the
+	// coordinator's default in the forwarded request.
+	baked, err := NewSpec(req, "epoch", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baked.Request.Engine != "epoch" || baked.Request.Shards != 2 {
+		t.Fatalf("defaults not baked: %+v", baked.Request)
+	}
+	if baked.Key() != spec.Key() {
+		t.Fatal("baked defaults changed the rendezvous key")
+	}
+
+	if _, err := NewSpec(client.RunRequest{Workload: "MD5", System: "MESI"}, "", 0); err == nil {
+		t.Fatal("invalid system accepted")
+	}
+	if _, err := NewSpec(client.RunRequest{Workload: "NoSuchBench", System: "PT"}, "", 0); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(nil, 0); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+	dup := []Backend{&fakeBackend{name: "w"}, &fakeBackend{name: "w"}}
+	if _, err := NewCoordinator(dup, 0); err == nil {
+		t.Fatal("duplicate backend names accepted")
+	}
+	anon := []Backend{&fakeBackend{name: ""}}
+	if _, err := NewCoordinator(anon, 0); err == nil {
+		t.Fatal("empty backend name accepted")
+	}
+}
+
+// fakeBackend records which specs it ran and answers with a valid
+// single-run CSV derived from the spec, so Execute's parse/merge path is
+// exercised without any HTTP or simulation.
+type fakeBackend struct {
+	name string
+	err  error
+
+	mu   sync.Mutex
+	runs []Spec
+}
+
+func (f *fakeBackend) Name() string { return f.name }
+
+func (f *fakeBackend) Run(ctx context.Context, spec Spec) (string, []string, error) {
+	f.mu.Lock()
+	f.runs = append(f.runs, spec)
+	f.mu.Unlock()
+	if f.err != nil {
+		return "", nil, f.err
+	}
+	res := resultForSpec(spec)
+	csv := report.NewSet([]sim.Result{res}).CSV()
+	return csv, []string{"ran " + spec.Key()}, nil
+}
+
+// resultForSpec derives a distinct, parseable result from a spec whose
+// Identity is "id<ratio>".
+func resultForSpec(spec Spec) sim.Result {
+	var ratio int
+	fmt.Sscanf(spec.Identity, "id%d", &ratio)
+	return sim.Result{
+		Workload: spec.Fingerprint,
+		System:   coherence.RaCCD,
+		DirRatio: ratio,
+		Cycles:   uint64(1000 + ratio),
+	}
+}
+
+func TestCoordinatorExecuteMergesDeterministically(t *testing.T) {
+	b1, b2 := &fakeBackend{name: "w1"}, &fakeBackend{name: "w2"}
+	c, err := NewCoordinator([]Backend{b1, b2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratios must be powers of two for the report key, but fake results
+	// never pass through config validation — any int works here.
+	var specs []Spec
+	for i := 1; i <= 16; i++ {
+		specs = append(specs, Spec{Fingerprint: fmt.Sprintf("wl%02d", i), Identity: fmt.Sprintf("id%d", i)})
+	}
+	var lines []string
+	set, err := c.Execute(context.Background(), specs, func(line string) { lines = append(lines, line) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(specs) {
+		t.Fatalf("%d progress lines, want %d", len(lines), len(specs))
+	}
+	// Progress commits strictly in spec order no matter which backend
+	// finished first.
+	for i, line := range lines {
+		if want := "ran " + specs[i].Key(); line != want {
+			t.Fatalf("line %d = %q, want %q", i, line, want)
+		}
+	}
+	// Every spec ran exactly once, on the backend its key hashes to.
+	if got := len(b1.runs) + len(b2.runs); got != len(specs) {
+		t.Fatalf("backends ran %d specs, want %d", got, len(specs))
+	}
+	if len(b1.runs) == 0 || len(b2.runs) == 0 {
+		t.Fatalf("degenerate split %d/%d", len(b1.runs), len(b2.runs))
+	}
+	names := []string{"w1", "w2"}
+	for bi, b := range []*fakeBackend{b1, b2} {
+		for _, s := range b.runs {
+			if PickName(s.Key(), names) != bi {
+				t.Fatalf("spec %q ran on backend %d against its hash", s.Key(), bi)
+			}
+		}
+	}
+	// The merged set holds every run.
+	if got := len(set.Results()); got != len(specs) {
+		t.Fatalf("merged set has %d results, want %d", got, len(specs))
+	}
+}
+
+func TestCoordinatorExecutePropagatesErrors(t *testing.T) {
+	boom := errors.New("worker exploded")
+	b1, b2 := &fakeBackend{name: "w1", err: boom}, &fakeBackend{name: "w2", err: boom}
+	c, err := NewCoordinator([]Backend{b1, b2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{{Fingerprint: "wl", Identity: "id1"}}
+	if _, err := c.Execute(context.Background(), specs, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+}
+
+func TestCoordinatorRejectsMalformedWorkerCSV(t *testing.T) {
+	bad := &badCSVBackend{}
+	c, err := NewCoordinator([]Backend{bad}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Execute(context.Background(), []Spec{{Fingerprint: "f", Identity: "i"}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("err = %v, want a parse failure naming the backend", err)
+	}
+}
+
+type badCSVBackend struct{}
+
+func (badCSVBackend) Name() string { return "bad" }
+func (badCSVBackend) Run(context.Context, Spec) (string, []string, error) {
+	return "this is not a report CSV\n", nil, nil
+}

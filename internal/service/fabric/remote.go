@@ -1,0 +1,102 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"raccd/client"
+)
+
+// Remote executes runs on another raccdd daemon over its HTTP API:
+// submit the run, follow its SSE event stream (forwarding progress
+// lines), fetch the result CSV. It is how a coordinator daemon and the
+// multi-endpoint sweep CLI reach their workers.
+type Remote struct {
+	name string
+	c    *client.Client
+}
+
+// NewRemote returns a backend for the daemon at baseURL. The URL is the
+// backend's rendezvous name: keep worker URLs stable across restarts
+// and every coordinator maps the same run to the same worker, which is
+// what makes dedupe global. Pass client.WithRetry so a briefly
+// saturated worker (503, connection refused) is re-attempted instead of
+// failing the whole batch.
+func NewRemote(baseURL string, opts ...client.Option) *Remote {
+	return &Remote{name: baseURL, c: client.New(baseURL, opts...)}
+}
+
+// Name implements Backend.
+func (r *Remote) Name() string { return r.name }
+
+// Client exposes the underlying API client (worker stats, health).
+func (r *Remote) Client() *client.Client { return r.c }
+
+// RunBatch submits specs to the daemon as one POST /v1/batch job, waits
+// it to completion forwarding progress lines, and returns the worker's
+// merged CSV. It is the bulk counterpart of Run, used by `sweep -remote`
+// to ship each endpoint its whole partition in one job.
+func (r *Remote) RunBatch(ctx context.Context, specs []Spec, progress func(line string)) (string, error) {
+	req := client.BatchRequest{Runs: make([]client.RunRequest, len(specs))}
+	for i, s := range specs {
+		req.Runs[i] = s.Request
+	}
+	st, err := r.c.SubmitBatch(ctx, req)
+	if err != nil {
+		return "", fmt.Errorf("worker %s: %w", r.name, err)
+	}
+	fin, err := r.c.Wait(ctx, st.ID, func(e client.Event) {
+		if e.Type != "progress" || progress == nil {
+			return
+		}
+		var p struct {
+			Line string `json:"line"`
+		}
+		if json.Unmarshal(e.Data, &p) == nil && p.Line != "" {
+			progress(p.Line)
+		}
+	})
+	if err != nil {
+		return "", fmt.Errorf("worker %s: waiting on %s: %w", r.name, st.ID, err)
+	}
+	if fin.State != "done" {
+		return "", fmt.Errorf("worker %s: job %s %s: %s", r.name, st.ID, fin.State, fin.Error)
+	}
+	csv, err := r.c.Result(ctx, st.ID)
+	if err != nil {
+		return "", fmt.Errorf("worker %s: result of %s: %w", r.name, st.ID, err)
+	}
+	return csv, nil
+}
+
+// Run implements Backend: one run forwarded end to end.
+func (r *Remote) Run(ctx context.Context, spec Spec) (string, []string, error) {
+	st, err := r.c.SubmitRun(ctx, spec.Request)
+	if err != nil {
+		return "", nil, fmt.Errorf("worker %s: %w", r.name, err)
+	}
+	var lines []string
+	fin, err := r.c.Wait(ctx, st.ID, func(e client.Event) {
+		if e.Type != "progress" {
+			return
+		}
+		var p struct {
+			Line string `json:"line"`
+		}
+		if json.Unmarshal(e.Data, &p) == nil && p.Line != "" {
+			lines = append(lines, p.Line)
+		}
+	})
+	if err != nil {
+		return "", nil, fmt.Errorf("worker %s: waiting on %s: %w", r.name, st.ID, err)
+	}
+	if fin.State != "done" {
+		return "", nil, fmt.Errorf("worker %s: job %s %s: %s", r.name, st.ID, fin.State, fin.Error)
+	}
+	csv, err := r.c.Result(ctx, st.ID)
+	if err != nil {
+		return "", nil, fmt.Errorf("worker %s: result of %s: %w", r.name, st.ID, err)
+	}
+	return csv, lines, nil
+}

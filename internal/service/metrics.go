@@ -1,0 +1,110 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"raccd/internal/service/exec"
+)
+
+// jobStates is every job state, so /metrics always exposes all five
+// raccd_jobs series (a dashboard can rate() them without gaps).
+var jobStates = []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (hand-rolled — the repo takes no dependencies): queue depth,
+// job and run counters, result-store hit/miss/coalesce/eviction tallies,
+// per-engine executed-simulation throughput, and a per-scheme
+// run-latency histogram with classic cumulative `le` buckets. Counters
+// move only when this daemon executes simulations itself; a coordinator
+// scrapes its workers for execution metrics and exposes its own queue
+// and job series here.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.opts.Store.Stats()
+	byState, runsDone := s.jobCounts()
+	engines, schemes := s.ex.Metrics().Snapshot()
+
+	var b strings.Builder
+	head := func(name, typ, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	head("raccd_uptime_seconds", "gauge", "Seconds since the daemon started.")
+	fmt.Fprintf(&b, "raccd_uptime_seconds %s\n", promFloat(time.Since(s.start).Seconds()))
+
+	head("raccd_queue_depth", "gauge", "Jobs accepted and waiting for a job worker.")
+	fmt.Fprintf(&b, "raccd_queue_depth %d\n", s.q.Depth())
+
+	head("raccd_jobs", "gauge", "Jobs known to the daemon, by lifecycle state.")
+	for _, state := range jobStates {
+		fmt.Fprintf(&b, "raccd_jobs{state=%q} %d\n", state, byState[string(state)])
+	}
+
+	head("raccd_runs_completed_total", "counter", "Simulation runs completed across all jobs (cached or executed).")
+	fmt.Fprintf(&b, "raccd_runs_completed_total %d\n", runsDone)
+
+	head("raccd_store_hits_total", "counter", "Result-store lookups served from disk.")
+	fmt.Fprintf(&b, "raccd_store_hits_total %d\n", st.Hits)
+	head("raccd_store_misses_total", "counter", "Result-store lookups that had to simulate.")
+	fmt.Fprintf(&b, "raccd_store_misses_total %d\n", st.Misses)
+	head("raccd_store_coalesced_total", "counter", "Lookups coalesced onto an in-flight identical computation.")
+	fmt.Fprintf(&b, "raccd_store_coalesced_total %d\n", st.Coalesced)
+	head("raccd_store_evictions_total", "counter", "Results evicted by the store's size bound.")
+	fmt.Fprintf(&b, "raccd_store_evictions_total %d\n", st.Evictions)
+	head("raccd_store_bytes", "gauge", "Bytes of results currently stored.")
+	fmt.Fprintf(&b, "raccd_store_bytes %d\n", st.Bytes)
+	head("raccd_store_objects", "gauge", "Results currently stored.")
+	fmt.Fprintf(&b, "raccd_store_objects %d\n", st.Objects)
+
+	engineNames := sortedNames(engines)
+	head("raccd_engine_sims_total", "counter", "Simulations executed, by execution engine (cache hits excluded).")
+	for _, name := range engineNames {
+		fmt.Fprintf(&b, "raccd_engine_sims_total{engine=%q} %d\n", name, engines[name].Sims)
+	}
+	head("raccd_engine_busy_seconds_total", "counter", "Wall-clock seconds spent executing simulations, by engine.")
+	for _, name := range engineNames {
+		fmt.Fprintf(&b, "raccd_engine_busy_seconds_total{engine=%q} %s\n", name, promFloat(engines[name].Seconds))
+	}
+	head("raccd_engine_sims_per_second", "gauge", "Executed-simulation throughput over the engine's own busy time.")
+	for _, name := range engineNames {
+		fmt.Fprintf(&b, "raccd_engine_sims_per_second{engine=%q} %s\n", name, promFloat(engines[name].SimsPerSec()))
+	}
+
+	head("raccd_run_latency_seconds", "histogram", "Latency of executed simulations, by coherence scheme.")
+	for _, name := range sortedNames(schemes) {
+		h := schemes[name]
+		var cum uint64
+		for i, ub := range exec.LatencyBuckets {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "raccd_run_latency_seconds_bucket{scheme=%q,le=%q} %d\n", name, promFloat(ub), cum)
+		}
+		cum += h.Counts[len(exec.LatencyBuckets)]
+		fmt.Fprintf(&b, "raccd_run_latency_seconds_bucket{scheme=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&b, "raccd_run_latency_seconds_sum{scheme=%q} %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(&b, "raccd_run_latency_seconds_count{scheme=%q} %d\n", name, h.Total)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, b.String())
+}
+
+// promFloat renders a float the way Prometheus expects (shortest exact
+// form; no exponent surprises for the magnitudes we emit).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedNames returns a map's keys sorted, for a stable exposition.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

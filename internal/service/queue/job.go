@@ -1,7 +1,9 @@
-package service
+package queue
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -23,8 +25,8 @@ const (
 	StateCanceled State = "canceled"
 )
 
-// terminal reports whether a state is final.
-func (s State) terminal() bool {
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
@@ -46,7 +48,7 @@ type progressData struct {
 // Status is the JSON shape of GET /v1/jobs/{id}.
 type Status struct {
 	ID        string    `json:"id"`
-	Kind      string    `json:"kind"` // "run" or "sweep"
+	Kind      string    `json:"kind"` // "run", "sweep" or "batch"
 	State     State     `json:"state"`
 	Error     string    `json:"error,omitempty"`
 	RunsTotal int       `json:"runs_total"`
@@ -58,15 +60,16 @@ type Status struct {
 	EventsURL string    `json:"events_url"`
 }
 
-// job is one queued unit of work: a single run or a whole sweep. Its
-// event log is append-only; subscribers replay it from any index and
-// block on notify for more, so an SSE stream is lossless regardless of
-// when the client connects.
-type job struct {
+// Job is one queued unit of work: a single run, a whole sweep, or a
+// batch of runs. Its event log is append-only; subscribers replay it
+// from any index and block on the notify channel for more, so an SSE
+// stream is lossless regardless of when the client connects.
+type Job struct {
 	id   string
 	kind string
-	// execute runs the job's simulations; assigned at submission.
-	execute func(j *job) (csv string, err error)
+	// Execute runs the job's simulations; assigned at submission, called
+	// by the owning worker exactly once.
+	Execute func(j *Job) (csv string, err error)
 
 	mu        sync.Mutex
 	state     State
@@ -81,8 +84,9 @@ type job struct {
 	notify    chan struct{}
 }
 
-func newJob(id, kind string, runsTotal int) *job {
-	j := &job{
+// NewJob creates a queued job with its first status event logged.
+func NewJob(id, kind string, runsTotal int) *Job {
+	j := &Job{
 		id:        id,
 		kind:      kind,
 		state:     StateQueued,
@@ -94,12 +98,15 @@ func newJob(id, kind string, runsTotal int) *job {
 	return j
 }
 
+// ID returns the job's queue-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
 // mustJSON marshals values the service itself constructs; a failure is a
 // programming error.
 func mustJSON(v any) json.RawMessage {
 	b, err := json.Marshal(v)
 	if err != nil {
-		panic(fmt.Sprintf("service: encoding event: %v", err))
+		panic(fmt.Sprintf("queue: encoding event: %v", err))
 	}
 	return b
 }
@@ -107,7 +114,7 @@ func mustJSON(v any) json.RawMessage {
 // appendEvent appends an event and wakes all subscribers. The notify
 // channel is closed and replaced on every append (broadcast); callers
 // hold no lock, the job's own mutex is taken here.
-func (j *job) appendEvent(typ string, data json.RawMessage) {
+func (j *Job) appendEvent(typ string, data json.RawMessage) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.events = append(j.events, Event{ID: len(j.events), Type: typ, Data: data})
@@ -115,8 +122,8 @@ func (j *job) appendEvent(typ string, data json.RawMessage) {
 	j.notify = make(chan struct{})
 }
 
-// setState transitions the job and logs a status event.
-func (j *job) setState(s State, errMsg string) {
+// SetState transitions the job and logs a status event.
+func (j *Job) SetState(s State, errMsg string) {
 	j.mu.Lock()
 	j.state = s
 	now := time.Now()
@@ -141,8 +148,24 @@ func (j *job) setState(s State, errMsg string) {
 	}
 }
 
-// progress logs one completed run.
-func (j *job) progress(line string) {
+// Finish records the outcome of Execute: the CSV on success, a canceled
+// state when the error is the context's, a failed state otherwise.
+func (j *Job) Finish(csv string, err error) {
+	switch {
+	case err == nil:
+		j.mu.Lock()
+		j.csv = csv
+		j.mu.Unlock()
+		j.SetState(StateDone, "")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.SetState(StateCanceled, "")
+	default:
+		j.SetState(StateFailed, err.Error())
+	}
+}
+
+// Progress logs one completed run.
+func (j *Job) Progress(line string) {
 	j.mu.Lock()
 	j.runsDone++
 	idx := j.runsDone - 1
@@ -150,19 +173,19 @@ func (j *job) progress(line string) {
 	j.appendEvent("progress", mustJSON(progressData{Index: idx, Line: line}))
 }
 
-// eventsSince returns the log tail from index from, the channel that will
+// EventsSince returns the log tail from index from, the channel that will
 // be closed on the next append, and whether the job is finished.
-func (j *job) eventsSince(from int) (evs []Event, more <-chan struct{}, finished bool) {
+func (j *Job) EventsSince(from int) (evs []Event, more <-chan struct{}, finished bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if from < len(j.events) {
 		evs = j.events[from:]
 	}
-	return evs, j.notify, j.state.terminal()
+	return evs, j.notify, j.state.Terminal()
 }
 
-// status snapshots the job for the JSON API.
-func (j *job) status() Status {
+// Status snapshots the job for the JSON API.
+func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
@@ -183,8 +206,8 @@ func (j *job) status() Status {
 	return st
 }
 
-// result returns the CSV once done.
-func (j *job) result() (csv string, state State, errMsg string) {
+// Result returns the CSV once done, alongside the state and error.
+func (j *Job) Result() (csv string, state State, errMsg string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.csv, j.state, j.err

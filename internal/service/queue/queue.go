@@ -1,0 +1,109 @@
+// Package queue is the job layer of the simulation service: a bounded
+// FIFO queue of jobs, a registry for status lookup, and a per-job
+// append-only event log that makes SSE progress streams lossless (see
+// Job). It knows nothing about HTTP or simulations — the service's
+// transport layer submits jobs whose Execute closures the service's
+// workers run, and the executor layer does the simulating.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+var (
+	// ErrFull rejects a submission when the queue is at capacity.
+	ErrFull = errors.New("job queue full")
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("service shutting down")
+)
+
+// Queue is a bounded FIFO of jobs plus the registry of every job ever
+// accepted (running and finished jobs stay queryable). Safe for
+// concurrent use.
+type Queue struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	nextID  int
+	ch      chan *Job
+	closing bool
+}
+
+// New returns a queue holding at most depth waiting jobs.
+func New(depth int) *Queue {
+	return &Queue{
+		jobs: make(map[string]*Job),
+		ch:   make(chan *Job, depth),
+	}
+}
+
+// NewID allocates a monotonically increasing job id.
+func (q *Queue) NewID() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.nextID++
+	return fmt.Sprintf("j%06d", q.nextID)
+}
+
+// Submit registers and enqueues a job, or reports why it cannot
+// (ErrFull, ErrClosed).
+func (q *Queue) Submit(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closing {
+		return ErrClosed
+	}
+	select {
+	case q.ch <- j:
+		q.jobs[j.id] = j
+		q.order = append(q.order, j.id)
+		return nil
+	default:
+		return ErrFull
+	}
+}
+
+// C is the channel workers receive jobs from; it is closed by Close
+// after the queued backlog, so draining workers exit naturally.
+func (q *Queue) C() <-chan *Job { return q.ch }
+
+// Get looks a job up by id.
+func (q *Queue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every accepted job in submission order.
+func (q *Queue) Jobs() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*Job, len(q.order))
+	for i, id := range q.order {
+		out[i] = q.jobs[id]
+	}
+	return out
+}
+
+// Depth is the number of jobs waiting to start.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ch)
+}
+
+// Close rejects further submissions and closes the worker channel once
+// the backlog drains. It errors if called twice.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closing {
+		return errors.New("queue: already closed")
+	}
+	q.closing = true
+	close(q.ch)
+	return nil
+}

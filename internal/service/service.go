@@ -1,16 +1,34 @@
-// Package service is the simulation-as-a-service layer behind cmd/raccdd:
-// an HTTP API that queues single runs and whole evaluation sweeps,
-// deduplicates identical simulations through a shared content-addressed
-// result store, streams per-run progress over SSE, and serves results as
-// exactly the CSV internal/report produces — a cached or served byte is
-// pinned identical to a local simulation.
+// Package service is the simulation-as-a-service layer behind cmd/raccdd,
+// an HTTP transport assembled from four explicit layers:
+//
+//   - queue (internal/service/queue): bounded FIFO job admission plus the
+//     per-job append-only event log that makes SSE streams lossless.
+//   - exec (internal/service/exec): materializes validated wire requests
+//     into sim.Configs and runs them through the result store and the
+//     runner pool; owns the per-engine and per-scheme execution counters.
+//   - store (internal/service/store): the narrow result-store interface
+//     the layers above depend on (*resultstore.Store is the
+//     implementation), giving offline sweeps and served runs one cache.
+//   - fabric (internal/service/fabric): the transport seam under every
+//     run — a Backend executes it in-process (Local) or on another raccdd
+//     (Remote), and a Coordinator partitions batches across backends by
+//     rendezvous-hashing each run's (fingerprint, workload identity)
+//     pair, so identical runs land on one node and dedupe globally.
+//
+// A plain daemon is the degenerate one-node fabric (a single Local
+// backend). Started with Options.Workers it becomes a coordinator: runs,
+// sweeps and batches are partitioned across the worker daemons, progress
+// is merged losslessly in deterministic run order, and the merged CSV is
+// byte-identical to a local sweep of the same runs.
 //
 // API (see docs/SERVICE.md for the full spec):
 //
 //	GET  /healthz                  liveness + version
+//	GET  /metrics                  Prometheus-format counters
 //	GET  /v1/stats                 queue depth, cache hit rate, sims/sec
 //	POST /v1/runs                  submit one simulation        → job
 //	POST /v1/sweeps                submit an evaluation sweep   → job
+//	POST /v1/batch                 submit an explicit run list  → job
 //	GET  /v1/jobs                  list jobs
 //	GET  /v1/jobs/{id}             job status
 //	GET  /v1/jobs/{id}/events      SSE progress stream (?after=<id> resumes)
@@ -27,24 +45,58 @@ import (
 	"sync"
 	"time"
 
-	"raccd/internal/coherence"
-	"raccd/internal/machine"
-	"raccd/internal/report"
-	"raccd/internal/resultstore"
+	"raccd/client"
 	"raccd/internal/rts"
-	"raccd/internal/sim"
-	"raccd/internal/workloads"
+	"raccd/internal/service/exec"
+	"raccd/internal/service/fabric"
+	"raccd/internal/service/queue"
+	"raccd/internal/service/store"
 )
 
 // Version is reported by /healthz.
 const Version = "1"
 
+// The wire and job types are owned by the layers below; the aliases keep
+// this package the one import a transport consumer needs.
+type (
+	// RunRequest is the body of POST /v1/runs (see client.RunRequest).
+	RunRequest = client.RunRequest
+	// SweepRequest is the body of POST /v1/sweeps (see client.SweepRequest).
+	SweepRequest = client.SweepRequest
+	// BatchRequest is the body of POST /v1/batch (see client.BatchRequest).
+	BatchRequest = client.BatchRequest
+	// State is a job's lifecycle position (see queue.State).
+	State = queue.State
+	// Status is the JSON shape of GET /v1/jobs/{id} (see queue.Status).
+	Status = queue.Status
+	// Event is one SSE frame of a job's progress stream (see queue.Event).
+	Event = queue.Event
+)
+
+// Job states, re-exported from the queue layer.
+const (
+	StateQueued   = queue.StateQueued
+	StateRunning  = queue.StateRunning
+	StateDone     = queue.StateDone
+	StateFailed   = queue.StateFailed
+	StateCanceled = queue.StateCanceled
+)
+
+// The coordinator's retry policy toward its workers: a briefly saturated
+// worker (503, connection refused) is re-attempted instead of failing the
+// whole batch. Resubmitted runs are harmless — they dedupe through the
+// worker's result store.
+const (
+	workerRetries = 3
+	workerBackoff = 100 * time.Millisecond
+)
+
 // Options configures a Server.
 type Options struct {
 	// Store is the content-addressed result cache; required. The same
 	// directory may back cmd/sweep -cache, so offline sweeps and served
-	// runs share results.
-	Store *resultstore.Store
+	// runs share results. *resultstore.Store is the implementation.
+	Store store.Store
 	// SimJobs is the per-job simulation parallelism (runner pool width);
 	// 0 selects one worker per CPU.
 	SimJobs int
@@ -53,8 +105,8 @@ type Options struct {
 	// QueueDepth bounds the number of jobs waiting to start (default 64);
 	// submissions beyond it are rejected with 503.
 	QueueDepth int
-	// MaxSweepRuns rejects sweeps that expand to more simulations than
-	// this (default 100000).
+	// MaxSweepRuns rejects sweeps and batches that expand to more
+	// simulations than this (default 100000).
 	MaxSweepRuns int
 	// Engine and Shards select the default per-simulation execution
 	// engine for requests that do not name one: "" or "seq" runs each
@@ -64,6 +116,15 @@ type Options struct {
 	// what a client receives — only how the server spends its CPUs.
 	Engine string
 	Shards int
+	// Workers turns the daemon into a coordinator: every run is executed
+	// on one of these raccdd base URLs instead of in-process, partitioned
+	// by rendezvous hash. The URL is the backend's rendezvous name — keep
+	// worker URLs stable across restarts and every coordinator maps the
+	// same run to the same worker, which is what makes dedupe global.
+	Workers []string
+	// WorkerInFlight bounds how many runs the coordinator keeps in flight
+	// per worker (default fabric.DefaultInFlight).
+	WorkerInFlight int
 }
 
 // Server implements the HTTP API. Create with New, serve s.Handler(),
@@ -77,42 +138,17 @@ type Server struct {
 	runCtx    context.Context
 	cancelRun context.CancelFunc
 
-	mu      sync.Mutex
-	jobs    map[string]*job
-	order   []string
-	nextID  int
-	queue   chan *job
-	closing bool
-
-	// simMu guards sims: per-engine counters of simulations this server
-	// actually executed (cache hits are not sims) and the wall-clock
-	// time they took, fed by run jobs and sweep OnSimulated hooks.
-	simMu sync.Mutex
-	sims  map[string]*engineSims
+	q  *queue.Queue
+	ex *exec.Executor
+	// coord always exists: Remote backends over Options.Workers in
+	// coordinator mode, a single in-process Local backend otherwise —
+	// so runs and batches take one code path either way.
+	coord *fabric.Coordinator
+	// distributed is true when coord fans out to remote workers; local
+	// sweeps then expand into per-run specs instead of running in-process.
+	distributed bool
 
 	workers sync.WaitGroup
-}
-
-// engineSims accumulates one engine's executed-simulation tally.
-type engineSims struct {
-	n       uint64
-	seconds float64
-}
-
-// noteSim records one executed simulation under its engine name.
-func (s *Server) noteSim(engine string, elapsed time.Duration) {
-	if engine == "" {
-		engine = "seq"
-	}
-	s.simMu.Lock()
-	es := s.sims[engine]
-	if es == nil {
-		es = &engineSims{}
-		s.sims[engine] = es
-	}
-	es.n++
-	es.seconds += elapsed.Seconds()
-	s.simMu.Unlock()
 }
 
 // New validates opts, starts the job workers and returns a ready server.
@@ -136,16 +172,32 @@ func New(opts Options) (*Server, error) {
 		opts:  opts,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
-		jobs:  make(map[string]*job),
-		queue: make(chan *job, opts.QueueDepth),
-		sims:  make(map[string]*engineSims),
+		q:     queue.New(opts.QueueDepth),
+		ex:    exec.New(opts.Store, opts.SimJobs),
 	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
 
+	var backends []fabric.Backend
+	if len(opts.Workers) > 0 {
+		s.distributed = true
+		for _, u := range opts.Workers {
+			backends = append(backends, fabric.NewRemote(u, client.WithRetry(workerRetries, workerBackoff)))
+		}
+	} else {
+		backends = append(backends, fabric.NewLocal("local", s.ex))
+	}
+	coord, err := fabric.NewCoordinator(backends, opts.WorkerInFlight)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s.coord = coord
+
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("POST /v1/batch", s.handleSubmitBatch)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
@@ -164,36 +216,25 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // worker executes queued jobs until the queue closes.
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.queue {
+	for j := range s.q.C() {
 		if s.runCtx.Err() != nil {
-			j.setState(StateCanceled, "")
+			j.SetState(StateCanceled, "")
 			continue
 		}
-		j.setState(StateRunning, "")
-		csv, err := s.executeJob(j)
-		switch {
-		case err == nil:
-			j.mu.Lock()
-			j.csv = csv
-			j.mu.Unlock()
-			j.setState(StateDone, "")
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			j.setState(StateCanceled, "")
-		default:
-			j.setState(StateFailed, err.Error())
-		}
+		j.SetState(StateRunning, "")
+		j.Finish(s.executeJob(j))
 	}
 }
 
 // executeJob runs a job's body, converting a panic into a job failure so
 // one bad request can never take the daemon (and every queued job) down.
-func (s *Server) executeJob(j *job) (csv string, err error) {
+func (s *Server) executeJob(j *queue.Job) (csv string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("job panicked: %v", r)
 		}
 	}()
-	return j.execute(j)
+	return j.Execute(j)
 }
 
 // Shutdown drains the daemon: new submissions are rejected immediately,
@@ -204,15 +245,9 @@ func (s *Server) executeJob(j *job) (csv string, err error) {
 // and jobs that have not started are marked canceled. It returns nil on
 // a clean drain, or ctx's error when the deadline forced cancellation.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	if s.closing {
-		s.mu.Unlock()
+	if s.q.Close() != nil {
 		return errors.New("service: already shut down")
 	}
-	s.closing = true
-	close(s.queue) // workers drain what is queued, then exit
-	s.mu.Unlock()
-
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()
@@ -232,239 +267,37 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // --- submission -----------------------------------------------------------
 
-// RunRequest is the body of POST /v1/runs: one workload under one
-// configuration. Workload accepts the same namespaces as the CLIs — a
-// bundled benchmark name, "synth:<spec>", or "trace:<path>" resolved on
-// the server's filesystem.
-type RunRequest struct {
-	Workload string  `json:"workload"`
-	Scale    float64 `json:"scale,omitempty"` // default 1.0
-
-	System string `json:"system"` // FullCoh, PT, PT-RO, RaCCD
-	// Machine selects the simulated chip geometry: a preset name
-	// ("paper16", "m32", "m64") or a power-of-two core count ("32").
-	// Empty selects the paper's 16-core machine.
-	Machine      string  `json:"machine,omitempty"`
-	DirRatio     int     `json:"dir_ratio,omitempty"` // default 1
-	ADR          bool    `json:"adr,omitempty"`
-	Scheduler    string  `json:"scheduler,omitempty"`
-	SMTWays      int     `json:"smt_ways,omitempty"`
-	NCRTLatency  uint64  `json:"ncrt_latency,omitempty"`
-	NCRTEntries  int     `json:"ncrt_entries,omitempty"`
-	WriteThrough bool    `json:"write_through,omitempty"`
-	Contiguity   float64 `json:"contiguity,omitempty"`
-	Validate     *bool   `json:"validate,omitempty"` // default true
-	// Engine/Shards select how the server executes this simulation
-	// ("seq" or "epoch"; shards 0 → one worker per host CPU). Empty
-	// uses the server's default. Metric-identical: results and cache
-	// keys are unaffected.
-	Engine string `json:"engine,omitempty"`
-	Shards int    `json:"shards,omitempty"`
-}
-
-// config materializes the request as a checked sim.Config. An empty
-// engine selection falls back to the server default def.
-func (r RunRequest) config(def Options) (sim.Config, error) {
-	mode, err := parseSystem(r.System)
-	if err != nil {
-		return sim.Config{}, err
-	}
-	mach, err := machine.Parse(r.Machine)
-	if err != nil {
-		return sim.Config{}, err
-	}
-	ratio := r.DirRatio
-	if ratio == 0 {
-		ratio = 1
-	}
-	cfg := sim.DefaultConfig(mode, ratio)
-	cfg.Params = mach.Params()
-	cfg.ADR = r.ADR
-	cfg.Scheduler = r.Scheduler
-	cfg.SMTWays = r.SMTWays
-	if r.NCRTLatency != 0 {
-		cfg.Params.NCRTLookupCycles = r.NCRTLatency
-	}
-	if r.NCRTEntries != 0 {
-		cfg.Params.NCRTEntries = r.NCRTEntries
-	}
-	cfg.Params.WriteThrough = r.WriteThrough
-	if r.Contiguity != 0 {
-		if r.Contiguity < 0 || r.Contiguity > 1 {
-			return sim.Config{}, fmt.Errorf("contiguity %g out of range [0, 1]", r.Contiguity)
-		}
-		cfg.Params.Contiguity = r.Contiguity
-	}
-	cfg.Validate = r.Validate == nil || *r.Validate
-	cfg.Engine = r.Engine
-	cfg.Shards = r.Shards
-	if cfg.Engine == "" && cfg.Shards == 0 {
-		cfg.Engine, cfg.Shards = def.Engine, def.Shards
-	}
-	return cfg, cfg.Check()
-}
-
-// SweepRequest is the body of POST /v1/sweeps: a full evaluation matrix.
-// Zero-value fields select the paper's defaults.
-type SweepRequest struct {
-	Workloads []string `json:"workloads,omitempty"` // default: the paper's nine
-	Systems   []string `json:"systems,omitempty"`   // default: FullCoh, PT, RaCCD
-	Ratios    []int    `json:"ratios,omitempty"`    // default: 1..256
-	ADR       bool     `json:"adr,omitempty"`
-	// Machine selects the chip geometry for every run of the sweep
-	// ("paper16" when empty; see RunRequest.Machine).
-	Machine  string  `json:"machine,omitempty"`
-	Scale    float64 `json:"scale,omitempty"`    // default 1.0
-	Validate *bool   `json:"validate,omitempty"` // default true
-	// Engine/Shards select how the server executes each simulation of
-	// the sweep (see RunRequest.Engine). Empty uses the server default.
-	Engine string `json:"engine,omitempty"`
-	Shards int    `json:"shards,omitempty"`
-}
-
-// matrix materializes the request as a report.Matrix wired to the
-// server's cache and parallelism.
-func (s *Server) matrix(r SweepRequest) (report.Matrix, error) {
-	m := report.DefaultMatrix()
-	m.Jobs = s.opts.SimJobs
-	m.Cache = s.opts.Store
-	m.ADR = r.ADR
-	mach, err := machine.Parse(r.Machine)
-	if err != nil {
-		return report.Matrix{}, err
-	}
-	m.Machine = mach
-	if len(r.Workloads) > 0 {
-		m.Workloads = r.Workloads
-	}
-	if len(r.Systems) > 0 {
-		m.Systems = m.Systems[:0]
-		for _, name := range r.Systems {
-			mode, err := parseSystem(name)
-			if err != nil {
-				return report.Matrix{}, err
-			}
-			m.Systems = append(m.Systems, mode)
-		}
-	}
-	if len(r.Ratios) > 0 {
-		m.Ratios = r.Ratios
-	}
-	if r.Scale != 0 {
-		m.Scale = r.Scale
-	}
-	m.Validate = r.Validate == nil || *r.Validate
-	m.Engine = r.Engine
-	m.Shards = r.Shards
-	if m.Engine == "" && m.Shards == 0 {
-		m.Engine, m.Shards = s.opts.Engine, s.opts.Shards
-	}
-	// Validate the matrix up front: every workload must resolve and every
-	// (system, ratio) cell must describe a runnable machine.
-	for _, name := range m.Workloads {
-		if _, err := workloads.Identity(name, m.Scale); err != nil {
-			return report.Matrix{}, err
-		}
-	}
-	for _, sys := range m.Systems {
-		for _, ratio := range m.Ratios {
-			cfg := sim.DefaultConfig(sys, ratio)
-			cfg.Params = mach.Params()
-			cfg.Engine = m.Engine
-			cfg.Shards = m.Shards
-			if err := cfg.Check(); err != nil {
-				return report.Matrix{}, err
-			}
-		}
-	}
-	return m, nil
-}
-
-// submit registers and enqueues a job, or reports why it cannot.
-func (s *Server) submit(j *job) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closing {
-		return errServiceClosing
-	}
-	select {
-	case s.queue <- j:
-		s.jobs[j.id] = j
-		s.order = append(s.order, j.id)
-		return nil
-	default:
-		return errQueueFull
-	}
-}
-
-var (
-	errQueueFull      = errors.New("job queue full")
-	errServiceClosing = errors.New("service shutting down")
-)
-
-// newJobID allocates a monotonically increasing job id.
-func (s *Server) newJobID() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
-	return fmt.Sprintf("j%06d", s.nextID)
-}
-
 func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	cfg, err := req.config(s.opts)
+	spec, err := fabric.NewSpec(req, s.opts.Engine, s.opts.Shards)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	scale := req.Scale
-	if scale == 0 {
-		scale = 1.0
-	}
-	identity, err := workloads.Identity(req.Workload, scale)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	key := resultstore.KeyOf(cfg.Fingerprint(), identity)
+	j := queue.NewJob(s.q.NewID(), "run", 1)
+	j.Execute = s.runOne(spec)
+	s.enqueueAndRespond(w, j)
+}
 
-	j := newJob(s.newJobID(), "run", 1)
-	workload, store, runCtx := req.Workload, s.opts.Store, s.runCtx
-	j.execute = func(j *job) (string, error) {
-		res, cached, err := store.GetOrCompute(key, func() (sim.Result, error) {
-			// Forced shutdown between dequeue and compute: don't start a
-			// simulation nobody will wait for.
-			if err := runCtx.Err(); err != nil {
-				return sim.Result{}, err
-			}
-			w, err := workloads.Get(workload, scale)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			// RunContext: a forced shutdown aborts even a single
-			// in-flight simulation at its next task dispatch.
-			start := time.Now()
-			res, err := sim.RunContext(runCtx, w, cfg)
-			if err == nil {
-				s.noteSim(cfg.Engine, time.Since(start))
-			}
-			return res, err
-		})
+// runOne is the Execute body of a single-run job: the spec's rendezvous
+// backend executes it (the in-process Local backend on a plain daemon)
+// and its progress lines land in the job's event log.
+func (s *Server) runOne(spec fabric.Spec) func(*queue.Job) (string, error) {
+	return func(j *queue.Job) (string, error) {
+		b := s.coord.Backends()[s.coord.Pick(spec.Key())]
+		csv, lines, err := b.Run(s.runCtx, spec)
 		if err != nil {
 			return "", err
 		}
-		tag := ""
-		if cached {
-			tag = " (cached)"
+		for _, line := range lines {
+			j.Progress(line)
 		}
-		j.progress(fmt.Sprintf("%-9s %-8v 1:%-3d cycles=%d%s", res.Workload, res.System, res.DirRatio, res.Cycles, tag))
-		return report.NewSet([]sim.Result{res}).CSV(), nil
+		return csv, nil
 	}
-	s.enqueueAndRespond(w, j)
 }
 
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
@@ -473,7 +306,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	m, err := s.matrix(req)
+	m, err := exec.BuildMatrix(req, s.opts.Engine, s.opts.Shards)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -488,51 +321,50 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("sweep expands to %d runs, above the server's limit of %d", runs, s.opts.MaxSweepRuns))
 		return
 	}
-
-	j := newJob(s.newJobID(), "sweep", runs)
-	runCtx := s.runCtx
-	j.execute = func(j *job) (string, error) {
-		m.Progress = func(line string) { j.progress(line) }
-		m.OnSimulated = s.noteSim
-		set, err := m.RunContext(runCtx)
+	j := queue.NewJob(s.q.NewID(), "sweep", runs)
+	if s.distributed {
+		// A coordinator expands the sweep into per-run specs and scatters
+		// them; a plain daemon keeps the in-process sweep path.
+		specs, err := fabric.SpecsFromMatrix(m, req.Machine)
 		if err != nil {
-			return "", err
+			httpError(w, http.StatusBadRequest, err)
+			return
 		}
-		return set.CSV(), nil
+		j.Execute = s.runSpecs(specs)
+	} else {
+		runCtx := s.runCtx
+		j.Execute = func(j *queue.Job) (string, error) {
+			set, err := s.ex.Sweep(runCtx, m, j.Progress)
+			if err != nil {
+				return "", err
+			}
+			return set.CSV(), nil
+		}
 	}
 	s.enqueueAndRespond(w, j)
 }
 
 // enqueueAndRespond submits j and writes the 202/503 response.
-func (s *Server) enqueueAndRespond(w http.ResponseWriter, j *job) {
-	if err := s.submit(j); err != nil {
+func (s *Server) enqueueAndRespond(w http.ResponseWriter, j *queue.Job) {
+	if err := s.q.Submit(j); err != nil {
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	w.Header().Set("Location", "/v1/jobs/"+j.id)
-	writeJSON(w, http.StatusAccepted, j.status())
+	w.Header().Set("Location", "/v1/jobs/"+j.ID())
+	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
 // --- queries --------------------------------------------------------------
 
-func (s *Server) lookup(r *http.Request) (*job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[r.PathValue("id")]
-	return j, ok
+func (s *Server) lookup(r *http.Request) (*queue.Job, bool) {
+	return s.q.Get(r.PathValue("id"))
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	jobs := make([]*job, 0, len(ids))
-	for _, id := range ids {
-		jobs = append(jobs, s.jobs[id])
-	}
-	s.mu.Unlock()
+	jobs := s.q.Jobs()
 	out := make([]Status, len(jobs))
 	for i, j := range jobs {
-		out[i] = j.status()
+		out[i] = j.Status()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
@@ -543,7 +375,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status())
+	writeJSON(w, http.StatusOK, j.Status())
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -552,7 +384,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
-	csv, state, errMsg := j.result()
+	csv, state, errMsg := j.Result()
 	switch state {
 	case StateDone:
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
@@ -598,7 +430,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	for {
-		evs, more, finished := j.eventsSince(from)
+		evs, more, finished := j.EventsSince(from)
 		for _, e := range evs {
 			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.ID, e.Type, e.Data)
 		}
@@ -663,19 +495,21 @@ type EngineSims struct {
 	SimsPerSec float64 `json:"sims_per_sec"` // Sims / Seconds
 }
 
-// Stats snapshots the server's counters.
-func (s *Server) Stats() StatsSnapshot {
-	st := s.opts.Store.Stats()
-	s.mu.Lock()
-	byState := make(map[string]int)
-	var runsDone int
-	for _, j := range s.jobs {
-		js := j.status()
+// jobCounts tallies jobs by state and completed runs across all jobs.
+func (s *Server) jobCounts() (byState map[string]int, runsDone int) {
+	byState = make(map[string]int)
+	for _, j := range s.q.Jobs() {
+		js := j.Status()
 		byState[string(js.State)]++
 		runsDone += js.RunsDone
 	}
-	depth := len(s.queue)
-	s.mu.Unlock()
+	return byState, runsDone
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() StatsSnapshot {
+	st := s.opts.Store.Stats()
+	byState, runsDone := s.jobCounts()
 	up := time.Since(s.start).Seconds()
 	engine := s.opts.Engine
 	if engine == "" {
@@ -683,7 +517,7 @@ func (s *Server) Stats() StatsSnapshot {
 	}
 	snap := StatsSnapshot{
 		UptimeSeconds: up,
-		QueueDepth:    depth,
+		QueueDepth:    s.q.Depth(),
 		Jobs:          byState,
 		RunsCompleted: uint64(runsDone),
 		SimsRun:       st.Misses,
@@ -699,18 +533,17 @@ func (s *Server) Stats() StatsSnapshot {
 	if up > 0 {
 		snap.SimsPerSec = float64(st.Misses) / up
 	}
-	s.simMu.Lock()
-	if len(s.sims) > 0 {
-		snap.EngineSims = make(map[string]EngineSims, len(s.sims))
-		for name, es := range s.sims {
-			row := EngineSims{Sims: es.n, Seconds: es.seconds}
-			if es.seconds > 0 {
-				row.SimsPerSec = float64(es.n) / es.seconds
+	engines, _ := s.ex.Metrics().Snapshot()
+	if len(engines) > 0 {
+		snap.EngineSims = make(map[string]EngineSims, len(engines))
+		for name, es := range engines {
+			snap.EngineSims[name] = EngineSims{
+				Sims:       es.Sims,
+				Seconds:    es.Seconds,
+				SimsPerSec: es.SimsPerSec(),
 			}
-			snap.EngineSims[name] = row
 		}
 	}
-	s.simMu.Unlock()
 	return snap
 }
 
@@ -719,11 +552,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // --- helpers --------------------------------------------------------------
-
-// parseSystem resolves a system name ("FullCoh", "PT", "PT-RO", "RaCCD").
-func parseSystem(name string) (coherence.Mode, error) {
-	return coherence.ParseMode(name)
-}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -13,6 +13,7 @@ import (
 
 	"raccd/client"
 	"raccd/internal/resultstore"
+	"raccd/internal/service/queue"
 )
 
 // newTestServer starts a service over a fresh store and exposes it via
@@ -251,18 +252,18 @@ func TestQueueFullRejects(t *testing.T) {
 	// Block the single worker with a job that waits on a channel, fill
 	// the queue slot with a second job, then overflow.
 	release := make(chan struct{})
-	blocker := newJob("j-block", "run", 1)
-	blocker.execute = func(*job) (string, error) { <-release; return "", nil }
-	if err := s.submit(blocker); err != nil {
+	blocker := queue.NewJob("j-block", "run", 1)
+	blocker.Execute = func(*queue.Job) (string, error) { <-release; return "", nil }
+	if err := s.q.Submit(blocker); err != nil {
 		t.Fatal(err)
 	}
 	// Give the worker a moment to pick the blocker up so the queue slot
 	// frees; then occupy it again.
 	deadline := time.Now().Add(2 * time.Second)
-	filler := newJob("j-fill", "run", 1)
-	filler.execute = func(*job) (string, error) { return "", nil }
+	filler := queue.NewJob("j-fill", "run", 1)
+	filler.Execute = func(*queue.Job) (string, error) { return "", nil }
 	for {
-		if err := s.submit(filler); err == nil {
+		if err := s.q.Submit(filler); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -271,11 +272,11 @@ func TestQueueFullRejects(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	overflow := newJob("j-overflow", "run", 1)
-	overflow.execute = func(*job) (string, error) { return "", nil }
+	overflow := queue.NewJob("j-overflow", "run", 1)
+	overflow.Execute = func(*queue.Job) (string, error) { return "", nil }
 	// The worker is blocked and the queue holds filler: this must bounce.
-	if err := s.submit(overflow); err != errQueueFull {
-		t.Fatalf("overflow submit err = %v, want errQueueFull", err)
+	if err := s.q.Submit(overflow); err != queue.ErrFull {
+		t.Fatalf("overflow submit err = %v, want queue.ErrFull", err)
 	}
 	close(release)
 }
@@ -294,19 +295,19 @@ func TestShutdownDrains(t *testing.T) {
 
 	started := make(chan struct{})
 	release := make(chan struct{})
-	inflight := newJob("j-inflight", "run", 1)
-	inflight.execute = func(*job) (string, error) {
+	inflight := queue.NewJob("j-inflight", "run", 1)
+	inflight.Execute = func(*queue.Job) (string, error) {
 		close(started)
 		<-release
 		return "done,csv\n", nil
 	}
-	if err := s.submit(inflight); err != nil {
+	if err := s.q.Submit(inflight); err != nil {
 		t.Fatal(err)
 	}
 	<-started
-	queued := newJob("j-queued", "run", 1)
-	queued.execute = func(*job) (string, error) { return "", nil }
-	if err := s.submit(queued); err != nil {
+	queued := queue.NewJob("j-queued", "run", 1)
+	queued.Execute = func(*queue.Job) (string, error) { return "", nil }
+	if err := s.q.Submit(queued); err != nil {
 		t.Fatal(err)
 	}
 
@@ -321,15 +322,15 @@ func TestShutdownDrains(t *testing.T) {
 		t.Fatalf("drain failed: %v", err)
 	}
 
-	if csv, state, _ := inflight.result(); state != StateDone || csv == "" {
+	if csv, state, _ := inflight.Result(); state != StateDone || csv == "" {
 		t.Fatalf("in-flight job = %q after drain, want done", state)
 	}
-	if _, state, _ := queued.result(); state != StateDone {
+	if _, state, _ := queued.Result(); state != StateDone {
 		// The queued job was already accepted, so the drain runs it too.
 		t.Fatalf("queued job = %q after drain, want done (accepted work is honored)", state)
 	}
-	if err := s.submit(newJob("j-late", "run", 1)); err != errServiceClosing {
-		t.Fatalf("post-shutdown submit err = %v, want errServiceClosing", err)
+	if err := s.q.Submit(queue.NewJob("j-late", "run", 1)); err != queue.ErrClosed {
+		t.Fatalf("post-shutdown submit err = %v, want queue.ErrClosed", err)
 	}
 }
 
@@ -443,12 +444,12 @@ func TestResultNotReady(t *testing.T) {
 	ctx := context.Background()
 
 	release := make(chan struct{})
-	blocker := newJob(s.newJobID(), "run", 1)
-	blocker.execute = func(*job) (string, error) { <-release; return "x\n", nil }
-	if err := s.submit(blocker); err != nil {
+	blocker := queue.NewJob(s.q.NewID(), "run", 1)
+	blocker.Execute = func(*queue.Job) (string, error) { <-release; return "x\n", nil }
+	if err := s.q.Submit(blocker); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Result(ctx, blocker.id); err == nil {
+	if _, err := c.Result(ctx, blocker.ID()); err == nil {
 		t.Fatal("result of unfinished job did not error")
 	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.StatusCode != 409 {
 		t.Fatalf("err = %v, want 409", err)

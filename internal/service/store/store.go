@@ -1,0 +1,36 @@
+// Package store narrows the content-addressed resultstore to the
+// operations the service layers actually use. The executor and the
+// coordinator speak this interface, never *resultstore.Store directly,
+// so tests can substitute counting or failing stores and the store
+// implementation can evolve (e.g. a networked store) without touching
+// the layers above it.
+//
+// The contract the layers rely on (implemented by internal/resultstore):
+//
+//   - GetOrCompute is single-flight per key within one handle: concurrent
+//     identical runs simulate once and share the outcome.
+//   - Writes are atomic, so several processes (two daemons, a daemon and
+//     cmd/sweep -cache) may share one directory; each handle single-
+//     flights its own callers and the first completed write wins.
+//   - Stats is a coherent snapshot of the handle's traffic counters.
+package store
+
+import (
+	"raccd/internal/resultstore"
+	"raccd/internal/sim"
+)
+
+// Store is the narrow result-cache interface of the service layers.
+type Store interface {
+	// GetOrCompute returns the cached result for key, computing and
+	// storing it on a miss. The bool is true when the result came from
+	// the cache or a coalesced in-flight computation.
+	GetOrCompute(key resultstore.Key, compute func() (sim.Result, error)) (sim.Result, bool, error)
+	// Get returns the cached result for key, if present and readable.
+	Get(key resultstore.Key) (sim.Result, bool)
+	// Stats snapshots the store's traffic counters.
+	Stats() resultstore.Stats
+}
+
+// The resultstore is the canonical implementation.
+var _ Store = (*resultstore.Store)(nil)
