@@ -147,6 +147,14 @@ type RunRequest struct {
 	// metric-identical, so the result bytes never depend on them.
 	Engine string `json:"engine,omitempty"`
 	Shards int    `json:"shards,omitempty"`
+	// Core selects the core-timing model ("simple" when empty, or
+	// "ooo"); PrefetchDegree arms a per-core delta prefetcher issuing
+	// that many blocks per trained trigger, PrefetchDistance strides
+	// ahead (0 → server default look-ahead). Unlike Engine, these change
+	// the simulated machine and therefore the result and its cache key.
+	Core             string `json:"core,omitempty"`
+	PrefetchDegree   int    `json:"prefetch_degree,omitempty"`
+	PrefetchDistance int    `json:"prefetch_distance,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweeps. Zero-value fields select
@@ -166,6 +174,11 @@ type SweepRequest struct {
 	// the sweep (see RunRequest.Engine). Empty uses the server default.
 	Engine string `json:"engine,omitempty"`
 	Shards int    `json:"shards,omitempty"`
+	// Core/PrefetchDegree/PrefetchDistance select the core-timing model
+	// for every run of the sweep (see RunRequest.Core).
+	Core             string `json:"core,omitempty"`
+	PrefetchDegree   int    `json:"prefetch_degree,omitempty"`
+	PrefetchDistance int    `json:"prefetch_distance,omitempty"`
 }
 
 // Status mirrors the service's job status JSON.
@@ -216,6 +229,11 @@ type Stats struct {
 	CacheBytes   uint64                `json:"cache_bytes"`
 	CacheObjects int                   `json:"cache_objects"`
 	CacheEvicted uint64                `json:"cache_evictions"`
+	// Prefetch totals across every simulation this server executed;
+	// zero (and omitted) while no run armed a prefetcher.
+	PrefetchIssued uint64 `json:"prefetch_issued,omitempty"`
+	PrefetchUseful uint64 `json:"prefetch_useful,omitempty"`
+	PrefetchLate   uint64 `json:"prefetch_late,omitempty"`
 }
 
 // EngineSims is one engine's row of Stats.EngineSims.

@@ -54,6 +54,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		smt         = fs.Int("smt", 1, "hardware threads per core (SMT ways)")
 		engine      = fs.String("engine", "", "execution engine: seq (default) or epoch; metric-identical, epoch uses host CPUs inside one run")
 		shards      = fs.Int("shards", 0, "epoch engine worker count (0 = one per host CPU)")
+		coreModel   = fs.String("core", "", "core timing model: simple (default) or ooo; changes the simulated machine, unlike -engine")
+		prefetch    = fs.Int("prefetch", 0, "delta prefetcher degree (blocks per trained trigger; 0 = off)")
+		prefetchDst = fs.Int("prefetch-distance", 0, "prefetcher look-ahead in strides (0 = default 4; needs -prefetch)")
 		jobs        = fs.Int("jobs", 0, "concurrent runs when several benchmarks are named (0 = one per CPU)")
 		asJSON      = fs.Bool("json", false, "emit the result as JSON")
 		list        = fs.Bool("list", false, "list benchmarks and exit")
@@ -126,6 +129,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	cfg := raccd.DefaultConfig(sys, *ratio)
 	cfg.Machine = mach
+	cfg.Machine.Core = *coreModel
+	cfg.Machine.PrefetchDegree = *prefetch
+	cfg.Machine.PrefetchDistance = *prefetchDst
 	cfg.ADR = *adr
 	cfg.Scheduler = *sched
 	cfg.NCRTLatency = *ncrtLatency
@@ -169,7 +175,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			if i > 0 {
 				fmt.Fprintln(stdout)
 			}
-			printResult(stdout, res, mach, *scale, *sched, !*novalidate)
+			printResult(stdout, res, cfg.Machine, *scale, *sched, !*novalidate)
 		})
 	if err != nil {
 		fmt.Fprintln(stderr, "raccdsim:", err)
@@ -201,6 +207,10 @@ func printResult(w io.Writer, res raccd.Result, mach raccd.Machine, scale float6
 	fmt.Fprintf(w, "NoC traffic      %d byte-hops (energy %.1f)\n", res.NoCByteHops, res.NoCEnergy)
 	fmt.Fprintf(w, "memory           %d reads, %d writes\n", res.MemReads, res.MemWrites)
 	fmt.Fprintf(w, "non-coherent     %.1f%% of touched blocks (Fig 2 metric)\n", res.NCFraction*100)
+	if res.PrefetchIssued > 0 {
+		fmt.Fprintf(w, "prefetches       %d issued, %d useful, %d late\n", res.PrefetchIssued, res.PrefetchUseful, res.PrefetchLate)
+		fmt.Fprintf(w, "pf coverage      %.1f%% of would-be demand misses\n", res.PrefetchCoverage*100)
+	}
 	if validated {
 		fmt.Fprintln(w, "validation       OK (protocol invariants + golden final memory)")
 	}

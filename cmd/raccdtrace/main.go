@@ -6,13 +6,15 @@
 //	raccdtrace record -bench Jacobi -scale 1.0 -o jacobi.rtf
 //	raccdtrace synth -spec chain/seed=7/unannotated=0.25 -o chain.rtf
 //	raccdtrace synth -list
-//	raccdtrace info file.rtf ...
+//	raccdtrace info [-deltas 8] file.rtf ...
 //	raccdtrace validate file.rtf ...
 //
 // record serializes any resolvable workload — a bundled benchmark, a
 // synth: spec or even another trace: file — into a replayable RTF file.
 // synth is shorthand for recording a synthetic preset. info prints the
-// header and content summary. validate fully decodes the file, verifies
+// header and content summary; -deltas N adds the top-N block-stride delta
+// histogram with the prefetcher trainer's predicted coverage (see
+// raccdsim -prefetch). validate fully decodes the file, verifies
 // the checksum and checks that the replayed task graph is a well-formed
 // DAG.
 //
@@ -29,6 +31,8 @@ import (
 	"strings"
 	"syscall"
 
+	"raccd/internal/cpu"
+	"raccd/internal/mem"
 	"raccd/internal/tracefile"
 	"raccd/internal/workloads"
 	"raccd/internal/workloads/synth"
@@ -40,7 +44,7 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   raccdtrace record -bench <name> [-scale S] [-o file.rtf]
   raccdtrace synth -spec <preset[/key=val]...> [-scale S] [-o file.rtf] | -list
-  raccdtrace info <file.rtf>...
+  raccdtrace info [-deltas N] <file.rtf>...
   raccdtrace validate <file.rtf>...
 `)
 }
@@ -164,12 +168,18 @@ func pathSafe(name string) string {
 }
 
 func runInfo(ctx context.Context, args []string, stdout, stderr io.Writer) int {
-	if len(args) == 0 {
+	fs := flag.NewFlagSet("raccdtrace info", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	deltas := fs.Int("deltas", 0, "print the N most frequent block-stride deltas and the trainer's predicted prefetch coverage")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "raccdtrace info: no files named")
 		return 2
 	}
 	code := 0
-	for _, path := range args {
+	for _, path := range fs.Args() {
 		if err := ctx.Err(); err != nil {
 			fmt.Fprintln(stderr, "raccdtrace:", err)
 			return 1
@@ -193,8 +203,42 @@ func runInfo(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "  deps         %d annotations\n", s.Deps)
 		fmt.Fprintf(stdout, "  accesses     %d loads, %d stores\n", s.Loads, s.Stores)
 		fmt.Fprintf(stdout, "  compute      %d cycles\n", s.Compute)
+		if *deltas > 0 {
+			printDeltas(stdout, tr, *deltas)
+		}
 	}
 	return code
+}
+
+// printDeltas runs the prefetcher's delta trainer over the trace's access
+// stream (tasks in file order, ops in issue order — the same order a
+// sequential replay would present) and prints the top-N delta histogram
+// plus the trainer's predicted coverage, so prefetch knobs can be sized
+// offline before any sweep.
+func printDeltas(w io.Writer, tr *tracefile.Trace, n int) {
+	p := cpu.NewDeltaProfile()
+	for _, task := range tr.Tasks {
+		for _, op := range task.Ops {
+			switch op.Kind {
+			case tracefile.OpLoad, tracefile.OpStore:
+				p.Observe(mem.Addr(op.Block) * mem.BlockSize)
+			}
+		}
+	}
+	fmt.Fprintf(w, "  deltas       %d stride observations over %d accesses, predicted coverage %.1f%%\n",
+		p.Strides(), p.Observations(), p.PredictedCoverage()*100)
+	top := p.Top(n)
+	if len(top) == 0 {
+		fmt.Fprintln(w, "               (no nonzero block strides)")
+		return
+	}
+	for _, d := range top {
+		pct := 0.0
+		if p.Strides() > 0 {
+			pct = float64(d.Count) / float64(p.Strides()) * 100
+		}
+		fmt.Fprintf(w, "               %+6d blocks  %8d  (%.1f%%)\n", d.Delta, d.Count, pct)
+	}
 }
 
 func runValidate(ctx context.Context, args []string, stdout, stderr io.Writer) int {

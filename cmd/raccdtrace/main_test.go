@@ -47,6 +47,41 @@ func TestRecordInfoValidateRoundTrip(t *testing.T) {
 	}
 }
 
+// TestInfoDeltas records a strided synthetic workload and checks that
+// info -deltas prints a deterministic delta histogram and a predicted
+// coverage line.
+func TestInfoDeltas(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stencil.rtf")
+	if code, _, errb := runCmd(t, "synth", "-spec", "stencil/seed=7/width=4/depth=6", "-o", path); code != 0 {
+		t.Fatal(errb)
+	}
+
+	code, out, errb := runCmd(t, "info", "-deltas", "3", path)
+	if code != 0 {
+		t.Fatalf("info -deltas exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"deltas", "stride observations", "predicted coverage", "blocks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("info -deltas output missing %q:\n%s", want, out)
+		}
+	}
+	// At most the asked-for top-N histogram rows print.
+	if rows := strings.Count(out, "blocks"); rows > 3 {
+		t.Fatalf("info -deltas 3 printed %d rows:\n%s", rows, out)
+	}
+	// Same trace, same histogram: the listing is deterministic.
+	_, out2, _ := runCmd(t, "info", "-deltas", "3", path)
+	if out != out2 {
+		t.Fatalf("info -deltas not deterministic:\n%s\nvs\n%s", out, out2)
+	}
+
+	// Without the flag the histogram stays out of the summary.
+	if _, plain, _ := runCmd(t, "info", path); strings.Contains(plain, "deltas") {
+		t.Fatalf("plain info grew a deltas section:\n%s", plain)
+	}
+}
+
 func TestValidateRejectsCorruption(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "c.rtf")

@@ -70,6 +70,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		jobs     = fs.Int("jobs", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
 		engine   = fs.String("engine", "", "per-run execution engine: seq (default) or epoch; metric-identical, epoch spreads one run across host CPUs")
 		shards   = fs.Int("shards", 0, "epoch engine worker count (0 = one per host CPU)")
+		core     = fs.String("core", "", "core timing model for every run: simple (default) or ooo; changes the simulated machine, unlike -engine")
+		prefetch = fs.Int("prefetch", 0, "delta prefetcher degree for every run (blocks per trained trigger; 0 = off)")
+		pfDist   = fs.Int("prefetch-distance", 0, "prefetcher look-ahead in strides (0 = default 4; needs -prefetch)")
 		csvPath  = fs.String("csv", "", "write raw results as CSV to this file")
 		synths   = fs.String("synth", "", "synthetic workload spec(s) to add to the matrix, comma-separated: preset[/key=val]...")
 		traces   = fs.String("trace", "", "RTF trace file(s) to add to the matrix, comma-separated")
@@ -163,6 +166,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	m.Machine = mach
 	m.Engine = *engine
 	m.Shards = *shards
+	m.Core = *core
+	m.PrefetchDegree = *prefetch
+	m.PrefetchDistance = *pfDist
 	var extra []string
 	for _, s := range strings.Split(*synths, ",") {
 		if s = strings.TrimSpace(s); s != "" {

@@ -1,0 +1,291 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"raccd/internal/mem"
+)
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"", "simple", true},
+		{"simple", "simple", true},
+		{"OOO", "ooo", true},
+		{" ooo ", "ooo", true},
+		{"fancy", "", false},
+		{"o3", "", false},
+	} {
+		got, err := Parse(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("Parse(%q) = %q, %v; want %q", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", tc.in)
+		}
+	}
+}
+
+func TestConfigCheck(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"ooo", Config{Model: "ooo"}, true},
+		{"prefetch", Config{PrefetchDegree: 2, PrefetchDistance: 4}, true},
+		{"unknown model", Config{Model: "fancy"}, false},
+		{"degree too big", Config{PrefetchDegree: MaxPrefetchDegree + 1}, false},
+		{"negative degree", Config{PrefetchDegree: -1}, false},
+		{"distance too big", Config{PrefetchDegree: 1, PrefetchDistance: MaxPrefetchDistance + 1}, false},
+		{"distance without degree", Config{PrefetchDistance: 4}, false},
+	} {
+		err := tc.cfg.Check()
+		if tc.ok && err != nil {
+			t.Errorf("%s: Check() = %v, want nil", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: Check() = nil, want error", tc.name)
+		}
+	}
+}
+
+// A default (simple, no prefetch) configuration builds to a nil model:
+// the runtime's classic fast path, which is how the seed behaviour stays
+// byte-identical.
+func TestNewNilForDefault(t *testing.T) {
+	for _, cfg := range []Config{{}, {Model: "simple"}, {Model: ""}} {
+		m, err := New(cfg)
+		if err != nil || m != nil {
+			t.Fatalf("New(%+v) = %v, %v; want nil, nil", cfg, m, err)
+		}
+	}
+	for _, cfg := range []Config{{Model: "ooo"}, {PrefetchDegree: 2}, {Model: "ooo", PrefetchDegree: 2}} {
+		m, err := New(cfg)
+		if err != nil || m == nil {
+			t.Fatalf("New(%+v) = %v, %v; want a model", cfg, m, err)
+		}
+	}
+}
+
+func TestSimpleModelCharges(t *testing.T) {
+	m := &simpleModel{compute: 8}
+	if got := m.Access(0x1000, false, 160); got != 168 {
+		t.Fatalf("simple Access = %d, want lat+compute = 168", got)
+	}
+	if got := m.DrainTask(); got != 0 {
+		t.Fatalf("simple DrainTask = %d, want 0", got)
+	}
+}
+
+// Independent misses overlap: N accesses of latency L at compute C cost
+// N*C + (L - C) in total, not N*(L + C).
+func TestOoOOverlapsIndependentLatencies(t *testing.T) {
+	const (
+		n       = 8
+		compute = 8
+		lat     = 160
+	)
+	m := newOoO(compute)
+	var total uint64
+	for i := 0; i < n; i++ {
+		// Distinct blocks, distinct pages: no dependences.
+		total += m.Access(mem.Addr(i)*mem.PageSize, false, lat)
+	}
+	total += m.DrainTask()
+	want := uint64(n*compute + lat - compute)
+	if total != want {
+		t.Fatalf("ooo total = %d, want %d (serialized would be %d)", total, want, n*(compute+lat))
+	}
+}
+
+// The 33rd outstanding access stalls on the oldest window entry.
+func TestOoOWindowStall(t *testing.T) {
+	const lat = 1000
+	m := newOoO(1)
+	for i := 0; i < WindowSize; i++ {
+		m.Access(mem.Addr(i)*mem.PageSize, false, lat)
+	}
+	// clock is now WindowSize; slot 0 completes at lat.
+	got := m.Access(mem.Addr(WindowSize)*mem.PageSize, false, lat)
+	want := uint64(lat - WindowSize + 1)
+	if got != want {
+		t.Fatalf("window-stalled access charged %d, want %d", got, want)
+	}
+}
+
+// A load of a block whose store is outstanding waits for the store.
+func TestOoODependenceStall(t *testing.T) {
+	const lat = 100
+	m := newOoO(1)
+	m.Access(0x4000, true, lat) // store completes at 100
+	got := m.Access(0x4000, false, 2)
+	want := uint64(lat - 1 + 1) // stall from clock=1 to 100, plus compute
+	if got != want {
+		t.Fatalf("dependent access charged %d, want %d", got, want)
+	}
+}
+
+// DrainTask resets every per-task structure: the same stream replayed in a
+// new task charges identically.
+func TestOoODrainResets(t *testing.T) {
+	run := func(m Model) (charges []uint64) {
+		m.BeginTask(nil)
+		for i := 0; i < 100; i++ {
+			va := mem.Addr(i%7) * 0x940
+			charges = append(charges, m.Access(va, i%3 == 0, uint64(20+i%5)))
+		}
+		charges = append(charges, m.DrainTask())
+		return charges
+	}
+	m := newOoO(4)
+	first := run(m)
+	second := run(m)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("ooo task charges differ after drain:\n first %v\nsecond %v", first, second)
+	}
+}
+
+// fakeMemory lets prefetch tests observe injected prefetches: blocks a
+// prefetch touched become hits for later demand accesses.
+type fakeMemory struct {
+	hit, miss uint64
+	cached    map[mem.Block]bool
+	issued    int
+}
+
+func (f *fakeMemory) issue(va mem.Addr) uint64 {
+	f.cached[mem.BlockOf(va)] = true
+	f.issued++
+	return f.miss
+}
+
+func (f *fakeMemory) demandLat(va mem.Addr) uint64 {
+	if f.cached[mem.BlockOf(va)] {
+		return f.hit
+	}
+	return f.miss
+}
+
+// A sequential stream through paged memory reaches the ~85% coverage
+// target: after a page's trainer arms, every later block of the page is
+// prefetched ahead of its use.
+func TestPrefetchCoverageOnStrideStream(t *testing.T) {
+	fm := &fakeMemory{hit: 2, miss: 160, cached: make(map[mem.Block]bool)}
+	m, err := New(Config{PrefetchDegree: 2, PrefetchDistance: 4, MissLatency: 15, ComputePerAccess: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BeginTask(fm.issue)
+	const pages = 64
+	for i := 0; i < pages*mem.BlocksPerPage; i++ {
+		va := mem.Addr(i) * mem.BlockSize
+		m.Access(va, false, fm.demandLat(va))
+	}
+	m.DrainTask()
+	st := m.Stats()
+	if st.PrefetchIssued == 0 || st.PrefetchUseful == 0 {
+		t.Fatalf("prefetcher idle on a stride stream: %+v", st)
+	}
+	if cov := st.Coverage(); cov < 0.85 {
+		t.Fatalf("coverage %.3f on a sequential stream, want >= 0.85 (%+v)", cov, st)
+	}
+	if st.Accesses != pages*mem.BlocksPerPage {
+		t.Fatalf("Accesses = %d, want %d", st.Accesses, pages*mem.BlocksPerPage)
+	}
+}
+
+// A prefetched block that still misses (evicted/invalidated before use)
+// counts late, not useful.
+func TestPrefetchLateClassification(t *testing.T) {
+	fm := &fakeMemory{hit: 2, miss: 160, cached: make(map[mem.Block]bool)}
+	m, err := New(Config{PrefetchDegree: 1, PrefetchDistance: 1, MissLatency: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BeginTask(func(va mem.Addr) uint64 {
+		lat := fm.issue(va)
+		delete(fm.cached, mem.BlockOf(va)) // immediately lose the block
+		return lat
+	})
+	for i := 0; i < mem.BlocksPerPage; i++ {
+		va := mem.Addr(i) * mem.BlockSize
+		m.Access(va, false, fm.demandLat(va))
+	}
+	st := m.Stats()
+	if st.PrefetchUseful != 0 || st.PrefetchLate == 0 {
+		t.Fatalf("lost prefetches should classify late: %+v", st)
+	}
+	if st.Coverage() != 0 {
+		t.Fatalf("coverage = %.3f with no useful prefetches, want 0", st.Coverage())
+	}
+}
+
+// Models are pure functions of the access stream: two instances fed the
+// same stream charge identically and issue identical prefetches.
+func TestModelDeterminism(t *testing.T) {
+	cfg := Config{Model: "ooo", PrefetchDegree: 2, PrefetchDistance: 4, MissLatency: 15, ComputePerAccess: 8}
+	run := func() ([]uint64, Stats, []mem.Addr) {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var issued []mem.Addr
+		m.BeginTask(func(va mem.Addr) uint64 {
+			issued = append(issued, va)
+			return 40
+		})
+		var charges []uint64
+		x := uint64(0x9e3779b97f4a7c15) // fixed LCG stream, no host randomness
+		for i := 0; i < 4096; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			va := mem.Addr(i%2048) * mem.BlockSize
+			charges = append(charges, m.Access(va, x%5 == 0, 2+x%200))
+		}
+		charges = append(charges, m.DrainTask())
+		return charges, m.Stats(), issued
+	}
+	c1, s1, i1 := run()
+	c2, s2, i2 := run()
+	if !reflect.DeepEqual(c1, c2) || s1 != s2 || !reflect.DeepEqual(i1, i2) {
+		t.Fatalf("model not deterministic: stats %+v vs %+v", s1, s2)
+	}
+}
+
+func TestDeltaProfile(t *testing.T) {
+	p := NewDeltaProfile()
+	for i := 0; i < 16*mem.BlocksPerPage; i++ {
+		p.Observe(mem.Addr(i) * mem.BlockSize)
+	}
+	top := p.Top(3)
+	if len(top) == 0 || top[0].Delta != 1 {
+		t.Fatalf("Top(3) = %v, want delta 1 first", top)
+	}
+	if cov := p.PredictedCoverage(); cov < 0.85 {
+		t.Fatalf("predicted coverage %.3f on a sequential stream, want >= 0.85", cov)
+	}
+	if p.Observations() != 16*mem.BlocksPerPage {
+		t.Fatalf("Observations = %d", p.Observations())
+	}
+}
+
+func TestStatsAddAndCoverage(t *testing.T) {
+	var s Stats
+	s.Add(Stats{Accesses: 10, DemandMisses: 2, PrefetchIssued: 5, PrefetchUseful: 6, PrefetchLate: 2})
+	s.Add(Stats{Accesses: 1, DemandMisses: 0, PrefetchIssued: 1, PrefetchUseful: 2, PrefetchLate: 0})
+	if s.Accesses != 11 || s.PrefetchUseful != 8 {
+		t.Fatalf("Add mismatch: %+v", s)
+	}
+	want := float64(8) / float64(8+2+2)
+	if got := s.Coverage(); got != want {
+		t.Fatalf("Coverage = %v, want %v", got, want)
+	}
+	if (Stats{}).Coverage() != 0 {
+		t.Fatal("zero Stats coverage should be 0")
+	}
+}

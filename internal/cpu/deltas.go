@@ -1,0 +1,105 @@
+package cpu
+
+import "sort"
+
+import "raccd/internal/mem"
+
+// DeltaProfile measures how delta-predictable an access stream is, using
+// exactly the prefetcher's trainer (same region table, same confidence
+// threshold), so its predicted coverage is what an armed prefetcher of
+// sufficient degree would see on that stream. raccdtrace info -deltas
+// feeds it a recorded trace to size prefetch knobs before sweeping.
+type DeltaProfile struct {
+	table   [deltaTableSize]deltaEntry
+	hist    map[int64]uint64
+	strides uint64 // nonzero block-delta observations
+	matched uint64 // observations predicted by an armed entry
+	total   uint64
+}
+
+// DeltaCount is one histogram row: a block delta and how often it occurred.
+type DeltaCount struct {
+	Delta int64
+	Count uint64
+}
+
+// NewDeltaProfile returns an empty profile.
+func NewDeltaProfile() *DeltaProfile {
+	return &DeltaProfile{hist: make(map[int64]uint64)}
+}
+
+// Observe feeds one access, in stream order.
+func (p *DeltaProfile) Observe(va mem.Addr) {
+	p.total++
+	b := mem.BlockOf(va)
+	pg := mem.PageOf(va)
+	e := &p.table[int(uint64(pg)&(deltaTableSize-1))]
+	if e.tag != pg {
+		*e = deltaEntry{tag: pg, lastBlock: b}
+		return
+	}
+	d := int64(b) - int64(e.lastBlock)
+	if d == 0 {
+		return
+	}
+	p.strides++
+	p.hist[d]++
+	if d == e.delta {
+		if e.conf >= confThreshold {
+			p.matched++
+		}
+		if e.conf < confMax {
+			e.conf++
+		}
+	} else {
+		e.delta = d
+		e.conf = 1
+	}
+	e.lastBlock = b
+}
+
+// Observations returns the number of accesses observed.
+func (p *DeltaProfile) Observations() uint64 { return p.total }
+
+// Strides returns the number of nonzero block-delta observations.
+func (p *DeltaProfile) Strides() uint64 { return p.strides }
+
+// PredictedCoverage returns the fraction of stride observations an armed
+// delta entry predicted — an upper bound on prefetcher coverage for this
+// stream (an actual run also needs the prefetch to beat its use and
+// survive coherence).
+func (p *DeltaProfile) PredictedCoverage() float64 {
+	if p.strides == 0 {
+		return 0
+	}
+	return float64(p.matched) / float64(p.strides)
+}
+
+// Top returns the n most frequent deltas, ties broken by smaller absolute
+// delta then by sign, so the output is deterministic.
+func (p *DeltaProfile) Top(n int) []DeltaCount {
+	out := make([]DeltaCount, 0, len(p.hist))
+	for d, c := range p.hist {
+		out = append(out, DeltaCount{Delta: d, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		ai, aj := out[i].Delta, out[j].Delta
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai < aj
+		}
+		return out[i].Delta > out[j].Delta
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package cpu
+
+import "raccd/internal/mem"
+
+// simpleModel is the classic fixed-cost core as an explicit Model: every
+// access charges its full memory latency plus the per-access compute cost,
+// fully serialized, nothing outstanding at task end. It exists so the
+// prefetch wrapper has an inner core to wrap; a plain simple configuration
+// builds to a nil Model and the runtime's classic fast path instead
+// (cycle-for-cycle the same arithmetic).
+type simpleModel struct {
+	compute uint64
+	stats   Stats
+}
+
+func (m *simpleModel) Name() string       { return "simple" }
+func (m *simpleModel) BeginTask(_ Issuer) {}
+
+func (m *simpleModel) Access(va mem.Addr, write bool, lat uint64) uint64 {
+	m.stats.Accesses++
+	return lat + m.compute
+}
+
+func (m *simpleModel) DrainTask() uint64 { return 0 }
+func (m *simpleModel) Stats() Stats      { return m.stats }

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"raccd/internal/coherence"
+	"raccd/internal/cpu"
 	"raccd/internal/noc"
 )
 
@@ -50,6 +51,20 @@ type Machine struct {
 	// NCRTEntries is the default per-core NCRT capacity (Paper16: 32);
 	// Config.NCRTEntries still overrides it per run.
 	NCRTEntries int
+
+	// Core selects the per-tile core-timing model: "" or "simple" (the
+	// fixed-cost core the paper models — the golden-pinned default) or
+	// "ooo" (a 32-entry-window out-of-order core; see internal/cpu).
+	// Unlike the geometry fields, the timing knobs do not project onto
+	// coherence.Params — they ride the sim.Config directly. Name ignores
+	// them (an m64 with an OoO core is still "m64"); String renders them.
+	Core string
+	// PrefetchDegree arms a delta-pattern stride prefetcher on every
+	// core: blocks fetched per trained trigger (0 = no prefetcher).
+	PrefetchDegree int
+	// PrefetchDistance is the prefetcher's look-ahead in strides (0 with
+	// a positive degree → the cpu package default).
+	PrefetchDistance int
 }
 
 // Paper16 returns the paper's machine (Table I, ÷16 capacity-scaled):
@@ -170,10 +185,20 @@ func (m Machine) withDefaults() Machine {
 // IsZero reports whether m is the zero value (meaning Paper16).
 func (m Machine) IsZero() bool { return m == Machine{} }
 
-// Name returns the preset name when m matches one ("paper16", "m32",
-// "m64"), or "customN" for an N-core machine with non-preset geometry.
+// geometry returns m with the core-timing knobs cleared: the chip shape
+// alone, which is what preset names describe.
+func (m Machine) geometry() Machine {
+	m.Core, m.PrefetchDegree, m.PrefetchDistance = "", 0, 0
+	return m
+}
+
+// Name returns the preset name when m's geometry matches one ("paper16",
+// "m32", "m64"), or "customN" for an N-core machine with non-preset
+// geometry. Core-timing knobs do not change the name: an m64 with an OoO
+// core is still an m64 (the knobs key the cache through the fingerprint,
+// not through the machine name).
 func (m Machine) Name() string {
-	n := m.withDefaults()
+	n := m.geometry().withDefaults()
 	for _, name := range Names() {
 		p, _ := Parse(name)
 		if n == p.withDefaults() {
@@ -186,10 +211,23 @@ func (m Machine) Name() string {
 	return fmt.Sprintf("custom%d", n.Cores)
 }
 
-// String renders the geometry for humans: "paper16 (16 cores, 4×4 mesh)".
+// String renders the geometry for humans — "paper16 (16 cores, 4×4 mesh)" —
+// with the core-timing knobs appended when set:
+// "m64 (64 cores, 8×8 mesh, ooo core, prefetch 2@4)".
 func (m Machine) String() string {
 	n := m.withDefaults()
-	return fmt.Sprintf("%s (%d cores, %d×%d mesh)", m.Name(), n.Cores, n.MeshW, n.MeshH)
+	s := fmt.Sprintf("%s (%d cores, %d×%d mesh", m.Name(), n.Cores, n.MeshW, n.MeshH)
+	if n.Core != "" && n.Core != "simple" {
+		s += fmt.Sprintf(", %s core", n.Core)
+	}
+	if n.PrefetchDegree > 0 {
+		dist := n.PrefetchDistance
+		if dist == 0 {
+			dist = cpu.DefaultPrefetchDistance
+		}
+		s += fmt.Sprintf(", prefetch %d@%d", n.PrefetchDegree, dist)
+	}
+	return s + ")"
 }
 
 // Check reports whether the machine is realizable, with a descriptive
@@ -234,6 +272,13 @@ func (m Machine) Check() error {
 	}
 	if n.NCRTEntries <= 0 {
 		return fmt.Errorf("machine: NCRT capacity %d must be positive", n.NCRTEntries)
+	}
+	if err := (cpu.Config{
+		Model:            n.Core,
+		PrefetchDegree:   n.PrefetchDegree,
+		PrefetchDistance: n.PrefetchDistance,
+	}).Check(); err != nil {
+		return err
 	}
 	return nil
 }

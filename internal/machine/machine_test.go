@@ -187,3 +187,82 @@ func TestLogicalCPUs(t *testing.T) {
 		t.Errorf("LogicalCPUs(2) = %d, want 32", got)
 	}
 }
+
+// TestParseErrorPaths is the table-driven error contract of Parse: every
+// malformed input fails with a message that names the offending input and
+// points at what would be accepted.
+func TestParseErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string // substrings the error must carry
+	}{
+		{"unknown preset", "paper32", []string{`"paper32"`, "unknown machine", "paper16"}},
+		{"typo'd preset", "papper16", []string{`"papper16"`, "unknown machine"}},
+		{"non-pow2 scaled", "m12", []string{`"m12"`, "12", "power of two"}},
+		{"oversized scaled", "m128", []string{`"m128"`, "128", "64"}},
+		{"zero cores", "m0", []string{`"m0"`, "power of two"}},
+		{"bare non-pow2", "12", []string{`"12"`, "power of two"}},
+		{"bare oversized", "256", []string{"256", "64"}},
+		{"negative", "-16", []string{`"-16"`, "power of two"}},
+		{"malformed number", "m1x6", []string{"unknown machine"}},
+		{"trailing junk", "m32 cores", []string{"unknown machine"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Parse(tc.in)
+			if err == nil {
+				t.Fatalf("Parse(%q) = %+v, want error", tc.in, m)
+			}
+			for _, sub := range tc.want {
+				if !strings.Contains(err.Error(), sub) {
+					t.Errorf("Parse(%q) error %q missing %q", tc.in, err, sub)
+				}
+			}
+			if !m.IsZero() {
+				t.Errorf("Parse(%q) returned non-zero machine %+v with error", tc.in, m)
+			}
+		})
+	}
+}
+
+// TestTimingKnobs pins how the core-timing knobs interact with machine
+// identity: they never change the Name (an m64 with an OoO core is still
+// "m64"), they render in String, and Check validates them.
+func TestTimingKnobs(t *testing.T) {
+	m := Machine64()
+	m.Core = "ooo"
+	m.PrefetchDegree, m.PrefetchDistance = 2, 4
+	if err := m.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if m.Name() != "m64" {
+		t.Errorf("Name with timing knobs = %q, want m64", m.Name())
+	}
+	s := m.String()
+	for _, sub := range []string{"m64", "ooo core", "prefetch 2@4"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+	// Default distance renders when a degree is set alone.
+	d := Machine{PrefetchDegree: 1}
+	if !strings.Contains(d.String(), "prefetch 1@4") {
+		t.Errorf("String() = %q, want default distance 4 rendered", d.String())
+	}
+	// The zero machine stays Paper16 regardless of parse round-trips.
+	if (Machine{Core: "simple"}).Name() != "paper16" {
+		t.Errorf(`Machine{Core: "simple"}.Name() = %q, want paper16`, Machine{Core: "simple"}.Name())
+	}
+	for name, bad := range map[string]Machine{
+		"unknown core":       {Core: "fancy"},
+		"negative degree":    {PrefetchDegree: -1},
+		"oversized degree":   {PrefetchDegree: 9},
+		"distance w/o deg":   {PrefetchDistance: 4},
+		"oversized distance": {PrefetchDegree: 1, PrefetchDistance: 65},
+	} {
+		if err := bad.Check(); err == nil {
+			t.Errorf("%s: Check accepted %+v", name, bad)
+		}
+	}
+}

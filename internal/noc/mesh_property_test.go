@@ -1,0 +1,109 @@
+package noc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestNonSquareMeshHopProperties checks the hop-table invariants on every
+// rectangular mesh geometry the machine model can request, not just the
+// square defaults: XY routing on a W×H mesh is symmetric, bounded by the
+// mesh diameter, metric-consistent (triangle inequality), and exactly the
+// Manhattan distance for distinct tiles (with the local-router hop of 1
+// for a tile talking to itself).
+func TestNonSquareMeshHopProperties(t *testing.T) {
+	dims := [][2]int{
+		{8, 4}, {4, 8}, {16, 2}, {2, 16}, {32, 1}, {1, 32}, // 32 tiles
+		{8, 2}, {2, 8}, {16, 1}, // 16 tiles
+		{16, 4}, {4, 16}, {64, 1}, // 64 tiles
+		{8, 8}, {4, 4}, // squares for reference
+	}
+	for _, d := range dims {
+		w, h := d[0], d[1]
+		t.Run(fmt.Sprintf("%dx%d", w, h), func(t *testing.T) {
+			m := NewMeshTopologyWH(w, h)
+			n := m.Tiles()
+			if n != w*h {
+				t.Fatalf("Tiles() = %d, want %d", n, w*h)
+			}
+			diameter := uint64(w - 1 + h - 1)
+			if diameter == 0 {
+				diameter = 1 // 1×1 degenerate: only the local hop exists
+			}
+			for from := 0; from < n; from++ {
+				for to := 0; to < n; to++ {
+					got := m.Hops(from, to)
+					// Manhattan distance under the tile layout: tile i is
+					// at column i mod W, row i / W.
+					fx, fy := from%w, from/w
+					tx, ty := to%w, to/w
+					man := fx - tx
+					if man < 0 {
+						man = -man
+					}
+					if dy := fy - ty; dy >= 0 {
+						man += dy
+					} else {
+						man -= dy
+					}
+					want := uint64(man)
+					if from == to {
+						want = 1 // local traffic still traverses the router
+					}
+					if got != want {
+						t.Fatalf("Hops(%d, %d) = %d, want %d", from, to, got, want)
+					}
+					if sym := m.Hops(to, from); sym != got {
+						t.Fatalf("asymmetric hops: Hops(%d,%d)=%d, Hops(%d,%d)=%d", from, to, got, to, from, sym)
+					}
+					if got > diameter {
+						t.Fatalf("Hops(%d, %d) = %d exceeds diameter %d", from, to, got, diameter)
+					}
+				}
+			}
+			// Triangle inequality over a sample of triples (full n³ is
+			// wasteful; a fixed stride covers every row/column pattern).
+			for a := 0; a < n; a++ {
+				for b := a; b < n; b += 3 {
+					for c := b; c < n; c += 7 {
+						if a == b || b == c {
+							continue
+						}
+						if m.Hops(a, c) > m.Hops(a, b)+m.Hops(b, c) {
+							t.Fatalf("triangle inequality violated at (%d,%d,%d): d(a,c)=%d > d(a,b)+d(b,c)=%d",
+								a, b, c, m.Hops(a, c), m.Hops(a, b)+m.Hops(b, c))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNonSquareMeshMatchesTransposed pins that a W×H and an H×W mesh have
+// identical hop-count distributions (the layout transposes, the multiset
+// of distances does not) — so sweeping MeshW/MeshH=8,2 vs 2,8 changes
+// tile numbering but not aggregate NoC cost.
+func TestNonSquareMeshMatchesTransposed(t *testing.T) {
+	for _, d := range [][2]int{{8, 4}, {16, 2}, {8, 2}, {16, 4}} {
+		w, h := d[0], d[1]
+		a, b := NewMeshTopologyWH(w, h), NewMeshTopologyWH(h, w)
+		n := a.Tiles()
+		histA := map[uint64]int{}
+		histB := map[uint64]int{}
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				histA[a.Hops(from, to)]++
+				histB[b.Hops(from, to)]++
+			}
+		}
+		if len(histA) != len(histB) {
+			t.Fatalf("%dx%d vs %dx%d: hop histograms differ: %v vs %v", w, h, h, w, histA, histB)
+		}
+		for k, v := range histA {
+			if histB[k] != v {
+				t.Fatalf("%dx%d vs %dx%d: hop distance %d count %d vs %d", w, h, h, w, k, v, histB[k])
+			}
+		}
+	}
+}

@@ -51,12 +51,21 @@ type Matrix struct {
 	// once; Engine/Shards decide how wide each one runs).
 	Engine string
 	Shards int
+	// Core, PrefetchDegree and PrefetchDistance override the machine's
+	// core-timing knobs for every run of the sweep (empty/zero leaves the
+	// Machine's own setting in place). They live on the Matrix — not only
+	// on Machine — so a cross-machine sweep (RunMachinesContext replaces
+	// the Machine per set) keeps the same core model on every geometry.
+	Core             string
+	PrefetchDegree   int
+	PrefetchDistance int
 	// OnSimulated, if non-nil, is called once per simulation actually
 	// executed (cache hits do not fire it) with the run's engine name
-	// ("" means seq), its coherence scheme, and wall-clock duration.
+	// ("" means seq), its coherence scheme, wall-clock duration, and the
+	// run's Result (for counter aggregation — e.g. prefetch totals).
 	// Calls may be concurrent when Jobs > 1; the hook must be safe for
 	// that.
-	OnSimulated func(engine string, system coherence.Mode, elapsed time.Duration)
+	OnSimulated func(engine string, system coherence.Mode, elapsed time.Duration, res sim.Result)
 }
 
 // Cache is the memoization seam of a Matrix: the subset of
@@ -126,7 +135,7 @@ func (m Matrix) simulate(cfg sim.Config, name string) (sim.Result, error) {
 		start := time.Now()
 		res, err := sim.Run(w, cfg)
 		if err == nil && m.OnSimulated != nil {
-			m.OnSimulated(cfg.Engine, cfg.System, time.Since(start))
+			m.OnSimulated(cfg.Engine, cfg.System, time.Since(start), res)
 		}
 		return res, err
 	}

@@ -129,5 +129,17 @@ func (m Matrix) config(sys coherence.Mode, ratio int) sim.Config {
 	cfg.Validate = m.Validate
 	cfg.Engine = m.Engine
 	cfg.Shards = m.Shards
+	cfg.Core = m.Machine.Core
+	cfg.PrefetchDegree = m.Machine.PrefetchDegree
+	cfg.PrefetchDistance = m.Machine.PrefetchDistance
+	if m.Core != "" {
+		cfg.Core = m.Core
+	}
+	if m.PrefetchDegree != 0 {
+		cfg.PrefetchDegree = m.PrefetchDegree
+	}
+	if m.PrefetchDistance != 0 {
+		cfg.PrefetchDistance = m.PrefetchDistance
+	}
 	return cfg
 }

@@ -1,0 +1,114 @@
+package resultstore
+
+import (
+	"strings"
+	"testing"
+
+	"raccd/internal/coherence"
+	"raccd/internal/sim"
+)
+
+// stripPairs reconstructs an older fingerprint generation from the current
+// one: the same sorted pairs minus the keys that generation lacked, under
+// its version tag.
+func stripPairs(fp, oldTag string, drop ...string) string {
+	fields := strings.Fields(fp)
+	kept := make([]string, 0, len(fields))
+	for _, pair := range fields[1:] { // fields[0] is the version tag
+		dropped := false
+		for _, d := range drop {
+			if strings.HasPrefix(pair, d) {
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			kept = append(kept, pair)
+		}
+	}
+	return oldTag + " " + strings.Join(kept, " ")
+}
+
+// TestFingerprintV3InvalidatesV2Objects pins the cache-migration story of
+// the cfg/v3 schema bump: results stored under a v2 fingerprint key — the
+// pre-core-timing canonical form — are clean misses for every v3 key,
+// never stale hits and never errors, and both generations coexist in one
+// directory (a shared cache dir may be served by old and new binaries
+// during a rolling upgrade).
+func TestFingerprintV3InvalidatesV2Objects(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(coherence.RaCCD, 16)
+	v3 := cfg.Fingerprint()
+	if !strings.HasPrefix(v3, "cfg/v3 ") {
+		t.Fatalf("current fingerprint %q is not v3; update this test alongside the schema", v3)
+	}
+	// What a v2 binary would have written for the same machine: the same
+	// sorted pairs minus the core-timing keys, under the v2 version tag.
+	v2 := stripPairs(v3, "cfg/v2", "core=", "pfdeg=", "pfdist=")
+	const workload = "bench:Jacobi/1"
+
+	stale := sim.Result{Workload: "Jacobi", Cycles: 12345}
+	if err := st.Put(KeyOf(v2, workload), stale); err != nil {
+		t.Fatal(err)
+	}
+
+	// The v3 key must miss cleanly — the stale v2 result is unreachable.
+	if res, ok := st.Get(KeyOf(v3, workload)); ok {
+		t.Fatalf("v3 key hit a v2 object: %+v", res)
+	}
+	if st.Stats().Misses != 1 {
+		t.Fatalf("stats after v3 probe: %+v", st.Stats())
+	}
+
+	// GetOrCompute recomputes and stores under v3 without disturbing the
+	// v2 object: both generations coexist.
+	fresh := sim.Result{Workload: "Jacobi", Cycles: 999}
+	res, cached, err := st.GetOrCompute(KeyOf(v3, workload), func() (sim.Result, error) {
+		return fresh, nil
+	})
+	if err != nil || cached || res.Cycles != fresh.Cycles {
+		t.Fatalf("GetOrCompute: res=%+v cached=%v err=%v", res, cached, err)
+	}
+	if res, ok := st.Get(KeyOf(v2, workload)); !ok || res.Cycles != stale.Cycles {
+		t.Fatalf("v2 object disturbed: ok=%v res=%+v", ok, res)
+	}
+	if res, ok := st.Get(KeyOf(v3, workload)); !ok || res.Cycles != fresh.Cycles {
+		t.Fatalf("v3 object not stored: ok=%v res=%+v", ok, res)
+	}
+}
+
+// TestFingerprintV2InvalidatesV1Objects keeps the previous generation's
+// story pinned one step further back: v1 objects (pre-parametric-machine)
+// are clean misses for v2 and v3 keys alike, so a cache directory that
+// has lived through both bumps holds three coexisting generations.
+func TestFingerprintV2InvalidatesV1Objects(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(coherence.RaCCD, 16)
+	v3 := cfg.Fingerprint()
+	if !strings.HasPrefix(v3, "cfg/v3 ") {
+		t.Fatalf("current fingerprint %q is not v3; update this test alongside the schema", v3)
+	}
+	v2 := stripPairs(v3, "cfg/v2", "core=", "pfdeg=", "pfdist=")
+	v1 := stripPairs(v2, "cfg/v1", "meshw=", "meshh=")
+	const workload = "bench:Jacobi/1"
+
+	stale := sim.Result{Workload: "Jacobi", Cycles: 12345}
+	if err := st.Put(KeyOf(v1, workload), stale); err != nil {
+		t.Fatal(err)
+	}
+	if res, ok := st.Get(KeyOf(v2, workload)); ok {
+		t.Fatalf("v2 key hit a v1 object: %+v", res)
+	}
+	if res, ok := st.Get(KeyOf(v3, workload)); ok {
+		t.Fatalf("v3 key hit a v1 object: %+v", res)
+	}
+	if res, ok := st.Get(KeyOf(v1, workload)); !ok || res.Cycles != stale.Cycles {
+		t.Fatalf("v1 object disturbed: ok=%v res=%+v", ok, res)
+	}
+}

@@ -101,3 +101,42 @@ func TestRunCancelMidTask(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCancelMidCompute: cancellation lands inside a long pure-compute
+// task body. Compute polls on the same cadence as Load/Store; before it
+// did, a body looping over Compute alone held a cancelled run (and a
+// draining raccdd) until the task finished. The bound is on the seq
+// engine, where the body runs in place under the run's Cancel hook; the
+// epoch engine pre-executes pure compute on workers (bounded by
+// epochWindow) and replays it as a single addition, so no in-body bound
+// applies there.
+func TestRunCancelMidCompute(t *testing.T) {
+	const bodyComputes = 64 * cancelPollInterval
+	g := NewGraph()
+	var computes int
+	g.Add("crunch", nil, func(c *Ctx) {
+		for i := 0; i < bodyComputes; i++ {
+			computes++
+			c.Compute(3)
+		}
+	})
+	errStop := errors.New("stop")
+	var polls int
+	rt := NewRuntime(nullMachine{}, 2, nil)
+	rt.Cancel = func() error {
+		// First call is the dispatch-time poll; the next is the first
+		// in-body poll, which trips.
+		polls++
+		if polls > 1 {
+			return errStop
+		}
+		return nil
+	}
+	if mk := rt.Run(g); mk != 0 {
+		t.Fatalf("cancelled run returned makespan %d, want 0", mk)
+	}
+	if computes > 2*cancelPollInterval+64 {
+		t.Fatalf("cancelled mid-compute run still executed %d Compute calls (poll interval %d)",
+			computes, cancelPollInterval)
+	}
+}

@@ -184,8 +184,15 @@ func (st *epochState) runBody(c int, t *Task, ctx *Ctx) {
 		if write {
 			val = t.ID
 		}
-		ctx.cycles += r.Machine.Access(c, va, write, val)
-		ctx.cycles += r.ComputePerAccess
+		// Replay charges exactly like Ctx.Load/Store: through the core
+		// model when one is installed (the model was begun by execute,
+		// which owns this ctx), else the classic fixed cost.
+		lat := r.Machine.Access(c, va, write, val)
+		if ctx.model != nil {
+			ctx.cycles += ctx.model.Access(va, write, lat)
+		} else {
+			ctx.cycles += lat + r.ComputePerAccess
+		}
 		if write && r.golden != nil {
 			r.golden.Store(mem.BlockOf(va), t.ID)
 		}

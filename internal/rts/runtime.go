@@ -18,6 +18,29 @@ type Machine interface {
 	InvalidateNC(core int) uint64
 }
 
+// CoreModel is the core-timing seam: it decides how many cycles the
+// issuing core spends on each access, given the memory latency the
+// machine returned for it. internal/cpu provides the implementations
+// (this package deliberately declares the interface itself so the
+// dependency points cpu → rts-compatible, not rts → cpu).
+//
+// The runtime brackets every task: BeginTask before the body (issue
+// injects prefetch reads into the machine on the task's core), one
+// Access per body reference, DrainTask after the body and before the
+// blocking invalidate. A nil CoreModel means the classic fixed-cost
+// core: every access charges lat + ComputePerAccess, which is both the
+// seed behaviour and the fast path.
+//
+// Models are only ever called from the canonical commit order — the seq
+// engine's in-place body run or the epoch engine's replay, never from
+// shard workers — so implementations need no locking and every engine
+// and shard count reproduces their charges exactly.
+type CoreModel interface {
+	BeginTask(issue func(va mem.Addr) uint64)
+	Access(va mem.Addr, write bool, lat uint64) uint64
+	DrainTask() uint64
+}
+
 // Ctx is the execution context a task body uses to touch memory. Accesses
 // are block-granular: Load/Store touch the cache block containing the
 // address; LoadRange/StoreRange sweep every block of a range.
@@ -30,8 +53,11 @@ type Ctx struct {
 	// computePerAccess is added to every access, modelling the arithmetic
 	// done on the block's elements (intra-block locality folded in).
 	computePerAccess uint64
-	strict           bool
-	lastWriteDep     int // memoized Deps index that covered the last Store
+	// model, when non-nil, replaces the fixed lat+computePerAccess charge
+	// with the core model's accounting (see CoreModel).
+	model        CoreModel
+	strict       bool
+	lastWriteDep int // memoized Deps index that covered the last Store
 
 	golden *mem.BlockStore // shared across the run; final writers
 
@@ -84,8 +110,12 @@ func (c *Ctx) Load(va mem.Addr) {
 	if c.cancel != nil {
 		c.pollCancel()
 	}
-	c.cycles += c.machine.Access(c.Core, va, false, 0)
-	c.cycles += c.computePerAccess
+	lat := c.machine.Access(c.Core, va, false, 0)
+	if c.model != nil {
+		c.cycles += c.model.Access(va, false, lat)
+	} else {
+		c.cycles += lat + c.computePerAccess
+	}
 }
 
 // Store writes the block containing va; the stored value is the task ID so
@@ -113,8 +143,12 @@ func (c *Ctx) Store(va mem.Addr) {
 			}
 		}
 	}
-	c.cycles += c.machine.Access(c.Core, va, true, c.Task.ID)
-	c.cycles += c.computePerAccess
+	lat := c.machine.Access(c.Core, va, true, c.Task.ID)
+	if c.model != nil {
+		c.cycles += c.model.Access(va, true, lat)
+	} else {
+		c.cycles += lat + c.computePerAccess
+	}
 	if c.golden != nil {
 		c.golden.Store(mem.BlockOf(va), c.Task.ID)
 	}
@@ -136,8 +170,16 @@ func (c *Ctx) StoreRange(r mem.Range) {
 	})
 }
 
-// Compute adds pure-compute cycles (no memory traffic).
-func (c *Ctx) Compute(cycles uint64) { c.cycles += cycles }
+// Compute adds pure-compute cycles (no memory traffic). It polls
+// cancellation on the same cadence as Load/Store: a task body that loops
+// over Compute alone (a long arithmetic kernel) would otherwise keep a
+// cancelled run — and a draining daemon — alive until the task finished.
+func (c *Ctx) Compute(cycles uint64) {
+	if c.cancel != nil {
+		c.pollCancel()
+	}
+	c.cycles += cycles
+}
 
 // Stats aggregates runtime-level events.
 type Stats struct {
@@ -193,6 +235,16 @@ type Runtime struct {
 	// engine). Every engine is metric-identical by contract: see
 	// ParseEngine and docs/ENGINE.md.
 	Engine Engine
+
+	// CoreModels, when non-nil, holds one core-timing model per logical
+	// processor (len == Cores); task bodies on processor p charge their
+	// accesses through CoreModels[p] instead of the fixed
+	// lat + ComputePerAccess. Entries may be nil (that processor keeps
+	// the classic core). Runtime traffic — scheduling, register, stack,
+	// invalidate, wake-up — is charged raw in either case: it is the
+	// runtime system's own memory activity, not the task body's
+	// instruction stream.
+	CoreModels []CoreModel
 
 	// The runtime system's own memory traffic. Task descriptors and the
 	// ready queue live in shared memory and are touched coherently by
@@ -387,7 +439,23 @@ func (r *Runtime) execute(c int, t *Task, now uint64, runBody func(c int, t *Tas
 		strict:           r.StrictAnnotations,
 		golden:           r.golden,
 	}
+	if r.CoreModels != nil {
+		ctx.model = r.CoreModels[c]
+	}
+	if ctx.model != nil {
+		// Prefetches issue as plain reads on the task's core, against the
+		// real machine: they pay (and perturb) directory, sharer and NoC
+		// state under whatever coherence scheme this run uses.
+		ctx.model.BeginTask(func(va mem.Addr) uint64 {
+			return r.Machine.Access(c, va, false, 0)
+		})
+	}
 	runBody(c, t, ctx)
+	if ctx.model != nil {
+		// Task boundaries synchronize: the invalidate below is a blocking
+		// instruction, so outstanding accesses must complete first.
+		ctx.cycles += ctx.model.DrainTask()
+	}
 	// Per-task stack traffic: spills, locals and call frames on the
 	// executing core's stack. Never annotated: coherent under RaCCD and
 	// FullCoh, private pages under PT.

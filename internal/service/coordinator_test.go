@@ -362,4 +362,62 @@ func TestMetricsEndpoint(t *testing.T) {
 	if last != 1 {
 		t.Fatalf("final cumulative bucket = %d, want 1", last)
 	}
+
+	// A prefetch-armed run moves the raccd_prefetch_* counters and the
+	// /v1/stats mirror; the zero scrape above already carried the series
+	// (present-at-zero, so dashboards can rate() them without gaps).
+	for _, want := range []string{
+		"raccd_prefetch_issued_total 0",
+		"raccd_prefetch_useful_total 0",
+		"raccd_prefetch_late_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	st2, err := c.SubmitRun(ctx, client.RunRequest{
+		Workload: "synth:stencil/seed=7/width=8/depth=8/blocks=8", Scale: 1, System: "RaCCD", DirRatio: 16,
+		Core: "ooo", PrefetchDegree: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := c.Wait(ctx, st2.ID, nil); err != nil || fin.State != "done" {
+		t.Fatalf("prefetch run: %v, %+v", err, fin)
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body, _ = io.ReadAll(rec.Body)
+	text = string(body)
+	issued := scrapeCounter(t, text, "raccd_prefetch_issued_total")
+	useful := scrapeCounter(t, text, "raccd_prefetch_useful_total")
+	if issued == 0 || useful == 0 {
+		t.Fatalf("prefetch counters after prefetch run: issued=%d useful=%d, want both > 0", issued, useful)
+	}
+	stats, err := c.ServerStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PrefetchIssued != issued || stats.PrefetchUseful != useful {
+		t.Fatalf("/v1/stats prefetch mirror %d/%d, /metrics %d/%d",
+			stats.PrefetchIssued, stats.PrefetchUseful, issued, useful)
+	}
+}
+
+// scrapeCounter extracts an unlabeled counter's value from a Prometheus
+// text exposition.
+func scrapeCounter(t *testing.T, text, name string) uint64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(strings.TrimPrefix(line, name+" "), "%d", &v); err != nil {
+			t.Fatalf("bad counter line %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("counter %s not in exposition", name)
+	return 0
 }

@@ -92,6 +92,18 @@ func BuildConfig(r client.RunRequest, defEngine string, defShards int) (sim.Conf
 	if cfg.Engine == "" && cfg.Shards == 0 {
 		cfg.Engine, cfg.Shards = defEngine, defShards
 	}
+	cfg.Core = mach.Core
+	cfg.PrefetchDegree = mach.PrefetchDegree
+	cfg.PrefetchDistance = mach.PrefetchDistance
+	if r.Core != "" {
+		cfg.Core = r.Core
+	}
+	if r.PrefetchDegree != 0 {
+		cfg.PrefetchDegree = r.PrefetchDegree
+	}
+	if r.PrefetchDistance != 0 {
+		cfg.PrefetchDistance = r.PrefetchDistance
+	}
 	return cfg, cfg.Check()
 }
 
@@ -132,6 +144,9 @@ func BuildMatrix(r client.SweepRequest, defEngine string, defShards int) (report
 	if m.Engine == "" && m.Shards == 0 {
 		m.Engine, m.Shards = defEngine, defShards
 	}
+	m.Core = r.Core
+	m.PrefetchDegree = r.PrefetchDegree
+	m.PrefetchDistance = r.PrefetchDistance
 	// Validate the matrix up front: every workload must resolve and every
 	// (system, ratio) cell must describe a runnable machine.
 	for _, name := range m.Workloads {
@@ -145,6 +160,9 @@ func BuildMatrix(r client.SweepRequest, defEngine string, defShards int) (report
 			cfg.Params = mach.Params()
 			cfg.Engine = m.Engine
 			cfg.Shards = m.Shards
+			cfg.Core = m.Core
+			cfg.PrefetchDegree = m.PrefetchDegree
+			cfg.PrefetchDistance = m.PrefetchDistance
 			if err := cfg.Check(); err != nil {
 				return report.Matrix{}, err
 			}
@@ -174,7 +192,7 @@ func (e *Executor) Run(ctx context.Context, cfg sim.Config, workload string, sca
 		start := time.Now()
 		res, err := sim.RunContext(ctx, w, cfg)
 		if err == nil {
-			e.metrics.Observe(cfg.Engine, cfg.System, time.Since(start))
+			e.metrics.Observe(cfg.Engine, cfg.System, time.Since(start), res)
 		}
 		return res, err
 	})

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"raccd/internal/coherence"
+	"raccd/internal/sim"
 )
 
 // LatencyBuckets are the upper bounds (seconds) of the per-scheme
@@ -17,9 +18,10 @@ var LatencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2
 // each engine executed (cache hits are not sims) and how executed-run
 // latency distributes per coherence scheme. The zero value is ready.
 type Metrics struct {
-	mu      sync.Mutex
-	engines map[string]*engineCount
-	schemes map[string]*histogram
+	mu       sync.Mutex
+	engines  map[string]*engineCount
+	schemes  map[string]*histogram
+	prefetch PrefetchTotals
 }
 
 type engineCount struct {
@@ -37,7 +39,7 @@ type histogram struct {
 
 // Observe records one executed simulation. Matches the
 // report.Matrix.OnSimulated hook signature; safe for concurrent use.
-func (m *Metrics) Observe(engine string, system coherence.Mode, elapsed time.Duration) {
+func (m *Metrics) Observe(engine string, system coherence.Mode, elapsed time.Duration, res sim.Result) {
 	if engine == "" {
 		engine = "seq"
 	}
@@ -66,6 +68,25 @@ func (m *Metrics) Observe(engine string, system coherence.Mode, elapsed time.Dur
 	h.counts[i]++
 	h.sum += secs
 	h.total++
+
+	m.prefetch.Issued += res.PrefetchIssued
+	m.prefetch.Useful += res.PrefetchUseful
+	m.prefetch.Late += res.PrefetchLate
+}
+
+// PrefetchTotals accumulates the prefetcher counters of every executed
+// simulation (zero while no run armed a prefetcher).
+type PrefetchTotals struct {
+	Issued uint64
+	Useful uint64
+	Late   uint64
+}
+
+// Prefetch returns the accumulated prefetcher counters.
+func (m *Metrics) Prefetch() PrefetchTotals {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.prefetch
 }
 
 // EngineSnapshot is one engine's executed-simulation tally.

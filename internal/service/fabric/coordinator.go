@@ -52,15 +52,18 @@ func SpecsFromMatrix(m report.Matrix, machineName string) ([]Spec, error) {
 	specs := make([]Spec, 0, len(keys))
 	for _, k := range keys {
 		rr := client.RunRequest{
-			Workload: k.Workload,
-			Scale:    m.Scale,
-			System:   k.System.String(),
-			Machine:  machineName,
-			DirRatio: k.Ratio,
-			ADR:      k.ADR,
-			Validate: &m.Validate,
-			Engine:   m.Engine,
-			Shards:   m.Shards,
+			Workload:         k.Workload,
+			Scale:            m.Scale,
+			System:           k.System.String(),
+			Machine:          machineName,
+			DirRatio:         k.Ratio,
+			ADR:              k.ADR,
+			Validate:         &m.Validate,
+			Engine:           m.Engine,
+			Shards:           m.Shards,
+			Core:             m.Core,
+			PrefetchDegree:   m.PrefetchDegree,
+			PrefetchDistance: m.PrefetchDistance,
 		}
 		spec, err := NewSpec(rr, m.Engine, m.Shards)
 		if err != nil {

@@ -74,6 +74,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "raccd_engine_sims_per_second{engine=%q} %s\n", name, promFloat(engines[name].SimsPerSec()))
 	}
 
+	pf := s.ex.Metrics().Prefetch()
+	head("raccd_prefetch_issued_total", "counter", "Prefetch accesses issued into the coherence hierarchy by executed simulations.")
+	fmt.Fprintf(&b, "raccd_prefetch_issued_total %d\n", pf.Issued)
+	head("raccd_prefetch_useful_total", "counter", "Demand accesses fully covered by an earlier prefetch.")
+	fmt.Fprintf(&b, "raccd_prefetch_useful_total %d\n", pf.Useful)
+	head("raccd_prefetch_late_total", "counter", "Demand accesses that hit an in-flight (too-late) prefetch.")
+	fmt.Fprintf(&b, "raccd_prefetch_late_total %d\n", pf.Late)
+
 	head("raccd_run_latency_seconds", "histogram", "Latency of executed simulations, by coherence scheme.")
 	for _, name := range sortedNames(schemes) {
 		h := schemes[name]

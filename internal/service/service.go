@@ -486,6 +486,12 @@ type StatsSnapshot struct {
 	CacheBytes   uint64                `json:"cache_bytes"`
 	CacheObjects int                   `json:"cache_objects"`
 	CacheEvicted uint64                `json:"cache_evictions"`
+	// Prefetch totals summed over every simulation this server executed
+	// (cache hits don't move them); zero and omitted while no run armed
+	// a prefetcher via core/prefetch_degree request fields.
+	PrefetchIssued uint64 `json:"prefetch_issued,omitempty"`
+	PrefetchUseful uint64 `json:"prefetch_useful,omitempty"`
+	PrefetchLate   uint64 `json:"prefetch_late,omitempty"`
 }
 
 // EngineSims is one engine's row of StatsSnapshot.EngineSims.
@@ -533,6 +539,8 @@ func (s *Server) Stats() StatsSnapshot {
 	if up > 0 {
 		snap.SimsPerSec = float64(st.Misses) / up
 	}
+	pf := s.ex.Metrics().Prefetch()
+	snap.PrefetchIssued, snap.PrefetchUseful, snap.PrefetchLate = pf.Issued, pf.Useful, pf.Late
 	engines, _ := s.ex.Metrics().Snapshot()
 	if len(engines) > 0 {
 		snap.EngineSims = make(map[string]EngineSims, len(engines))

@@ -66,6 +66,62 @@ func TestEngineEquivalence(t *testing.T) {
 	}
 }
 
+// TestEngineEquivalenceCoreModels extends the engine contract over the
+// core-timing models: with an OoO core and a prefetcher installed, the
+// epoch engine's commit-time replay must drive the models identically to
+// the seq engine's in-place run — same charges, same injected prefetch
+// traffic, same counters — at every shard count. This is the determinism
+// argument for cfg/v3 caching: Engine/Shards stay excluded from the
+// fingerprint even when timing models are active.
+func TestEngineEquivalenceCoreModels(t *testing.T) {
+	w, err := workloads.Get("synth:stencil/seed=7/width=4/depth=4/blocks=4", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := []struct {
+		name             string
+		core             string
+		degree, distance int
+	}{
+		{"ooo", "ooo", 0, 0},
+		{"simple+prefetch", "simple", 2, 4},
+		{"ooo+prefetch", "ooo", 2, 4},
+	}
+	for _, cm := range cores {
+		cfg := Config{
+			System:           coherence.RaCCD,
+			DirRatio:         16,
+			Validate:         true,
+			Core:             cm.core,
+			PrefetchDegree:   cm.degree,
+			PrefetchDistance: cm.distance,
+		}
+		want, err := Run(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Hierarchy = nil
+		for _, shards := range []int{2, 8} {
+			t.Run(fmt.Sprintf("%s/shards=%d", cm.name, shards), func(t *testing.T) {
+				ecfg := cfg
+				ecfg.Engine = "epoch"
+				ecfg.Shards = shards
+				got, err := Run(w, ecfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got.Hierarchy = nil
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("engine=epoch %s result diverged from engine=seq:\n got %+v\nwant %+v", cm.name, got, want)
+				}
+			})
+		}
+		if cm.degree > 0 && want.PrefetchIssued == 0 {
+			t.Errorf("%s: prefetcher never fired on the stencil workload", cm.name)
+		}
+	}
+}
+
 // TestEngineEquivalenceSMT covers the smtMachine wrapper: logical-processor
 // to (core, thread) mapping must survive the epoch engine's stream replay.
 func TestEngineEquivalenceSMT(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"raccd/internal/coherence"
+	"raccd/internal/cpu"
 	"raccd/internal/noc"
 	"raccd/internal/rts"
 )
@@ -17,7 +18,13 @@ import (
 // v2: the machine geometry became parametric — meshw/meshh joined the
 // canonical form (and cores/cache/directory fields became genuinely
 // variable through raccd.Machine). Every v1 key is a clean miss under v2.
-const fingerprintVersion = 2
+//
+// v3: core timing became parametric — core/pfdeg/pfdist joined the
+// canonical form. A core model or prefetcher changes cycles and (through
+// injected prefetch traffic) every traffic metric, so the knobs must key
+// the cache; and because the version is part of the prefix, every v2 key
+// is a clean miss under v3.
+const fingerprintVersion = 3
 
 // Fingerprint returns the canonical identity of the simulated machine this
 // configuration describes: two Configs produce the same fingerprint exactly
@@ -31,9 +38,10 @@ const fingerprintVersion = 2
 //     uses before rendering (Params zero → DefaultParams, DirRatio 0 → 1,
 //     Scheduler "" → fifo, SMTWays 0 → 1, ComputePerAccess 0 → the
 //     runtime default, NoCTopology "" → mesh, mesh dims 0×0 → the
-//     canonical noc.DefaultMeshDims factorization), so a default-by-
-//     omission Config and an explicit-default Config fingerprint
-//     identically.
+//     canonical noc.DefaultMeshDims factorization, Core "" → simple,
+//     PrefetchDistance normalized against PrefetchDegree the way cpu.New
+//     resolves it), so a default-by-omission Config and an
+//     explicit-default Config fingerprint identically.
 //   - Field-order-independent: fields are emitted as sorted key=value
 //     pairs, so the rendering never depends on struct layout.
 //   - Complete over result-affecting fields: every Config field and every
@@ -62,6 +70,15 @@ func (c Config) Fingerprint() string {
 	if c.ComputePerAccess == 0 {
 		c.ComputePerAccess = rts.DefaultComputePerAccess
 	}
+	if c.Core == "" {
+		c.Core = "simple"
+	}
+	if c.PrefetchDegree == 0 {
+		// No prefetcher: the distance is inert, normalize it away.
+		c.PrefetchDistance = 0
+	} else if c.PrefetchDistance == 0 {
+		c.PrefetchDistance = cpu.DefaultPrefetchDistance
+	}
 	p := c.Params
 	if p.NoCTopology == "" {
 		p.NoCTopology = "mesh"
@@ -81,6 +98,9 @@ func (c Config) Fingerprint() string {
 		"sched=" + c.Scheduler,
 		"smt=" + strconv.Itoa(c.SMTWays),
 		"compute=" + strconv.FormatUint(c.ComputePerAccess, 10),
+		"core=" + c.Core,
+		"pfdeg=" + strconv.Itoa(c.PrefetchDegree),
+		"pfdist=" + strconv.Itoa(c.PrefetchDistance),
 		"cores=" + strconv.Itoa(p.Cores),
 		"meshw=" + strconv.Itoa(p.MeshW),
 		"meshh=" + strconv.Itoa(p.MeshH),

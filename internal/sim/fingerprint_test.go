@@ -87,6 +87,25 @@ func TestFingerprintCanonical(t *testing.T) {
 	if base.Fingerprint() != base.Fingerprint() {
 		t.Error("fingerprint is not stable")
 	}
+	// Core "" and "simple" name the same machine.
+	s := base
+	s.Core = "simple"
+	if s.Fingerprint() != base.Fingerprint() {
+		t.Error(`Core "" and "simple" must fingerprint identically`)
+	}
+	// Without a prefetcher the distance is inert, so it normalizes away;
+	// with one, an unset distance resolves to the default cpu.New uses.
+	d := base
+	d.PrefetchDistance = 7 // degree 0: never used by the run
+	if d.Fingerprint() != base.Fingerprint() {
+		t.Error("PrefetchDistance without a degree must not change the fingerprint")
+	}
+	p1, p2 := base, base
+	p1.PrefetchDegree = 2
+	p2.PrefetchDegree, p2.PrefetchDistance = 2, 4 // cpu.DefaultPrefetchDistance
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Error("degree 2 and degree 2/distance 4 (the default) must fingerprint identically")
+	}
 }
 
 // TestFingerprintSensitive spot-checks that each knob actually changes the
@@ -108,6 +127,9 @@ func TestFingerprintSensitive(t *testing.T) {
 		"noc":          func(c *Config) { c.Params.NoCTopology = "ring" },
 		"mesh-dims":    func(c *Config) { c.Params.MeshW, c.Params.MeshH = 8, 2 },
 		"cores":        func(c *Config) { c.Params = machine.Machine64().Params() },
+		"core-model":   func(c *Config) { c.Core = "ooo" },
+		"pf-degree":    func(c *Config) { c.PrefetchDegree = 2 },
+		"pf-distance":  func(c *Config) { c.PrefetchDegree, c.PrefetchDistance = 2, 8 },
 	}
 	for name, f := range mutate {
 		cfg := base
@@ -123,8 +145,8 @@ func TestFingerprintSensitive(t *testing.T) {
 // to extend Fingerprint (and bump fingerprintVersion if the canonical
 // form changes meaning).
 func TestFingerprintCoversAllFields(t *testing.T) {
-	if n := reflect.TypeOf(Config{}).NumField(); n != 10 {
-		t.Errorf("sim.Config has %d fields, Fingerprint was written for 10 (8 covered + Engine/Shards deliberately excluded) — extend it and update this count", n)
+	if n := reflect.TypeOf(Config{}).NumField(); n != 13 {
+		t.Errorf("sim.Config has %d fields, Fingerprint was written for 13 (11 covered + Engine/Shards deliberately excluded) — extend it and update this count", n)
 	}
 	if n := reflect.TypeOf(coherence.Params{}).NumField(); n != 20 {
 		t.Errorf("coherence.Params has %d fields, Fingerprint was written for 20 — extend it and update this count", n)
@@ -132,7 +154,8 @@ func TestFingerprintCoversAllFields(t *testing.T) {
 	// Every key appears exactly once in the rendering.
 	fp := DefaultConfig(coherence.RaCCD, 1).Fingerprint()
 	for _, key := range []string{"system=", "dirratio=", "adr=", "sched=", "smt=",
-		"compute=", "cores=", "meshw=", "meshh=", "l1sets=", "l1ways=",
+		"compute=", "core=", "pfdeg=", "pfdist=",
+		"cores=", "meshw=", "meshh=", "l1sets=", "l1ways=",
 		"llcsets=", "llcways=", "dirsets=", "dirways=", "dirminsets=",
 		"ncrt=", "ncrtlat=", "tlb=",
 		"l1hit=", "llccyc=", "memcyc=", "wt=", "contig=", "seed=", "noc="} {

@@ -11,10 +11,10 @@ import (
 	"raccd/internal/workloads"
 )
 
-// TestFingerprintV2AcrossPresets pins the fingerprint schema bump: v2
-// strings carry the mesh geometry, and every machine preset names a
-// distinct machine.
-func TestFingerprintV2AcrossPresets(t *testing.T) {
+// TestFingerprintV3AcrossPresets pins the fingerprint schema: v3 strings
+// carry the mesh geometry and the core-timing knobs, and every machine
+// preset names a distinct machine.
+func TestFingerprintV3AcrossPresets(t *testing.T) {
 	seen := map[string]string{}
 	for _, name := range machine.Names() {
 		m, err := machine.Parse(name)
@@ -24,10 +24,10 @@ func TestFingerprintV2AcrossPresets(t *testing.T) {
 		cfg := DefaultConfig(coherence.RaCCD, 1)
 		cfg.Params = m.Params()
 		fp := cfg.Fingerprint()
-		if !strings.HasPrefix(fp, "cfg/v2 ") {
-			t.Errorf("%s: fingerprint %q is not v2", name, fp)
+		if !strings.HasPrefix(fp, "cfg/v3 ") {
+			t.Errorf("%s: fingerprint %q is not v3", name, fp)
 		}
-		for _, key := range []string{" meshw=", " meshh=", " cores="} {
+		for _, key := range []string{" meshw=", " meshh=", " cores=", " core=", " pfdeg=", " pfdist="} {
 			if !strings.Contains(fp, key) {
 				t.Errorf("%s: fingerprint missing %q: %q", name, key, fp)
 			}

@@ -9,6 +9,7 @@ import (
 
 	"raccd/internal/coherence"
 	"raccd/internal/core"
+	"raccd/internal/cpu"
 	"raccd/internal/energy"
 	"raccd/internal/machine"
 	"raccd/internal/mem"
@@ -57,6 +58,21 @@ type Config struct {
 	// Shards is the worker count for Engine "epoch" (0 → one per host
 	// CPU). Must be 0 for the seq engine.
 	Shards int
+	// Core selects the core-timing model: "" or "simple" (the classic
+	// fixed-cost core, the golden-pinned seed behaviour) or "ooo" (a
+	// 32-entry-window out-of-order core that overlaps independent access
+	// latencies). Unlike Engine, a core model changes the simulated
+	// machine — cycles, and through prefetch even traffic — so all three
+	// timing knobs participate in Fingerprint (cfg/v3).
+	Core string
+	// PrefetchDegree enables a delta-pattern stride prefetcher on every
+	// core: each trained trigger fetches this many blocks (0 disables).
+	// Prefetches are real accesses against the coherence hierarchy and
+	// generate scheme-dependent directory/sharer/NoC traffic.
+	PrefetchDegree int
+	// PrefetchDistance is how many strides ahead the prefetcher runs
+	// (0 with a positive degree → cpu.DefaultPrefetchDistance).
+	PrefetchDistance int
 }
 
 // DefaultConfig returns a validated baseline configuration.
@@ -125,7 +141,26 @@ func (c Config) Check() error {
 	if _, err := rts.ParseEngine(c.Engine, c.Shards); err != nil {
 		return err
 	}
+	if err := c.cpuConfig(params).Check(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// cpuConfig projects the timing knobs onto a cpu.Config for one logical
+// processor of the machine described by params.
+func (c Config) cpuConfig(params coherence.Params) cpu.Config {
+	compute := c.ComputePerAccess
+	if compute == 0 {
+		compute = rts.DefaultComputePerAccess
+	}
+	return cpu.Config{
+		Model:            c.Core,
+		ComputePerAccess: compute,
+		PrefetchDegree:   c.PrefetchDegree,
+		PrefetchDistance: c.PrefetchDistance,
+		MissLatency:      params.LLCCycles,
+	}
 }
 
 // Result carries every metric needed to regenerate the paper's figures.
@@ -162,6 +197,14 @@ type Result struct {
 	GraphEdges   uint64
 	ADRReconfigs uint64
 	ADRFinalSets int
+
+	// Prefetcher counters, summed over every logical processor's core
+	// model; all zero when no prefetcher is configured. They live in the
+	// Result (and its JSON) but not the frozen 15-field CSV.
+	PrefetchIssued   uint64  `json:",omitempty"`
+	PrefetchUseful   uint64  `json:",omitempty"`
+	PrefetchLate     uint64  `json:",omitempty"`
+	PrefetchCoverage float64 `json:",omitempty"`
 
 	Hierarchy rts.Machine `json:"-"` // retained for test inspection
 	HStats    coherence.Stats
@@ -225,6 +268,26 @@ func RunContext(ctx context.Context, w Workload, cfg Config) (Result, error) {
 	rt := rts.NewRuntime(mach, logical, rts.NewScheduler(cfg.Scheduler))
 	if cfg.ComputePerAccess != 0 {
 		rt.ComputePerAccess = cfg.ComputePerAccess
+	}
+	// Core-timing models: one instance per logical processor (they hold
+	// per-core state). The default configuration builds nil models and
+	// CoreModels stays nil — the classic fixed-cost fast path, which is
+	// what keeps the golden sweep byte-identical.
+	var coreModels []cpu.Model
+	if first, err := cpu.New(cfg.cpuConfig(params)); err != nil {
+		return Result{}, err
+	} else if first != nil {
+		coreModels = make([]cpu.Model, logical)
+		coreModels[0] = first
+		for i := 1; i < logical; i++ {
+			if coreModels[i], err = cpu.New(cfg.cpuConfig(params)); err != nil {
+				return Result{}, err
+			}
+		}
+		rt.CoreModels = make([]rts.CoreModel, logical)
+		for i, m := range coreModels {
+			rt.CoreModels[i] = m
+		}
 	}
 	rt.StrictAnnotations = cfg.Validate
 	// Check validated the pair above, so this cannot fail here.
@@ -291,6 +354,16 @@ func RunContext(ctx context.Context, w Workload, cfg Config) (Result, error) {
 	}
 	if tot := hs.L1Hits + hs.L1Misses; tot > 0 {
 		res.L1HitRatio = float64(hs.L1Hits) / float64(tot)
+	}
+	if coreModels != nil {
+		var cs cpu.Stats
+		for _, m := range coreModels {
+			cs.Add(m.Stats())
+		}
+		res.PrefetchIssued = cs.PrefetchIssued
+		res.PrefetchUseful = cs.PrefetchUseful
+		res.PrefetchLate = cs.PrefetchLate
+		res.PrefetchCoverage = cs.Coverage()
 	}
 	// Non-ADR runs are charged at the DirRatio-reduced size for the whole
 	// run; ADR runs integrated their energy access-by-access (weighted)

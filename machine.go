@@ -1,6 +1,7 @@
 package raccd
 
 import (
+	"raccd/internal/cpu"
 	"raccd/internal/machine"
 	"raccd/internal/report"
 	"raccd/internal/rts"
@@ -99,6 +100,28 @@ func WithContiguity(f float64) Option { return func(c *Config) { c.Contiguity = 
 // WithoutValidation disables golden-memory and invariant checking (faster;
 // production sweeps that only need metrics).
 func WithoutValidation() Option { return func(c *Config) { c.Validate = false } }
+
+// WithCoreModel selects the core-timing model: "simple" (the fixed-cost
+// core the paper models — the default) or "ooo" (a 32-entry-window
+// out-of-order core that overlaps independent access latencies). Unlike
+// WithEngine, a core model changes the simulated machine — it is part of
+// the fingerprint (cfg/v3) and keys the result cache. See docs/MACHINE.md.
+func WithCoreModel(name string) Option { return func(c *Config) { c.Machine.Core = name } }
+
+// WithPrefetch arms a delta-pattern stride prefetcher on every core:
+// degree blocks per trained trigger, distance strides ahead (0 → the
+// default look-ahead of 4). Prefetches are real accesses against the
+// coherence hierarchy, so their directory/sharer/NoC traffic is charged
+// under the run's scheme. Composes with any core model.
+func WithPrefetch(degree, distance int) Option {
+	return func(c *Config) {
+		c.Machine.PrefetchDegree = degree
+		c.Machine.PrefetchDistance = distance
+	}
+}
+
+// CoreModelNames returns the recognized core-timing model names.
+func CoreModelNames() []string { return cpu.Names() }
 
 // WithEngine selects the host execution strategy ("seq" or "epoch").
 // Engines are metric-identical — the knob trades host CPUs for wall time,

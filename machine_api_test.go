@@ -31,11 +31,11 @@ func TestRunOnPresets(t *testing.T) {
 		}
 		fingerprints[name] = cfg.Fingerprint()
 	}
-	// Fingerprint v2 distinctness across presets, through the public API.
+	// Fingerprint v3 distinctness across presets, through the public API.
 	seen := map[string]string{}
 	for name, fp := range fingerprints {
-		if !strings.HasPrefix(fp, "cfg/v2 ") {
-			t.Errorf("%s: fingerprint %q is not v2", name, fp)
+		if !strings.HasPrefix(fp, "cfg/v3 ") {
+			t.Errorf("%s: fingerprint %q is not v3", name, fp)
 		}
 		if prev, dup := seen[fp]; dup {
 			t.Errorf("presets %s and %s share fingerprint %q", prev, name, fp)

@@ -190,6 +190,9 @@ func (c Config) toSim() sim.Config {
 	cfg.SMTWays = c.SMTWays
 	cfg.Engine = c.Engine
 	cfg.Shards = c.Shards
+	cfg.Core = c.Machine.Core
+	cfg.PrefetchDegree = c.Machine.PrefetchDegree
+	cfg.PrefetchDistance = c.Machine.PrefetchDistance
 	return cfg
 }
 
