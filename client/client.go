@@ -39,6 +39,38 @@ type Client struct {
 	backoff time.Duration
 }
 
+// TraceHeader is the HTTP header carrying a request's trace ID. The
+// daemon adopts an inbound ID (minting one otherwise), stamps it on its
+// logs, job status and queue events, and echoes it on every response —
+// so one ID follows a run from any client through a coordinator to the
+// worker that executed it. (Redeclared from the server's internal obs
+// package; this package stays dependency-free so it can be vendored.)
+const TraceHeader = "X-Raccd-Trace"
+
+type traceKey struct{}
+
+// WithTraceID returns a context that makes every request issued under
+// it carry id in the X-Raccd-Trace header. The fabric uses it to
+// propagate the coordinator's trace to workers; callers may use it to
+// stamp their own correlation IDs.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// traceFrom returns the context's trace ID, or "".
+func traceFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// setTrace stamps the context's trace ID (if any) onto an outbound
+// request.
+func setTrace(req *http.Request) {
+	if id := traceFrom(req.Context()); id != "" {
+		req.Header.Set(TraceHeader, id)
+	}
+}
+
 // Option configures a Client at construction.
 type Option func(*Client)
 
@@ -183,17 +215,25 @@ type SweepRequest struct {
 
 // Status mirrors the service's job status JSON.
 type Status struct {
-	ID        string    `json:"id"`
-	Kind      string    `json:"kind"`
-	State     string    `json:"state"`
-	Error     string    `json:"error,omitempty"`
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// TraceID is the trace of the request that submitted the job; quote
+	// it when reporting a failure so the operator can grep every
+	// process's log for the full story.
+	TraceID   string    `json:"trace_id,omitempty"`
 	RunsTotal int       `json:"runs_total"`
 	RunsDone  int       `json:"runs_done"`
 	Created   time.Time `json:"created"`
 	Started   time.Time `json:"started,omitempty"`
 	Finished  time.Time `json:"finished,omitempty"`
-	ResultURL string    `json:"result_url,omitempty"`
-	EventsURL string    `json:"events_url"`
+	// Phases is the job's wall-time breakdown in seconds (queue_wait,
+	// build, exec, store, fabric_rtt). Single-run jobs' phases tile the
+	// job wall time; batch/sweep jobs accumulate concurrent runs.
+	Phases    map[string]float64 `json:"phases,omitempty"`
+	ResultURL string             `json:"result_url,omitempty"`
+	EventsURL string             `json:"events_url"`
 }
 
 // Terminal reports whether the job has finished (done, failed or
@@ -241,15 +281,26 @@ type EngineSims struct {
 	Sims       uint64  `json:"sims"`
 	Seconds    float64 `json:"seconds"`
 	SimsPerSec float64 `json:"sims_per_sec"`
+	// Engine-internal wall split (epoch only): speculative generation vs
+	// serial commit; the commit fraction bounds epoch speedup.
+	GenSeconds    float64 `json:"gen_seconds,omitempty"`
+	CommitSeconds float64 `json:"commit_seconds,omitempty"`
 }
 
 // APIError is a non-2xx response decoded from the service's error JSON.
 type APIError struct {
 	StatusCode int
 	Message    string
+	// TraceID is the server's trace for the failed request (echoed in
+	// the X-Raccd-Trace response header), included in Error() so users
+	// can quote it when reporting a fleet failure.
+	TraceID string
 }
 
 func (e *APIError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("raccdd: HTTP %d: %s (trace %s)", e.StatusCode, e.Message, e.TraceID)
+	}
 	return fmt.Sprintf("raccdd: HTTP %d: %s", e.StatusCode, e.Message)
 }
 
@@ -276,6 +327,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		setTrace(req)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return err
@@ -300,7 +352,11 @@ func decodeError(resp *http.Response) error {
 	if json.Unmarshal(data, &e) != nil || e.Error == "" {
 		e.Error = strings.TrimSpace(string(data))
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	return &APIError{
+		StatusCode: resp.StatusCode,
+		Message:    e.Error,
+		TraceID:    resp.Header.Get(TraceHeader),
+	}
 }
 
 // Health checks /healthz.
@@ -372,6 +428,7 @@ func (c *Client) Result(ctx context.Context, id string) (string, error) {
 		if err != nil {
 			return err
 		}
+		setTrace(req)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return err
@@ -402,6 +459,7 @@ func (c *Client) Events(ctx context.Context, id string, after int, fn func(Event
 			return err
 		}
 		req.Header.Set("Accept", "text/event-stream")
+		setTrace(req)
 		if resp, err = c.hc.Do(req); err != nil {
 			return err
 		}

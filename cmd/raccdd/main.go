@@ -2,7 +2,8 @@
 // runs and whole evaluation sweeps, a content-addressed result cache that
 // deduplicates identical simulations across all clients, SSE progress
 // streams, and results as exactly the CSV `sweep -csv` writes. See
-// docs/SERVICE.md for the API.
+// docs/SERVICE.md for the API and docs/OBSERVABILITY.md for the log,
+// trace and profiling surface.
 //
 //	raccdd                              # listen on :8080, ephemeral cache
 //	raccdd -addr :9090 -cache ~/.raccd  # persistent cache shared with
@@ -14,6 +15,12 @@
 //	                                    # coordinator mode: partition runs
 //	                                    # across worker daemons by
 //	                                    # rendezvous hash (docs/SERVICE.md)
+//	raccdd -log-level debug             # per-run execution logs
+//	raccdd -pprof-addr 127.0.0.1:6060   # opt-in net/http/pprof listener
+//
+// The daemon logs one JSON object per line on stderr (log/slog); job
+// lines carry the request's trace ID so a grep for one trace follows a
+// batch across a whole worker fleet.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
 // jobs for up to -drain (default 30s), then cancels whatever remains and
@@ -26,14 +33,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"raccd/internal/obs"
 	"raccd/internal/resultstore"
 	"raccd/internal/service"
 )
@@ -55,11 +65,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		drain      = fs.Duration("drain", 30*time.Second, "shutdown deadline for in-flight jobs")
 		workers    = fs.String("workers", "", "comma-separated worker raccdd URLs; runs execute on the fleet instead of in-process, partitioned by rendezvous hash")
 		inflight   = fs.Int("worker-inflight", 0, "max runs dispatched concurrently to each worker (0 = default)")
+		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn or error (debug adds a line per executed run)")
+		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
+		return 2
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(stderr, "raccdd: bad -log-level:", err)
 		return 2
 	}
 
@@ -90,6 +107,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		drain:          *drain,
 		workers:        splitList(*workers),
 		workerInFlight: *inflight,
+		logLevel:       level,
+		pprofAddr:      *pprofAddr,
 	}, ln, stdout, stderr)
 }
 
@@ -117,14 +136,30 @@ type serveOptions struct {
 	drain          time.Duration
 	workers        []string
 	workerInFlight int
+	logLevel       slog.Level
+	pprofAddr      string
+}
+
+// pprofMux builds a mux exposing the standard /debug/pprof endpoints.
+// The daemon keeps profiling off its service listener: it binds only
+// when -pprof-addr is set, on an address the operator chose.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serve runs the daemon on an already-bound listener until ctx is
 // cancelled, then drains. Split from run so tests can bind :0 themselves.
 func serve(ctx context.Context, opts serveOptions, ln net.Listener, stdout, stderr io.Writer) int {
+	logger := obs.NewLogger(stderr, opts.logLevel)
 	store, err := resultstore.Open(opts.cacheDir)
 	if err != nil {
-		fmt.Fprintln(stderr, "raccdd:", err)
+		logger.Error("startup failed", "err", err.Error())
 		ln.Close()
 		return 1
 	}
@@ -138,37 +173,52 @@ func serve(ctx context.Context, opts serveOptions, ln net.Listener, stdout, stde
 		Shards:         opts.shards,
 		Workers:        opts.workers,
 		WorkerInFlight: opts.workerInFlight,
+		Logger:         logger,
 	})
 	if err != nil {
-		fmt.Fprintln(stderr, "raccdd:", err)
+		logger.Error("startup failed", "err", err.Error())
 		ln.Close()
 		return 1
 	}
 
 	hs := &http.Server{Handler: svc.Handler()}
-	fmt.Fprintf(stderr, "raccdd: listening on %s (cache %s)\n", ln.Addr(), opts.cacheDir)
+	logger.Info("listening", "addr", ln.Addr().String(), "cache", opts.cacheDir)
 	if len(opts.workers) > 0 {
-		fmt.Fprintf(stderr, "raccdd: coordinating %d workers: %s\n",
-			len(opts.workers), strings.Join(opts.workers, ", "))
+		logger.Info("coordinating workers", "count", len(opts.workers), "workers", opts.workers)
+	}
+	var ps *http.Server
+	if opts.pprofAddr != "" {
+		pln, err := net.Listen("tcp", opts.pprofAddr)
+		if err != nil {
+			logger.Error("pprof listen failed", "addr", opts.pprofAddr, "err", err.Error())
+			sctx, scancel := context.WithTimeout(context.Background(), time.Second)
+			svc.Shutdown(sctx)
+			scancel()
+			ln.Close()
+			return 1
+		}
+		ps = &http.Server{Handler: pprofMux()}
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		go ps.Serve(pln)
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
 	select {
 	case err := <-errc:
-		fmt.Fprintln(stderr, "raccdd:", err)
+		logger.Error("serve failed", "err", err.Error())
 		return 1
 	case <-ctx.Done():
 	}
 
 	// Drain: finish in-flight jobs under the deadline, then close the
 	// HTTP side (SSE streams have received their terminal events by now).
-	fmt.Fprintf(stderr, "raccdd: shutting down, draining jobs (deadline %s)\n", opts.drain)
+	logger.Info("shutting down, draining jobs", "deadline", opts.drain.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
 	code := 0
 	if err := svc.Shutdown(drainCtx); err != nil {
-		fmt.Fprintln(stderr, "raccdd: drain deadline hit, in-flight jobs canceled")
+		logger.Warn("drain deadline hit, in-flight jobs canceled")
 		code = 1
 	}
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
@@ -176,9 +226,12 @@ func serve(ctx context.Context, opts serveOptions, ln net.Listener, stdout, stde
 	if err := hs.Shutdown(httpCtx); err != nil {
 		hs.Close()
 	}
+	if ps != nil {
+		ps.Close()
+	}
 	st := svc.Stats()
-	fmt.Fprintf(stderr, "raccdd: served %d runs (%d simulated, %d from cache), bye\n",
-		st.RunsCompleted, st.SimsRun, st.CacheHits)
+	logger.Info("served runs, bye",
+		"runs_completed", st.RunsCompleted, "sims_run", st.SimsRun, "cache_hits", st.CacheHits)
 	return code
 }
 

@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -30,9 +32,32 @@ func (s *syncBuffer) String() string {
 	return s.b.String()
 }
 
+// logLines parses every stderr line as the one-JSON-object-per-line
+// schema the daemon promises (docs/OBSERVABILITY.md) and fails the test
+// on any line that does not parse or lacks msg/level.
+func logLines(t *testing.T, out string) []map[string]any {
+	t.Helper()
+	var lines []map[string]any
+	for _, raw := range strings.Split(strings.TrimSpace(out), "\n") {
+		if raw == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(raw), &m); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", raw, err)
+		}
+		if m["msg"] == nil || m["level"] == nil {
+			t.Fatalf("log line missing msg/level: %q", raw)
+		}
+		lines = append(lines, m)
+	}
+	return lines
+}
+
 // TestServeEndToEnd boots the daemon on a loopback port, submits a run
-// through the client, checks the result and stats, then cancels the
-// context and expects a clean drain (exit code 0).
+// through the client, checks the result, stats, trace/phase reporting
+// and the pprof side-listener, then cancels the context and expects a
+// clean drain (exit code 0) with parseable JSON logs.
 func TestServeEndToEnd(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -49,6 +74,7 @@ func TestServeEndToEnd(t *testing.T) {
 			engine:     "epoch",
 			shards:     2,
 			drain:      30 * time.Second,
+			pprofAddr:  "127.0.0.1:0",
 		}, ln, &stdout, &stderr)
 	}()
 
@@ -66,9 +92,32 @@ func TestServeEndToEnd(t *testing.T) {
 		}
 	}
 
+	// The pprof listener bound an ephemeral port; its address is in the
+	// "pprof listening" log line.
+	var pprofAddr string
+	for _, line := range logLines(t, stderr.String()) {
+		if line["msg"] == "pprof listening" {
+			pprofAddr, _ = line["addr"].(string)
+		}
+	}
+	if pprofAddr == "" {
+		t.Fatalf("no pprof listening log line; stderr:\n%s", stderr.String())
+	}
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status %d", resp.StatusCode)
+	}
+
 	st, err := c.SubmitRun(ctx, client.RunRequest{Workload: "Jacobi", Scale: 0.05, System: "RaCCD", DirRatio: 16})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if st.TraceID == "" {
+		t.Fatal("submitted job has no trace ID")
 	}
 	fin, err := c.Wait(ctx, st.ID, nil)
 	if err != nil {
@@ -76,6 +125,12 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if fin.State != "done" {
 		t.Fatalf("job state %q (%s)", fin.State, fin.Error)
+	}
+	if fin.TraceID != st.TraceID {
+		t.Fatalf("trace ID changed across polls: %q vs %q", fin.TraceID, st.TraceID)
+	}
+	if fin.Phases["exec"] <= 0 || fin.Phases["queue_wait"] < 0 {
+		t.Fatalf("finished job phases incomplete: %v", fin.Phases)
 	}
 	csv, err := c.Result(ctx, st.ID)
 	if err != nil {
@@ -110,8 +165,20 @@ func TestServeEndToEnd(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatalf("daemon did not drain; stderr:\n%s", stderr.String())
 	}
-	if out := stderr.String(); !strings.Contains(out, "draining jobs") || !strings.Contains(out, "bye") {
+	out := stderr.String()
+	if !strings.Contains(out, "draining jobs") || !strings.Contains(out, "bye") {
 		t.Fatalf("missing drain log lines:\n%s", out)
+	}
+	// Every stderr line is JSON, and the job's lifecycle lines carry the
+	// trace ID the client saw.
+	traced := 0
+	for _, line := range logLines(t, out) {
+		if line["trace"] == st.TraceID {
+			traced++
+		}
+	}
+	if traced < 2 { // at least "job accepted" and "job finished"
+		t.Fatalf("only %d log lines carry trace %s:\n%s", traced, st.TraceID, out)
 	}
 }
 
@@ -245,5 +312,11 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "engine") {
 		t.Fatalf("bad-engine error not reported:\n%s", stderr.String())
+	}
+	if code := run(context.Background(), []string{"-log-level", "loud"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad log level: exit %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-pprof-addr", "256.0.0.1:http"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad pprof addr: exit %d, want 1", code)
 	}
 }

@@ -211,6 +211,18 @@ func printResult(w io.Writer, res raccd.Result, mach raccd.Machine, scale float6
 		fmt.Fprintf(w, "prefetches       %d issued, %d useful, %d late\n", res.PrefetchIssued, res.PrefetchUseful, res.PrefetchLate)
 		fmt.Fprintf(w, "pf coverage      %.1f%% of would-be demand misses\n", res.PrefetchCoverage*100)
 	}
+	// The epoch engine reports how its wall time split between parallel
+	// speculative generation and the serial commit loop — the Amdahl
+	// bottleneck docs/ENGINE.md describes. The seq engine leaves these
+	// zero.
+	if res.EngineGenSeconds > 0 || res.EngineCommitSeconds > 0 {
+		serial := 0.0
+		if total := res.EngineGenSeconds + res.EngineCommitSeconds; total > 0 {
+			serial = res.EngineCommitSeconds / total
+		}
+		fmt.Fprintf(w, "engine phases    %.1fms generate + %.1fms commit (%.0f%% commit-side) over %.1fms wall\n",
+			res.EngineGenSeconds*1e3, res.EngineCommitSeconds*1e3, serial*100, res.EngineRunSeconds*1e3)
+	}
 	if validated {
 		fmt.Fprintln(w, "validation       OK (protocol invariants + golden final memory)")
 	}

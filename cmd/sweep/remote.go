@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"raccd/client"
+	"raccd/internal/obs"
 	"raccd/internal/report"
 	"raccd/internal/service/fabric"
 	"raccd/internal/sim"
@@ -35,6 +36,12 @@ func runRemote(ctx context.Context, m report.Matrix, machineName string, endpoin
 		return nil, err
 	}
 	parts := fabric.Partition(specs, endpoints)
+
+	// One trace ID covers the whole fleet sweep: every endpoint sees it
+	// as X-Raccd-Trace, stamps it on its job and logs, so one grep
+	// follows this invocation across all workers (docs/OBSERVABILITY.md).
+	trace := obs.NewTraceID()
+	ctx = obs.WithTrace(ctx, trace)
 
 	// Progress lines from different endpoints interleave arbitrarily;
 	// only the merged set is deterministic.
@@ -64,7 +71,7 @@ func runRemote(ctx context.Context, m report.Matrix, machineName string, endpoin
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w (trace %s)", err, trace)
 		}
 	}
 

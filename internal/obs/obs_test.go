@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoggerJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo)
+	l.Info("hello", "trace", "abc", "n", 3)
+	l.Debug("dropped below level")
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 1 {
+		t.Fatalf("want 1 line, got %d: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(lines[0], &rec); err != nil {
+		t.Fatalf("line is not JSON: %v", err)
+	}
+	if rec["msg"] != "hello" || rec["trace"] != "abc" || rec["n"] != 3.0 {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	// Must not panic and must report disabled at every level.
+	l := Nop()
+	l.Error("ignored", "k", "v")
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("nop logger claims to be enabled")
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	ctx := context.Background()
+	if Log(ctx) == nil || Trace(ctx) != "" || PhasesFrom(ctx) != nil {
+		t.Fatal("empty context should yield nop logger, empty trace, nil phases")
+	}
+
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo)
+	p := NewPhases()
+	ctx = WithLogger(ctx, l)
+	ctx = WithTrace(ctx, "t123")
+	ctx = WithPhases(ctx, p)
+
+	if Log(ctx) != l {
+		t.Fatal("logger did not round-trip")
+	}
+	if Trace(ctx) != "t123" {
+		t.Fatalf("trace = %q", Trace(ctx))
+	}
+	if PhasesFrom(ctx) != p {
+		t.Fatal("phases did not round-trip")
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	a, b := NewTraceID(), NewTraceID()
+	if !hex16.MatchString(a) || !hex16.MatchString(b) {
+		t.Fatalf("malformed trace IDs: %q %q", a, b)
+	}
+	if a == b {
+		t.Fatalf("trace IDs collided: %q", a)
+	}
+}
+
+func TestPhasesNilSafe(t *testing.T) {
+	var p *Phases
+	p.Add("x", time.Second) // must not panic
+	p.Start("x")()
+	if p.Seconds() != nil || p.Durations() != nil {
+		t.Fatal("nil phases should snapshot to nil")
+	}
+}
+
+func TestPhasesAccumulate(t *testing.T) {
+	p := NewPhases()
+	p.Add("exec", 200*time.Millisecond)
+	p.Add("exec", 300*time.Millisecond)
+	p.Add("store", 50*time.Millisecond)
+	p.Add("store", -time.Hour) // clock step: ignored
+
+	s := p.Seconds()
+	if len(s) != 2 {
+		t.Fatalf("want 2 buckets, got %v", s)
+	}
+	if got := s["exec"]; got < 0.499 || got > 0.501 {
+		t.Fatalf("exec = %v, want 0.5", got)
+	}
+	if got := s["store"]; got < 0.049 || got > 0.051 {
+		t.Fatalf("store = %v, want 0.05", got)
+	}
+
+	d := p.Durations()
+	if d["exec"] != 500*time.Millisecond {
+		t.Fatalf("Durations exec = %v", d["exec"])
+	}
+	// Snapshots are copies: mutating one must not affect the source.
+	d["exec"] = 0
+	if p.Durations()["exec"] != 500*time.Millisecond {
+		t.Fatal("Durations returned a live reference")
+	}
+}
+
+func TestPhasesStart(t *testing.T) {
+	p := NewPhases()
+	stop := p.Start("exec")
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	if got := p.Durations()["exec"]; got < 5*time.Millisecond {
+		t.Fatalf("timed phase too short: %v", got)
+	}
+}
+
+func TestPhasesConcurrent(t *testing.T) {
+	p := NewPhases()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				p.Add("exec", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Durations()["exec"]; got != 8000*time.Microsecond {
+		t.Fatalf("lost updates: %v", got)
+	}
+}

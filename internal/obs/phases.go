@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Phases accumulates named wall-time buckets for one job. It is safe
+// for concurrent use (batch jobs run many backends at once) and all
+// methods are no-ops on a nil receiver, so unattached code paths cost
+// one pointer test.
+type Phases struct {
+	mu sync.Mutex
+	d  map[string]time.Duration
+}
+
+// NewPhases returns an empty accumulator.
+func NewPhases() *Phases {
+	return &Phases{d: make(map[string]time.Duration)}
+}
+
+// Add folds d into the named bucket. Negative durations are ignored so
+// a clock step can never produce a negative phase.
+func (p *Phases) Add(name string, d time.Duration) {
+	if p == nil || d < 0 {
+		return
+	}
+	p.mu.Lock()
+	p.d[name] += d
+	p.mu.Unlock()
+}
+
+// Start begins timing the named phase and returns the function that
+// stops it, for use as `defer p.Start(obs.PhaseExec)()`.
+func (p *Phases) Start(name string) func() {
+	if p == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { p.Add(name, time.Since(t0)) }
+}
+
+// Durations returns a snapshot of the buckets, nil when empty.
+func (p *Phases) Durations() map[string]time.Duration {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.d) == 0 {
+		return nil
+	}
+	out := make(map[string]time.Duration, len(p.d))
+	for k, v := range p.d {
+		out[k] = v
+	}
+	return out
+}
+
+// Seconds returns the buckets converted to seconds — the wire form
+// used by GET /v1/jobs/{id} — nil when empty.
+func (p *Phases) Seconds() map[string]float64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.d) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(p.d))
+	for k, v := range p.d {
+		out[k] = v.Seconds()
+	}
+	return out
+}

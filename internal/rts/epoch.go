@@ -3,6 +3,7 @@ package rts
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"raccd/internal/mem"
 )
@@ -69,8 +70,17 @@ func (e *epochEngine) run(r *Runtime, g *Graph) uint64 {
 	}
 	st.cond = sync.NewCond(&st.mu)
 	// stop releases the workers even when the dispatch loop unwinds with a
-	// panic (cancellation, strict-annotation violation, deadlock).
-	defer st.stop()
+	// panic (cancellation, strict-annotation violation, deadlock); the
+	// phase split is published on the same unwind so a cancelled run
+	// still reports where its wall time went.
+	defer func() {
+		st.stop()
+		r.EnginePhases = EnginePhases{
+			GenSeconds:    time.Duration(st.genNanos.Load()).Seconds(),
+			CommitSeconds: time.Duration(st.commitNanos).Seconds(),
+			StolenTasks:   st.stolen,
+		}
+	}()
 	var next atomic.Int64
 	for i := 0; i < e.shards; i++ {
 		go st.worker(&next)
@@ -88,6 +98,13 @@ type epochState struct {
 	cond      *sync.Cond
 	committed int // tasks whose streams the commit loop has consumed
 	stopped   bool
+
+	// Wall-time phase counters for Runtime.EnginePhases. genNanos is
+	// atomic (every generating goroutine adds to it); commitNanos and
+	// stolen are touched only by the commit goroutine.
+	genNanos    atomic.Int64
+	commitNanos int64
+	stolen      uint64
 }
 
 // worker claims tasks in creation order and pre-executes their bodies,
@@ -122,6 +139,8 @@ func (st *epochState) worker(next *atomic.Int64) {
 // commit time, in canonical order; a cancellation panic on the commit
 // goroutine (cancel non-nil) propagates instead.
 func (st *epochState) generate(t *Task, rec *taskRec, cancel func() error) {
+	genStart := time.Now()
+	defer func() { st.genNanos.Add(int64(time.Since(genStart))) }()
 	ctx := &Ctx{
 		Core:    0, // bodies are core-agnostic; see docs/ENGINE.md
 		Task:    t,
@@ -162,6 +181,8 @@ func (st *epochState) runBody(c int, t *Task, ctx *Ctx) {
 		if rec.state.CompareAndSwap(recTodo, recInflight) {
 			// Commit-side steal: generate inline. This is the commit
 			// goroutine, so cancellation is polled during generation.
+			// The steal's wall time counts as generation, not commit.
+			st.stolen++
 			st.generate(t, rec, st.r.Cancel)
 		} else {
 			st.mu.Lock()
@@ -174,6 +195,11 @@ func (st *epochState) runBody(c int, t *Task, ctx *Ctx) {
 	if rec.panicVal != nil {
 		panic(rec.panicVal)
 	}
+	// Commit wall starts here: the stream is ready, everything below is
+	// the serial replay through the real machine. Waiting on workers
+	// above is idle time, charged to neither phase.
+	commitStart := time.Now()
+	defer func() { st.commitNanos += int64(time.Since(commitStart)) }()
 	r := st.r
 	ctx.cycles += rec.pure
 	since := 0

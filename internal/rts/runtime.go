@@ -192,6 +192,22 @@ type Stats struct {
 	IdleCycles       uint64 // cores waiting for ready tasks
 }
 
+// EnginePhases is a host-side wall-time split of one engine run: where
+// the wall clock went on the simulating machine, the measurement the
+// epoch engine's Amdahl analysis needs. GenSeconds is time spent
+// pre-executing task bodies into access streams (shard workers plus
+// commit-side steals, summed across goroutines, so it can exceed the
+// run's wall time); CommitSeconds is time the single commit goroutine
+// spent replaying streams through the real machine — the serial
+// fraction that bounds speedup.
+type EnginePhases struct {
+	GenSeconds    float64
+	CommitSeconds float64
+	// StolenTasks counts commit-side steals: tasks the dispatch loop
+	// reached before any shard worker had generated them.
+	StolenTasks uint64
+}
+
 // Add accumulates o into s. Engines or harnesses that split execution
 // across several Runtimes merge their per-slice counters with it.
 func (s *Stats) Add(o Stats) {
@@ -258,6 +274,14 @@ type Runtime struct {
 	StackBlocksPerTask int
 
 	Stats Stats
+
+	// EnginePhases is the host-side wall-time breakdown the engine
+	// recorded for the last Run — real elapsed time on the simulating
+	// machine, not simulated cycles, so it is nondeterministic and kept
+	// out of Stats (which engines must reproduce exactly). Only engines
+	// with distinguishable phases fill it in (epoch: speculative
+	// generation vs serial commit); the seq engine leaves it zero.
+	EnginePhases EnginePhases
 
 	// golden tracks the final writer of every stored block in a paged
 	// block store: Ctx.Store updates it on every simulated store, so it

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"raccd/internal/obs"
 	"raccd/internal/service/fabric"
 	"raccd/internal/service/queue"
 )
@@ -44,7 +45,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		specs[i] = spec
 	}
-	j := queue.NewJob(s.q.NewID(), "batch", len(specs))
+	j := queue.NewJob(s.q.NewID(), "batch", obs.Trace(r.Context()), len(specs))
 	j.Execute = s.runSpecs(specs)
 	s.enqueueAndRespond(w, j)
 }
@@ -54,7 +55,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 // renders as one CSV.
 func (s *Server) runSpecs(specs []fabric.Spec) func(*queue.Job) (string, error) {
 	return func(j *queue.Job) (string, error) {
-		set, err := s.coord.Execute(s.runCtx, specs, j.Progress)
+		set, err := s.coord.Execute(s.jobCtx(j), specs, j.Progress)
 		if err != nil {
 			return "", err
 		}

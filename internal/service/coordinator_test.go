@@ -333,6 +333,15 @@ func TestMetricsEndpoint(t *testing.T) {
 		`raccd_run_latency_seconds_bucket{scheme="RaCCD",le="+Inf"} 1`,
 		`raccd_run_latency_seconds_count{scheme="RaCCD"} 1`,
 		`raccd_run_latency_seconds_sum{scheme="RaCCD"}`,
+		`raccd_engine_gen_seconds_total{engine="seq"} 0`,
+		`raccd_engine_commit_seconds_total{engine="seq"} 0`,
+		`raccd_fabric_backend_up{backend="local"} 1`,
+		`raccd_fabric_backend_requests_total{backend="local"} 1`,
+		`raccd_fabric_backend_errors_total{backend="local"} 0`,
+		"# TYPE raccd_job_phase_seconds histogram",
+		`raccd_job_phase_seconds_count{phase="exec"} 1`,
+		`raccd_job_phase_seconds_count{phase="queue_wait"} 1`,
+		`raccd_job_phase_seconds_bucket{phase="build",le="+Inf"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)

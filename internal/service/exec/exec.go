@@ -16,6 +16,7 @@ import (
 	"raccd/client"
 	"raccd/internal/coherence"
 	"raccd/internal/machine"
+	"raccd/internal/obs"
 	"raccd/internal/report"
 	"raccd/internal/resultstore"
 	"raccd/internal/service/store"
@@ -178,27 +179,45 @@ func BuildMatrix(r client.SweepRequest, defEngine string, defShards int) (report
 // and whether the result came from the cache. ctx aborts an in-flight
 // simulation at its next task dispatch.
 func (e *Executor) Run(ctx context.Context, cfg sim.Config, workload string, scale float64, identity string) (csv string, res sim.Result, cached bool, err error) {
+	ph := obs.PhasesFrom(ctx)
 	key := resultstore.KeyOf(cfg.Fingerprint(), identity)
+	// total−simWall is the store phase: get/put IO, hashing, and — for a
+	// coalesced caller — waiting on another goroutine's identical run.
+	start := time.Now()
+	var simWall time.Duration
 	res, cached, err = e.st.GetOrCompute(key, func() (sim.Result, error) {
 		// Cancellation between queueing and compute: don't start a
 		// simulation nobody will wait for.
 		if err := ctx.Err(); err != nil {
 			return sim.Result{}, err
 		}
+		buildStart := time.Now()
 		w, err := workloads.Get(workload, scale)
 		if err != nil {
 			return sim.Result{}, err
 		}
-		start := time.Now()
+		ph.Add(obs.PhaseBuild, time.Since(buildStart))
+		simStart := time.Now()
 		res, err := sim.RunContext(ctx, w, cfg)
+		simWall = time.Since(simStart)
 		if err == nil {
-			e.metrics.Observe(cfg.Engine, cfg.System, time.Since(start), res)
+			e.metrics.Observe(cfg.Engine, cfg.System, simWall, res)
 		}
 		return res, err
 	})
+	ph.Add(obs.PhaseExec, simWall)
+	ph.Add(obs.PhaseStore, time.Since(start)-simWall)
 	if err != nil {
 		return "", sim.Result{}, false, err
 	}
+	engine := cfg.Engine
+	if engine == "" {
+		engine = "seq"
+	}
+	obs.Log(ctx).Debug("run complete",
+		"workload", workload, "system", cfg.System.String(), "ratio", cfg.DirRatio,
+		"engine", engine, "cycles", res.Cycles, "cached", cached,
+		"sim_ms", simWall.Milliseconds())
 	return report.NewSet([]sim.Result{res}).CSV(), res, cached, nil
 }
 

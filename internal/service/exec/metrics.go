@@ -21,12 +21,17 @@ type Metrics struct {
 	mu       sync.Mutex
 	engines  map[string]*engineCount
 	schemes  map[string]*histogram
+	phases   map[string]*histogram
 	prefetch PrefetchTotals
 }
 
 type engineCount struct {
 	sims    uint64
 	seconds float64
+	// Host-side wall split the engine itself reported (nonzero only for
+	// engines that record one, i.e. epoch's generation vs serial commit).
+	genSeconds    float64
+	commitSeconds float64
 }
 
 // histogram is one scheme's latency distribution: per-bucket (non-
@@ -57,6 +62,8 @@ func (m *Metrics) Observe(engine string, system coherence.Mode, elapsed time.Dur
 	}
 	ec.sims++
 	ec.seconds += secs
+	ec.genSeconds += res.EngineGenSeconds
+	ec.commitSeconds += res.EngineCommitSeconds
 
 	name := system.String()
 	h := m.schemes[name]
@@ -89,10 +96,49 @@ func (m *Metrics) Prefetch() PrefetchTotals {
 	return m.prefetch
 }
 
+// ObservePhase records one finished job's wall time in the named phase
+// (queue_wait, build, exec, store, fabric_rtt); safe for concurrent use.
+func (m *Metrics) ObservePhase(name string, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.phases == nil {
+		m.phases = make(map[string]*histogram)
+	}
+	h := m.phases[name]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(LatencyBuckets)+1)}
+		m.phases[name] = h
+	}
+	i := sort.SearchFloat64s(LatencyBuckets, secs)
+	h.counts[i]++
+	h.sum += secs
+	h.total++
+}
+
+// PhaseSnapshot returns a coherent copy of the per-phase histograms.
+func (m *Metrics) PhaseSnapshot() map[string]HistogramSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(m.phases))
+	for name, h := range m.phases {
+		out[name] = HistogramSnapshot{
+			Counts: append([]uint64(nil), h.counts...),
+			Sum:    h.sum,
+			Total:  h.total,
+		}
+	}
+	return out
+}
+
 // EngineSnapshot is one engine's executed-simulation tally.
 type EngineSnapshot struct {
 	Sims    uint64
 	Seconds float64
+	// Generation vs serial-commit wall split, summed over the engine's
+	// runs; zero for engines that don't report one (seq).
+	GenSeconds    float64
+	CommitSeconds float64
 }
 
 // SimsPerSec is the engine's throughput over its own busy time.
@@ -119,7 +165,10 @@ func (m *Metrics) Snapshot() (engines map[string]EngineSnapshot, schemes map[str
 	defer m.mu.Unlock()
 	engines = make(map[string]EngineSnapshot, len(m.engines))
 	for name, ec := range m.engines {
-		engines[name] = EngineSnapshot{Sims: ec.sims, Seconds: ec.seconds}
+		engines[name] = EngineSnapshot{
+			Sims: ec.sims, Seconds: ec.seconds,
+			GenSeconds: ec.genSeconds, CommitSeconds: ec.commitSeconds,
+		}
 	}
 	schemes = make(map[string]HistogramSnapshot, len(m.schemes))
 	for name, h := range m.schemes {

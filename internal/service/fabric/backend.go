@@ -17,6 +17,7 @@ import (
 	"context"
 
 	"raccd/client"
+	"raccd/internal/obs"
 	"raccd/internal/service/exec"
 	"raccd/internal/workloads"
 )
@@ -91,8 +92,10 @@ func (l *Local) Name() string { return l.name }
 
 // Run implements Backend: materialize and execute through the store.
 func (l *Local) Run(ctx context.Context, spec Spec) (string, []string, error) {
+	buildStop := obs.PhasesFrom(ctx).Start(obs.PhaseBuild)
 	// Engine defaults are already baked into the request by NewSpec.
 	cfg, err := exec.BuildConfig(spec.Request, "", 0)
+	buildStop()
 	if err != nil {
 		return "", nil, err
 	}

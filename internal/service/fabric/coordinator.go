@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"raccd/client"
 	"raccd/internal/report"
@@ -94,6 +96,34 @@ type Coordinator struct {
 	backends []Backend
 	names    []string
 	sems     []chan struct{}
+	stats    []backendStats
+}
+
+// backendStats is one backend's health and traffic counters, exported
+// to /metrics as raccd_fabric_backend_{up,requests_total,errors_total}.
+type backendStats struct {
+	up       atomic.Bool
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// BackendStatus is one backend's row of Coordinator.BackendStatuses and
+// Probe: its health (as of the last probe; requests don't flip it) and
+// lifetime request/error tallies.
+type BackendStatus struct {
+	Name     string
+	Up       bool
+	Requests uint64
+	Errors   uint64
+	// Error is the last probe's failure, "" while up; only Probe fills
+	// it in.
+	Error string
+}
+
+// HealthChecker is implemented by backends that can be actively probed
+// (Remote, via GET /healthz). Backends without it count as always up.
+type HealthChecker interface {
+	CheckHealth(ctx context.Context) error
 }
 
 // NewCoordinator builds a coordinator over backends, dispatching at
@@ -110,6 +140,7 @@ func NewCoordinator(backends []Backend, perBackend int) (*Coordinator, error) {
 		backends: backends,
 		names:    make([]string, len(backends)),
 		sems:     make([]chan struct{}, len(backends)),
+		stats:    make([]backendStats, len(backends)),
 	}
 	seen := make(map[string]bool, len(backends))
 	for i, b := range backends {
@@ -123,8 +154,68 @@ func NewCoordinator(backends []Backend, perBackend int) (*Coordinator, error) {
 		seen[name] = true
 		c.names[i] = name
 		c.sems[i] = make(chan struct{}, perBackend)
+		c.stats[i].up.Store(true) // presumed healthy until a probe says otherwise
 	}
 	return c, nil
+}
+
+// RunSpec executes one spec on its rendezvous backend, counting the
+// request and its outcome in the backend's stats. It is the single-run
+// counterpart of Execute.
+func (c *Coordinator) RunSpec(ctx context.Context, spec Spec) (csv string, progress []string, err error) {
+	return c.runOn(ctx, c.Pick(spec.Key()), spec)
+}
+
+// runOn dispatches spec to backend bi and tallies the outcome. Context
+// cancellation is not the backend's fault and leaves its error count
+// alone.
+func (c *Coordinator) runOn(ctx context.Context, bi int, spec Spec) (string, []string, error) {
+	c.stats[bi].requests.Add(1)
+	csv, lines, err := c.backends[bi].Run(ctx, spec)
+	if err != nil && ctx.Err() == nil {
+		c.stats[bi].errors.Add(1)
+	}
+	return csv, lines, err
+}
+
+// BackendStatuses snapshots every backend's health and counters in
+// construction order.
+func (c *Coordinator) BackendStatuses() []BackendStatus {
+	out := make([]BackendStatus, len(c.backends))
+	for i := range c.backends {
+		out[i] = BackendStatus{
+			Name:     c.names[i],
+			Up:       c.stats[i].up.Load(),
+			Requests: c.stats[i].requests.Load(),
+			Errors:   c.stats[i].errors.Load(),
+		}
+	}
+	return out
+}
+
+// probeTimeout bounds one backend's health check.
+const probeTimeout = 2 * time.Second
+
+// Probe health-checks every backend that implements HealthChecker,
+// updates the up gauges, and returns the statuses. Backends without a
+// checker (Local) are always up.
+func (c *Coordinator) Probe(ctx context.Context) []BackendStatus {
+	out := c.BackendStatuses()
+	for i, b := range c.backends {
+		hc, ok := b.(HealthChecker)
+		if !ok {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+		err := hc.CheckHealth(pctx)
+		cancel()
+		c.stats[i].up.Store(err == nil)
+		out[i].Up = err == nil
+		if err != nil {
+			out[i].Error = err.Error()
+		}
+	}
+	return out
 }
 
 // Backends returns the coordinator's backends in construction order.
@@ -159,7 +250,7 @@ func (c *Coordinator) Execute(ctx context.Context, specs []Spec, progress func(l
 				return runOutcome{}, ctx.Err()
 			}
 			defer func() { <-c.sems[bi] }()
-			csv, lines, err := c.backends[bi].Run(ctx, spec)
+			csv, lines, err := c.runOn(ctx, bi, spec)
 			if err != nil {
 				return runOutcome{}, fmt.Errorf("fabric: run %d (%s): %w", i, spec.Key(), err)
 			}

@@ -248,3 +248,68 @@ func (badCSVBackend) Name() string { return "bad" }
 func (badCSVBackend) Run(context.Context, Spec) (string, []string, error) {
 	return "this is not a report CSV\n", nil, nil
 }
+
+// probeBackend is a fakeBackend that also answers health checks, like
+// Remote does via GET /healthz.
+type probeBackend struct {
+	fakeBackend
+	healthErr error
+}
+
+func (p *probeBackend) CheckHealth(context.Context) error { return p.healthErr }
+
+// TestBackendStatsAndProbe covers the coordinator's per-backend health
+// and traffic accounting: RunSpec tallies requests and failures (but
+// not cancellations), and Probe flips the up gauge for backends whose
+// health check fails while leaving checker-less backends up.
+func TestBackendStatsAndProbe(t *testing.T) {
+	ok := &probeBackend{fakeBackend: fakeBackend{name: "w1"}}
+	down := &probeBackend{fakeBackend: fakeBackend{name: "w2", err: errors.New("boom")}, healthErr: errors.New("connection refused")}
+	local := &fakeBackend{name: "local"}
+	c, err := NewCoordinator([]Backend{ok, down, local}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One run on each backend: w2 fails and counts an error.
+	ctx := context.Background()
+	for bi := range []Backend{ok, down, local} {
+		c.runOn(ctx, bi, Spec{Fingerprint: "wl", Identity: "id1"})
+	}
+	// A cancelled run is not the backend's fault: request counted, error not.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	c.runOn(canceled, 1, Spec{Fingerprint: "wl", Identity: "id2"})
+
+	sts := c.BackendStatuses()
+	if len(sts) != 3 {
+		t.Fatalf("%d statuses, want 3", len(sts))
+	}
+	for i, want := range []BackendStatus{
+		{Name: "w1", Up: true, Requests: 1, Errors: 0},
+		{Name: "w2", Up: true, Requests: 2, Errors: 1},
+		{Name: "local", Up: true, Requests: 1, Errors: 0},
+	} {
+		if sts[i] != want {
+			t.Errorf("status[%d] = %+v, want %+v", i, sts[i], want)
+		}
+	}
+
+	// Probe: the failing checker goes down with its error quoted; the
+	// checker-less backend stays up.
+	probed := c.Probe(ctx)
+	if probed[0].Up != true || probed[1].Up != false || probed[2].Up != true {
+		t.Fatalf("probe ups = %v/%v/%v, want true/false/true", probed[0].Up, probed[1].Up, probed[2].Up)
+	}
+	if !strings.Contains(probed[1].Error, "connection refused") {
+		t.Fatalf("probe error = %q", probed[1].Error)
+	}
+	if up := c.BackendStatuses()[1].Up; up {
+		t.Fatal("probe result not stored in the up gauge")
+	}
+	// Recovery: the next probe brings it back.
+	down.healthErr = nil
+	if probed := c.Probe(ctx); !probed[1].Up || probed[1].Error != "" {
+		t.Fatalf("recovered probe = %+v", probed[1])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"raccd/client"
+	"raccd/internal/obs"
 )
 
 // Remote executes runs on another raccdd daemon over its HTTP API:
@@ -33,11 +34,38 @@ func (r *Remote) Name() string { return r.name }
 // Client exposes the underlying API client (worker stats, health).
 func (r *Remote) Client() *client.Client { return r.c }
 
+// CheckHealth implements the coordinator's HealthChecker: one GET
+// /healthz against the worker.
+func (r *Remote) CheckHealth(ctx context.Context) error {
+	return r.c.Health(ctx)
+}
+
+// bridgeTrace carries the fabric context's trace ID over to the client
+// package's own context key, so every forwarded request goes out with
+// the coordinator's X-Raccd-Trace header. (The client package is
+// dependency-free by contract, so it cannot read obs's key itself.)
+func bridgeTrace(ctx context.Context) context.Context {
+	if id := obs.Trace(ctx); id != "" {
+		return client.WithTraceID(ctx, id)
+	}
+	return ctx
+}
+
+// jobRef names a worker job in an error message, quoting the worker's
+// trace ID when it reported one so users can grep the worker's log.
+func jobRef(id string, st client.Status) string {
+	if st.TraceID != "" {
+		return id + " (trace " + st.TraceID + ")"
+	}
+	return id
+}
+
 // RunBatch submits specs to the daemon as one POST /v1/batch job, waits
 // it to completion forwarding progress lines, and returns the worker's
 // merged CSV. It is the bulk counterpart of Run, used by `sweep -remote`
 // to ship each endpoint its whole partition in one job.
 func (r *Remote) RunBatch(ctx context.Context, specs []Spec, progress func(line string)) (string, error) {
+	ctx = bridgeTrace(ctx)
 	req := client.BatchRequest{Runs: make([]client.RunRequest, len(specs))}
 	for i, s := range specs {
 		req.Runs[i] = s.Request
@@ -58,20 +86,23 @@ func (r *Remote) RunBatch(ctx context.Context, specs []Spec, progress func(line 
 		}
 	})
 	if err != nil {
-		return "", fmt.Errorf("worker %s: waiting on %s: %w", r.name, st.ID, err)
+		return "", fmt.Errorf("worker %s: waiting on %s: %w", r.name, jobRef(st.ID, fin), err)
 	}
 	if fin.State != "done" {
-		return "", fmt.Errorf("worker %s: job %s %s: %s", r.name, st.ID, fin.State, fin.Error)
+		return "", fmt.Errorf("worker %s: job %s %s: %s", r.name, jobRef(st.ID, fin), fin.State, fin.Error)
 	}
 	csv, err := r.c.Result(ctx, st.ID)
 	if err != nil {
-		return "", fmt.Errorf("worker %s: result of %s: %w", r.name, st.ID, err)
+		return "", fmt.Errorf("worker %s: result of %s: %w", r.name, jobRef(st.ID, st), err)
 	}
 	return csv, nil
 }
 
-// Run implements Backend: one run forwarded end to end.
+// Run implements Backend: one run forwarded end to end. The whole round
+// trip — submit, stream, fetch — is the run's fabric_rtt phase.
 func (r *Remote) Run(ctx context.Context, spec Spec) (string, []string, error) {
+	ctx = bridgeTrace(ctx)
+	defer obs.PhasesFrom(ctx).Start(obs.PhaseFabric)()
 	st, err := r.c.SubmitRun(ctx, spec.Request)
 	if err != nil {
 		return "", nil, fmt.Errorf("worker %s: %w", r.name, err)
@@ -89,14 +120,14 @@ func (r *Remote) Run(ctx context.Context, spec Spec) (string, []string, error) {
 		}
 	})
 	if err != nil {
-		return "", nil, fmt.Errorf("worker %s: waiting on %s: %w", r.name, st.ID, err)
+		return "", nil, fmt.Errorf("worker %s: waiting on %s: %w", r.name, jobRef(st.ID, fin), err)
 	}
 	if fin.State != "done" {
-		return "", nil, fmt.Errorf("worker %s: job %s %s: %s", r.name, st.ID, fin.State, fin.Error)
+		return "", nil, fmt.Errorf("worker %s: job %s %s: %s", r.name, jobRef(st.ID, fin), fin.State, fin.Error)
 	}
 	csv, err := r.c.Result(ctx, st.ID)
 	if err != nil {
-		return "", nil, fmt.Errorf("worker %s: result of %s: %w", r.name, st.ID, err)
+		return "", nil, fmt.Errorf("worker %s: result of %s: %w", r.name, jobRef(st.ID, st), err)
 	}
 	return csv, lines, nil
 }

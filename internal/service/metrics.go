@@ -73,6 +73,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, name := range engineNames {
 		fmt.Fprintf(&b, "raccd_engine_sims_per_second{engine=%q} %s\n", name, promFloat(engines[name].SimsPerSec()))
 	}
+	head("raccd_engine_gen_seconds_total", "counter", "Engine-internal speculative-generation wall seconds (epoch engine; summed across shard workers).")
+	for _, name := range engineNames {
+		fmt.Fprintf(&b, "raccd_engine_gen_seconds_total{engine=%q} %s\n", name, promFloat(engines[name].GenSeconds))
+	}
+	head("raccd_engine_commit_seconds_total", "counter", "Engine-internal serial-commit wall seconds (epoch engine's Amdahl bottleneck).")
+	for _, name := range engineNames {
+		fmt.Fprintf(&b, "raccd_engine_commit_seconds_total{engine=%q} %s\n", name, promFloat(engines[name].CommitSeconds))
+	}
+
+	backends := s.coord.BackendStatuses()
+	head("raccd_fabric_backend_up", "gauge", "Backend health as of the last probe (Local backends are always up).")
+	for _, bs := range backends {
+		up := 0
+		if bs.Up {
+			up = 1
+		}
+		fmt.Fprintf(&b, "raccd_fabric_backend_up{backend=%q} %d\n", bs.Name, up)
+	}
+	head("raccd_fabric_backend_requests_total", "counter", "Runs dispatched to each backend.")
+	for _, bs := range backends {
+		fmt.Fprintf(&b, "raccd_fabric_backend_requests_total{backend=%q} %d\n", bs.Name, bs.Requests)
+	}
+	head("raccd_fabric_backend_errors_total", "counter", "Dispatched runs that failed on each backend (cancellations excluded).")
+	for _, bs := range backends {
+		fmt.Fprintf(&b, "raccd_fabric_backend_errors_total{backend=%q} %d\n", bs.Name, bs.Errors)
+	}
 
 	pf := s.ex.Metrics().Prefetch()
 	head("raccd_prefetch_issued_total", "counter", "Prefetch accesses issued into the coherence hierarchy by executed simulations.")
@@ -83,22 +109,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "raccd_prefetch_late_total %d\n", pf.Late)
 
 	head("raccd_run_latency_seconds", "histogram", "Latency of executed simulations, by coherence scheme.")
-	for _, name := range sortedNames(schemes) {
-		h := schemes[name]
-		var cum uint64
-		for i, ub := range exec.LatencyBuckets {
-			cum += h.Counts[i]
-			fmt.Fprintf(&b, "raccd_run_latency_seconds_bucket{scheme=%q,le=%q} %d\n", name, promFloat(ub), cum)
-		}
-		cum += h.Counts[len(exec.LatencyBuckets)]
-		fmt.Fprintf(&b, "raccd_run_latency_seconds_bucket{scheme=%q,le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(&b, "raccd_run_latency_seconds_sum{scheme=%q} %s\n", name, promFloat(h.Sum))
-		fmt.Fprintf(&b, "raccd_run_latency_seconds_count{scheme=%q} %d\n", name, h.Total)
-	}
+	writeHistograms(&b, "raccd_run_latency_seconds", "scheme", schemes)
+
+	head("raccd_job_phase_seconds", "histogram", "Per-job wall time by phase (queue_wait, build, exec, store, fabric_rtt), observed at job completion.")
+	writeHistograms(&b, "raccd_job_phase_seconds", "phase", s.ex.Metrics().PhaseSnapshot())
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprint(w, b.String())
+}
+
+// writeHistograms renders labeled histograms over exec.LatencyBuckets in
+// classic Prometheus style: cumulative le buckets, +Inf, sum and count.
+func writeHistograms(b *strings.Builder, name, label string, hists map[string]exec.HistogramSnapshot) {
+	for _, lv := range sortedNames(hists) {
+		h := hists[lv]
+		var cum uint64
+		for i, ub := range exec.LatencyBuckets {
+			cum += h.Counts[i]
+			fmt.Fprintf(b, "%s_bucket{%s=%q,le=%q} %d\n", name, label, lv, promFloat(ub), cum)
+		}
+		cum += h.Counts[len(exec.LatencyBuckets)]
+		fmt.Fprintf(b, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, lv, cum)
+		fmt.Fprintf(b, "%s_sum{%s=%q} %s\n", name, label, lv, promFloat(h.Sum))
+		fmt.Fprintf(b, "%s_count{%s=%q} %d\n", name, label, lv, h.Total)
+	}
 }
 
 // promFloat renders a float the way Prometheus expects (shortest exact

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"raccd/internal/obs"
+)
+
+// proberInterval is how often a coordinator health-checks its workers.
+const proberInterval = 5 * time.Second
+
+// withObs is the server's observability middleware: it adopts the
+// request's X-Raccd-Trace ID (or mints one), echoes it on the response,
+// attaches a trace-scoped logger to the request context, and logs one
+// structured line per request. Workers receiving fabric-forwarded
+// requests adopt the coordinator's ID here, which is what makes one
+// trace span all three processes of a 2-worker batch.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get(obs.TraceHeader)
+		if trace == "" {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, trace)
+		log := s.log.With("trace", trace)
+		ctx := obs.WithTrace(r.Context(), trace)
+		ctx = obs.WithLogger(ctx, log)
+
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		log.Info("http request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.code,
+			"bytes", sw.bytes, "elapsed_ms", time.Since(start).Milliseconds())
+	})
+}
+
+// statusWriter captures the status code and body size for the request
+// log. Unwrap lets http.ResponseController reach the underlying
+// Flusher, so SSE streaming works through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// probeLoop periodically health-checks the coordinator's backends so a
+// dead worker flips raccd_fabric_backend_up before a batch fails on it.
+func (s *Server) probeLoop() {
+	defer close(s.proberDone)
+	probe := func() {
+		for _, st := range s.coord.Probe(s.runCtx) {
+			if !st.Up {
+				s.log.Warn("fabric backend down", "backend", st.Name, "error", st.Error)
+			}
+		}
+	}
+	probe()
+	t := time.NewTicker(proberInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			probe()
+		case <-s.proberStop:
+			return
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"raccd/internal/obs"
 )
 
 // State is a job's lifecycle position.
@@ -39,25 +41,25 @@ type Event struct {
 	Data json.RawMessage `json:"data"`
 }
 
-// progressData is the payload of a "progress" event: one completed run.
-type progressData struct {
-	Index int    `json:"index"`
-	Line  string `json:"line"`
-}
-
 // Status is the JSON shape of GET /v1/jobs/{id}.
 type Status struct {
 	ID        string    `json:"id"`
 	Kind      string    `json:"kind"` // "run", "sweep" or "batch"
 	State     State     `json:"state"`
 	Error     string    `json:"error,omitempty"`
+	TraceID   string    `json:"trace_id,omitempty"`
 	RunsTotal int       `json:"runs_total"`
 	RunsDone  int       `json:"runs_done"`
 	Created   time.Time `json:"created"`
 	Started   time.Time `json:"started,omitempty"`
 	Finished  time.Time `json:"finished,omitempty"`
-	ResultURL string    `json:"result_url,omitempty"`
-	EventsURL string    `json:"events_url"`
+	// Phases is the job's wall-time breakdown in seconds, keyed by the
+	// obs.Phase* names. For single-run jobs the parts tile the job's
+	// wall time; batch/sweep jobs accumulate concurrent runs, so the
+	// sum can exceed it.
+	Phases    map[string]float64 `json:"phases,omitempty"`
+	ResultURL string             `json:"result_url,omitempty"`
+	EventsURL string             `json:"events_url"`
 }
 
 // Job is one queued unit of work: a single run, a whole sweep, or a
@@ -65,8 +67,12 @@ type Status struct {
 // from any index and block on the notify channel for more, so an SSE
 // stream is lossless regardless of when the client connects.
 type Job struct {
-	id   string
-	kind string
+	id    string
+	kind  string
+	trace string
+	// phases accumulates the job's wall-time breakdown; the exec and
+	// fabric layers reach it through the job context.
+	phases *obs.Phases
 	// Execute runs the job's simulations; assigned at submission, called
 	// by the owning worker exactly once.
 	Execute func(j *Job) (csv string, err error)
@@ -85,21 +91,34 @@ type Job struct {
 }
 
 // NewJob creates a queued job with its first status event logged.
-func NewJob(id, kind string, runsTotal int) *Job {
+// trace is the submitting request's trace ID ("" outside a traced
+// request); it is stamped on every event the job emits.
+func NewJob(id, kind, trace string, runsTotal int) *Job {
 	j := &Job{
 		id:        id,
 		kind:      kind,
+		trace:     trace,
+		phases:    obs.NewPhases(),
 		state:     StateQueued,
 		runsTotal: runsTotal,
 		created:   time.Now(),
 		notify:    make(chan struct{}),
 	}
-	j.appendEvent("status", mustJSON(map[string]any{"state": StateQueued}))
+	j.appendEvent("status", map[string]any{"state": StateQueued})
 	return j
 }
 
 // ID returns the job's queue-assigned identifier.
 func (j *Job) ID() string { return j.id }
+
+// Kind returns the job's kind: "run", "sweep" or "batch".
+func (j *Job) Kind() string { return j.kind }
+
+// Trace returns the trace ID of the request that submitted the job.
+func (j *Job) Trace() string { return j.trace }
+
+// Phases returns the job's wall-time phase accumulator.
+func (j *Job) Phases() *obs.Phases { return j.phases }
 
 // mustJSON marshals values the service itself constructs; a failure is a
 // programming error.
@@ -111,18 +130,25 @@ func mustJSON(v any) json.RawMessage {
 	return b
 }
 
-// appendEvent appends an event and wakes all subscribers. The notify
-// channel is closed and replaced on every append (broadcast); callers
-// hold no lock, the job's own mutex is taken here.
-func (j *Job) appendEvent(typ string, data json.RawMessage) {
+// appendEvent appends an event and wakes all subscribers. The job's
+// trace ID is injected into the payload (SSE writes only the id/event/
+// data lines, so the trace must live inside data to reach the wire).
+// The notify channel is closed and replaced on every append
+// (broadcast); callers hold no lock, the job's own mutex is taken here.
+func (j *Job) appendEvent(typ string, data map[string]any) {
+	if j.trace != "" {
+		data["trace"] = j.trace
+	}
+	raw := mustJSON(data)
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.events = append(j.events, Event{ID: len(j.events), Type: typ, Data: data})
+	j.events = append(j.events, Event{ID: len(j.events), Type: typ, Data: raw})
 	close(j.notify)
 	j.notify = make(chan struct{})
 }
 
-// SetState transitions the job and logs a status event.
+// SetState transitions the job and logs a status event. Entering
+// StateRunning records the queue-wait phase (created → started).
 func (j *Job) SetState(s State, errMsg string) {
 	j.mu.Lock()
 	j.state = s
@@ -130,6 +156,7 @@ func (j *Job) SetState(s State, errMsg string) {
 	switch s {
 	case StateRunning:
 		j.started = now
+		j.phases.Add(obs.PhaseQueueWait, now.Sub(j.created))
 	case StateDone, StateFailed, StateCanceled:
 		j.finished = now
 	}
@@ -137,14 +164,14 @@ func (j *Job) SetState(s State, errMsg string) {
 		j.err = errMsg
 	}
 	j.mu.Unlock()
-	j.appendEvent("status", mustJSON(map[string]any{"state": s}))
+	j.appendEvent("status", map[string]any{"state": s})
 	switch s {
 	case StateDone:
-		j.appendEvent("done", mustJSON(map[string]any{"result_url": "/v1/jobs/" + j.id + "/result"}))
+		j.appendEvent("done", map[string]any{"result_url": "/v1/jobs/" + j.id + "/result"})
 	case StateFailed:
-		j.appendEvent("error", mustJSON(map[string]any{"error": errMsg}))
+		j.appendEvent("error", map[string]any{"error": errMsg})
 	case StateCanceled:
-		j.appendEvent("error", mustJSON(map[string]any{"error": "job canceled: daemon shutting down"}))
+		j.appendEvent("error", map[string]any{"error": "job canceled: daemon shutting down"})
 	}
 }
 
@@ -170,7 +197,7 @@ func (j *Job) Progress(line string) {
 	j.runsDone++
 	idx := j.runsDone - 1
 	j.mu.Unlock()
-	j.appendEvent("progress", mustJSON(progressData{Index: idx, Line: line}))
+	j.appendEvent("progress", map[string]any{"index": idx, "line": line})
 }
 
 // EventsSince returns the log tail from index from, the channel that will
@@ -193,6 +220,8 @@ func (j *Job) Status() Status {
 		Kind:      j.kind,
 		State:     j.state,
 		Error:     j.err,
+		TraceID:   j.trace,
+		Phases:    j.phases.Seconds(),
 		RunsTotal: j.runsTotal,
 		RunsDone:  j.runsDone,
 		Created:   j.created,

@@ -11,7 +11,7 @@ func TestQueueSubmitGetOrder(t *testing.T) {
 	q := New(4)
 	var ids []string
 	for i := 0; i < 3; i++ {
-		j := NewJob(q.NewID(), "run", 1)
+		j := NewJob(q.NewID(), "run", "", 1)
 		if err := q.Submit(j); err != nil {
 			t.Fatal(err)
 		}
@@ -39,16 +39,16 @@ func TestQueueSubmitGetOrder(t *testing.T) {
 
 func TestQueueFullAndClosed(t *testing.T) {
 	q := New(1)
-	if err := q.Submit(NewJob(q.NewID(), "run", 1)); err != nil {
+	if err := q.Submit(NewJob(q.NewID(), "run", "", 1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Submit(NewJob(q.NewID(), "run", 1)); err != ErrFull {
+	if err := q.Submit(NewJob(q.NewID(), "run", "", 1)); err != ErrFull {
 		t.Fatalf("overflow submit err = %v, want ErrFull", err)
 	}
 	if err := q.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Submit(NewJob(q.NewID(), "run", 1)); err != ErrClosed {
+	if err := q.Submit(NewJob(q.NewID(), "run", "", 1)); err != ErrClosed {
 		t.Fatalf("post-close submit err = %v, want ErrClosed", err)
 	}
 	if err := q.Close(); err == nil {
@@ -65,7 +65,7 @@ func TestQueueFullAndClosed(t *testing.T) {
 }
 
 func TestJobLifecycleEvents(t *testing.T) {
-	j := NewJob("j000001", "sweep", 3)
+	j := NewJob("j000001", "sweep", "", 3)
 	if st := j.Status(); st.State != StateQueued || st.RunsTotal != 3 || st.Kind != "sweep" {
 		t.Fatalf("fresh job status = %+v", st)
 	}
@@ -122,19 +122,19 @@ func TestJobLifecycleEvents(t *testing.T) {
 }
 
 func TestJobFinishOutcomes(t *testing.T) {
-	fail := NewJob("j1", "run", 1)
+	fail := NewJob("j1", "run", "", 1)
 	fail.Finish("", errors.New("boom"))
 	if _, state, msg := fail.Result(); state != StateFailed || msg != "boom" {
 		t.Fatalf("failed job = %v, %q", state, msg)
 	}
 
-	cancel := NewJob("j2", "run", 1)
+	cancel := NewJob("j2", "run", "", 1)
 	cancel.Finish("", context.Canceled)
 	if _, state, _ := cancel.Result(); state != StateCanceled {
 		t.Fatalf("canceled job = %v", state)
 	}
 
-	deadline := NewJob("j3", "run", 1)
+	deadline := NewJob("j3", "run", "", 1)
 	deadline.Finish("", context.DeadlineExceeded)
 	if _, state, _ := deadline.Result(); state != StateCanceled {
 		t.Fatalf("deadline job = %v", state)
@@ -152,7 +152,7 @@ func TestJobFinishOutcomes(t *testing.T) {
 }
 
 func TestEventNotifyBroadcast(t *testing.T) {
-	j := NewJob("j1", "run", 1)
+	j := NewJob("j1", "run", "", 1)
 	_, more, _ := j.EventsSince(0)
 	done := make(chan struct{})
 	go func() {

@@ -1,0 +1,144 @@
+package queue
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestEventsSinceBeyondEnd: a resume cursor past the end of the log is
+// not an error — the subscriber gets no replay, blocks on the notify
+// channel, and sees exactly the events appended after its cursor. This
+// is the ?after=<huge> edge case of the SSE resume protocol.
+func TestEventsSinceBeyondEnd(t *testing.T) {
+	j := NewJob("j1", "run", "", 1)
+	evs, more, finished := j.EventsSince(100)
+	if len(evs) != 0 || finished {
+		t.Fatalf("EventsSince(100) on a fresh job = %d events, finished=%v", len(evs), finished)
+	}
+	j.Progress("late line")
+	select {
+	case <-more:
+	case <-time.After(time.Second):
+		t.Fatal("append did not wake a beyond-end subscriber")
+	}
+	// The cursor semantics stay index-based: resuming from the real end
+	// picks up only the new event, while the beyond-end cursor still
+	// yields nothing (those indices were never written).
+	tail, _, _ := j.EventsSince(1)
+	if len(tail) != 1 || tail[0].Type != "progress" {
+		t.Fatalf("EventsSince(1) after append = %+v", tail)
+	}
+	if evs, _, _ := j.EventsSince(100); len(evs) != 0 {
+		t.Fatalf("EventsSince(100) returned %d events for unwritten indices", len(evs))
+	}
+}
+
+// TestResumeCompletedJob: reconnecting to a finished job replays the
+// tail from the cursor and reports finished=true immediately, so the
+// HTTP layer can close the stream without waiting on notify. A cursor
+// at (or past) the end of a finished log yields zero events + finished.
+func TestResumeCompletedJob(t *testing.T) {
+	j := NewJob("j1", "run", "", 1)
+	j.SetState(StateRunning, "")
+	j.Progress("only line")
+	j.Finish("csv\n", nil)
+
+	// Full log: queued, running, progress, done-status, done = 5 events.
+	all, _, finished := j.EventsSince(0)
+	if !finished || len(all) != 5 {
+		t.Fatalf("finished job: %d events, finished=%v", len(all), finished)
+	}
+	// Mid-log resume: only the tail, still finished.
+	tail, _, finished := j.EventsSince(3)
+	if !finished || len(tail) != 2 || tail[0].ID != 3 {
+		t.Fatalf("mid-log resume = %+v, finished=%v", tail, finished)
+	}
+	if tail[len(tail)-1].Type != "done" {
+		t.Fatalf("resumed tail does not end in done: %+v", tail)
+	}
+	// At-end and beyond-end resumes: nothing to replay, stream can end.
+	for _, from := range []int{5, 99} {
+		evs, _, finished := j.EventsSince(from)
+		if len(evs) != 0 || !finished {
+			t.Fatalf("EventsSince(%d) on finished job = %d events, finished=%v", from, len(evs), finished)
+		}
+	}
+}
+
+// TestConcurrentAppendDuringStream: a subscriber consuming the log via
+// the EventsSince/notify loop while the job appends concurrently must
+// observe every event exactly once, in order, with dense IDs — the
+// losslessness contract behind resumable SSE. Run under -race in CI.
+func TestConcurrentAppendDuringStream(t *testing.T) {
+	const n = 200
+	j := NewJob("j1", "batch", "t-abc123", n)
+	got := make(chan Event, n+8)
+	go func() {
+		from := 0
+		for {
+			evs, more, finished := j.EventsSince(from)
+			for _, e := range evs {
+				got <- e
+			}
+			from += len(evs)
+			if finished && len(evs) == 0 {
+				close(got)
+				return
+			}
+			if len(evs) == 0 {
+				<-more
+			}
+		}
+	}()
+
+	j.SetState(StateRunning, "")
+	for i := 0; i < n; i++ {
+		j.Progress(fmt.Sprintf("line %d", i))
+	}
+	j.Finish("csv\n", nil)
+
+	var events []Event
+	timeout := time.After(10 * time.Second)
+	for {
+		select {
+		case e, ok := <-got:
+			if !ok {
+				goto collected
+			}
+			events = append(events, e)
+		case <-timeout:
+			t.Fatalf("stream never finished; %d events so far", len(events))
+		}
+	}
+collected:
+	// queued + running + n progress + done-status + done.
+	if len(events) != n+4 {
+		t.Fatalf("streamed %d events, want %d", len(events), n+4)
+	}
+	progress := 0
+	for i, e := range events {
+		if e.ID != i {
+			t.Fatalf("event %d has id %d — dropped or duplicated frames", i, e.ID)
+		}
+		var payload map[string]any
+		if err := json.Unmarshal(e.Data, &payload); err != nil {
+			t.Fatalf("event %d payload: %v", i, err)
+		}
+		// The job's trace ID rides inside every event payload (the SSE
+		// wire only carries id/event/data).
+		if payload["trace"] != "t-abc123" {
+			t.Fatalf("event %d missing trace: %s", i, e.Data)
+		}
+		if e.Type == "progress" {
+			if idx := int(payload["index"].(float64)); idx != progress {
+				t.Fatalf("progress event %d has index %d, want %d", i, idx, progress)
+			}
+			progress++
+		}
+	}
+	if progress != n {
+		t.Fatalf("streamed %d progress events, want %d", progress, n)
+	}
+}

@@ -40,12 +40,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"raccd/client"
+	"raccd/internal/obs"
 	"raccd/internal/rts"
 	"raccd/internal/service/exec"
 	"raccd/internal/service/fabric"
@@ -125,6 +127,10 @@ type Options struct {
 	// WorkerInFlight bounds how many runs the coordinator keeps in flight
 	// per worker (default fabric.DefaultInFlight).
 	WorkerInFlight int
+	// Logger receives the server's structured JSON log: one line per
+	// HTTP request and per job transition, each stamped with the
+	// request's trace ID (see docs/OBSERVABILITY.md). nil discards.
+	Logger *slog.Logger
 }
 
 // Server implements the HTTP API. Create with New, serve s.Handler(),
@@ -148,6 +154,11 @@ type Server struct {
 	// sweeps then expand into per-run specs instead of running in-process.
 	distributed bool
 
+	log *slog.Logger
+	// proberStop ends the backend health prober (coordinator mode only).
+	proberStop chan struct{}
+	proberDone chan struct{}
+
 	workers sync.WaitGroup
 }
 
@@ -168,12 +179,16 @@ func New(opts Options) (*Server, error) {
 	if _, err := rts.ParseEngine(opts.Engine, opts.Shards); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	if opts.Logger == nil {
+		opts.Logger = obs.Nop()
+	}
 	s := &Server{
 		opts:  opts,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 		q:     queue.New(opts.QueueDepth),
 		ex:    exec.New(opts.Store, opts.SimJobs),
+		log:   opts.Logger,
 	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
 
@@ -207,11 +222,19 @@ func New(opts Options) (*Server, error) {
 	for i := 0; i < opts.JobWorkers; i++ {
 		go s.worker()
 	}
+	if s.distributed {
+		s.proberStop = make(chan struct{})
+		s.proberDone = make(chan struct{})
+		go s.probeLoop()
+	}
 	return s, nil
 }
 
-// Handler returns the API handler (mount it on any http.Server).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the API handler (mount it on any http.Server), wrapped
+// in the observability middleware: every request gets a trace ID
+// (accepted from X-Raccd-Trace or generated), a context logger, and one
+// structured log line.
+func (s *Server) Handler() http.Handler { return s.withObs(s.mux) }
 
 // worker executes queued jobs until the queue closes.
 func (s *Server) worker() {
@@ -222,8 +245,23 @@ func (s *Server) worker() {
 			continue
 		}
 		j.SetState(StateRunning, "")
+		s.log.Info("job started", "job", j.ID(), "trace", j.Trace(), "kind", j.Kind())
 		j.Finish(s.executeJob(j))
+		s.finishJobObs(j)
 	}
+}
+
+// finishJobObs logs a job's terminal transition and feeds its phase
+// breakdown into the /metrics phase histograms.
+func (s *Server) finishJobObs(j *queue.Job) {
+	st := j.Status()
+	for name, d := range j.Phases().Durations() {
+		s.ex.Metrics().ObservePhase(name, d)
+	}
+	s.log.Info("job finished",
+		"job", st.ID, "trace", st.TraceID, "kind", st.Kind, "state", string(st.State),
+		"error", st.Error, "runs", st.RunsDone,
+		"elapsed_ms", st.Finished.Sub(st.Created).Milliseconds())
 }
 
 // executeJob runs a job's body, converting a panic into a job failure so
@@ -247,6 +285,10 @@ func (s *Server) executeJob(j *queue.Job) (csv string, err error) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	if s.q.Close() != nil {
 		return errors.New("service: already shut down")
+	}
+	if s.proberStop != nil {
+		close(s.proberStop)
+		<-s.proberDone
 	}
 	done := make(chan struct{})
 	go func() {
@@ -278,9 +320,19 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	j := queue.NewJob(s.q.NewID(), "run", 1)
+	j := queue.NewJob(s.q.NewID(), "run", obs.Trace(r.Context()), 1)
 	j.Execute = s.runOne(spec)
 	s.enqueueAndRespond(w, j)
+}
+
+// jobCtx is the context a job's Execute body runs under: the server's
+// run context (cancelled on forced shutdown) carrying the job's trace
+// ID, a job-scoped logger, and the job's phase accumulator for the
+// layers below to fill in.
+func (s *Server) jobCtx(j *queue.Job) context.Context {
+	ctx := obs.WithTrace(s.runCtx, j.Trace())
+	ctx = obs.WithLogger(ctx, s.log.With("trace", j.Trace(), "job", j.ID()))
+	return obs.WithPhases(ctx, j.Phases())
 }
 
 // runOne is the Execute body of a single-run job: the spec's rendezvous
@@ -288,8 +340,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 // and its progress lines land in the job's event log.
 func (s *Server) runOne(spec fabric.Spec) func(*queue.Job) (string, error) {
 	return func(j *queue.Job) (string, error) {
-		b := s.coord.Backends()[s.coord.Pick(spec.Key())]
-		csv, lines, err := b.Run(s.runCtx, spec)
+		csv, lines, err := s.coord.RunSpec(s.jobCtx(j), spec)
 		if err != nil {
 			return "", err
 		}
@@ -321,7 +372,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("sweep expands to %d runs, above the server's limit of %d", runs, s.opts.MaxSweepRuns))
 		return
 	}
-	j := queue.NewJob(s.q.NewID(), "sweep", runs)
+	j := queue.NewJob(s.q.NewID(), "sweep", obs.Trace(r.Context()), runs)
 	if s.distributed {
 		// A coordinator expands the sweep into per-run specs and scatters
 		// them; a plain daemon keeps the in-process sweep path.
@@ -332,9 +383,11 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		j.Execute = s.runSpecs(specs)
 	} else {
-		runCtx := s.runCtx
 		j.Execute = func(j *queue.Job) (string, error) {
-			set, err := s.ex.Sweep(runCtx, m, j.Progress)
+			// The in-process matrix path bypasses exec.Run, so the whole
+			// sweep is one exec phase (queue_wait + exec ≈ job wall).
+			defer j.Phases().Start(obs.PhaseExec)()
+			set, err := s.ex.Sweep(s.jobCtx(j), m, j.Progress)
 			if err != nil {
 				return "", err
 			}
@@ -350,6 +403,9 @@ func (s *Server) enqueueAndRespond(w http.ResponseWriter, j *queue.Job) {
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
+	s.log.Info("job accepted",
+		"job", j.ID(), "trace", j.Trace(), "kind", j.Kind(),
+		"runs", j.Status().RunsTotal, "queue_depth", s.q.Depth())
 	w.Header().Set("Location", "/v1/jobs/"+j.ID())
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
@@ -409,11 +465,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
-		return
-	}
+	// ResponseController sees through the middleware's writer wrapper
+	// (via Unwrap) to the underlying Flusher.
+	fl := http.NewResponseController(w)
 	from := 0
 	if after := r.URL.Query().Get("after"); after != "" {
 		n, err := strconv.Atoi(after)
@@ -435,7 +489,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.ID, e.Type, e.Data)
 		}
 		from += len(evs)
-		fl.Flush()
+		if err := fl.Flush(); err != nil {
+			// Streaming unsupported or the client hung up mid-write.
+			return
+		}
 		if finished && len(evs) == 0 {
 			return
 		}
@@ -499,6 +556,12 @@ type EngineSims struct {
 	Sims       uint64  `json:"sims"`         // simulations executed by this engine
 	Seconds    float64 `json:"seconds"`      // wall-clock time spent in them
 	SimsPerSec float64 `json:"sims_per_sec"` // Sims / Seconds
+	// GenSeconds/CommitSeconds split the engine's wall time into
+	// speculative generation and serial commit where the engine reports
+	// one (epoch); omitted for seq. CommitSeconds/Seconds is the serial
+	// fraction that bounds epoch speedup.
+	GenSeconds    float64 `json:"gen_seconds,omitempty"`
+	CommitSeconds float64 `json:"commit_seconds,omitempty"`
 }
 
 // jobCounts tallies jobs by state and completed runs across all jobs.
@@ -546,9 +609,11 @@ func (s *Server) Stats() StatsSnapshot {
 		snap.EngineSims = make(map[string]EngineSims, len(engines))
 		for name, es := range engines {
 			snap.EngineSims[name] = EngineSims{
-				Sims:       es.Sims,
-				Seconds:    es.Seconds,
-				SimsPerSec: es.SimsPerSec(),
+				Sims:          es.Sims,
+				Seconds:       es.Seconds,
+				SimsPerSec:    es.SimsPerSec(),
+				GenSeconds:    es.GenSeconds,
+				CommitSeconds: es.CommitSeconds,
 			}
 		}
 	}

@@ -252,7 +252,7 @@ func TestQueueFullRejects(t *testing.T) {
 	// Block the single worker with a job that waits on a channel, fill
 	// the queue slot with a second job, then overflow.
 	release := make(chan struct{})
-	blocker := queue.NewJob("j-block", "run", 1)
+	blocker := queue.NewJob("j-block", "run", "", 1)
 	blocker.Execute = func(*queue.Job) (string, error) { <-release; return "", nil }
 	if err := s.q.Submit(blocker); err != nil {
 		t.Fatal(err)
@@ -260,7 +260,7 @@ func TestQueueFullRejects(t *testing.T) {
 	// Give the worker a moment to pick the blocker up so the queue slot
 	// frees; then occupy it again.
 	deadline := time.Now().Add(2 * time.Second)
-	filler := queue.NewJob("j-fill", "run", 1)
+	filler := queue.NewJob("j-fill", "run", "", 1)
 	filler.Execute = func(*queue.Job) (string, error) { return "", nil }
 	for {
 		if err := s.q.Submit(filler); err == nil {
@@ -272,7 +272,7 @@ func TestQueueFullRejects(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	overflow := queue.NewJob("j-overflow", "run", 1)
+	overflow := queue.NewJob("j-overflow", "run", "", 1)
 	overflow.Execute = func(*queue.Job) (string, error) { return "", nil }
 	// The worker is blocked and the queue holds filler: this must bounce.
 	if err := s.q.Submit(overflow); err != queue.ErrFull {
@@ -295,7 +295,7 @@ func TestShutdownDrains(t *testing.T) {
 
 	started := make(chan struct{})
 	release := make(chan struct{})
-	inflight := queue.NewJob("j-inflight", "run", 1)
+	inflight := queue.NewJob("j-inflight", "run", "", 1)
 	inflight.Execute = func(*queue.Job) (string, error) {
 		close(started)
 		<-release
@@ -305,7 +305,7 @@ func TestShutdownDrains(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-started
-	queued := queue.NewJob("j-queued", "run", 1)
+	queued := queue.NewJob("j-queued", "run", "", 1)
 	queued.Execute = func(*queue.Job) (string, error) { return "", nil }
 	if err := s.q.Submit(queued); err != nil {
 		t.Fatal(err)
@@ -329,7 +329,7 @@ func TestShutdownDrains(t *testing.T) {
 		// The queued job was already accepted, so the drain runs it too.
 		t.Fatalf("queued job = %q after drain, want done (accepted work is honored)", state)
 	}
-	if err := s.q.Submit(queue.NewJob("j-late", "run", 1)); err != queue.ErrClosed {
+	if err := s.q.Submit(queue.NewJob("j-late", "run", "", 1)); err != queue.ErrClosed {
 		t.Fatalf("post-shutdown submit err = %v, want queue.ErrClosed", err)
 	}
 }
@@ -444,7 +444,7 @@ func TestResultNotReady(t *testing.T) {
 	ctx := context.Background()
 
 	release := make(chan struct{})
-	blocker := queue.NewJob(s.q.NewID(), "run", 1)
+	blocker := queue.NewJob(s.q.NewID(), "run", "", 1)
 	blocker.Execute = func(*queue.Job) (string, error) { <-release; return "x\n", nil }
 	if err := s.q.Submit(blocker); err != nil {
 		t.Fatal(err)

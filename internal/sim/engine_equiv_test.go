@@ -10,6 +10,17 @@ import (
 	"raccd/internal/workloads"
 )
 
+// clearHostArtifacts zeroes the Result fields that are properties of
+// the simulating host, not the simulated machine — the hierarchy handle
+// (pointer identity) and the engine wall-time measurements — so
+// DeepEqual compares only metrics the engines must reproduce exactly.
+func clearHostArtifacts(r *Result) {
+	r.Hierarchy = nil
+	r.EngineRunSeconds = 0
+	r.EngineGenSeconds = 0
+	r.EngineCommitSeconds = 0
+}
+
 // TestEngineEquivalence is the epoch engine's end-to-end contract: over a
 // matrix of seeded synthetic task graphs × machine presets × shard counts,
 // engine=epoch produces a metric-identical Result to engine=seq — every
@@ -46,7 +57,7 @@ func TestEngineEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want.Hierarchy = nil // pointer identity, not a metric
+			clearHostArtifacts(&want)
 			for _, shards := range []int{1, 2, 4, 8} {
 				t.Run(fmt.Sprintf("%s/%s/shards=%d", spec, p.name, shards), func(t *testing.T) {
 					ecfg := cfg
@@ -56,7 +67,7 @@ func TestEngineEquivalence(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					got.Hierarchy = nil
+					clearHostArtifacts(&got)
 					if !reflect.DeepEqual(got, want) {
 						t.Fatalf("engine=epoch result diverged from engine=seq:\n got %+v\nwant %+v", got, want)
 					}
@@ -100,7 +111,7 @@ func TestEngineEquivalenceCoreModels(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want.Hierarchy = nil
+		clearHostArtifacts(&want)
 		for _, shards := range []int{2, 8} {
 			t.Run(fmt.Sprintf("%s/shards=%d", cm.name, shards), func(t *testing.T) {
 				ecfg := cfg
@@ -110,7 +121,7 @@ func TestEngineEquivalenceCoreModels(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got.Hierarchy = nil
+				clearHostArtifacts(&got)
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("engine=epoch %s result diverged from engine=seq:\n got %+v\nwant %+v", cm.name, got, want)
 				}
@@ -135,16 +146,54 @@ func TestEngineEquivalenceSMT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want.Hierarchy = nil
+	clearHostArtifacts(&want)
 	cfg.Engine = "epoch"
 	cfg.Shards = 4
 	got, err := Run(w, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got.Hierarchy = nil
+	clearHostArtifacts(&got)
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("SMT epoch result diverged from seq:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEnginePhaseReporting: the epoch engine reports its internal wall
+// split (parallel generation + serial commit) on the Result, the seq
+// engine leaves it zero, and both report a total run wall time. These
+// are host measurements — json:"-", excluded from equality above — but
+// the observability layer depends on them being filled.
+func TestEnginePhaseReporting(t *testing.T) {
+	w, err := workloads.Get("synth:stencil/seed=7/width=4/depth=4/blocks=4", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqCfg := DefaultConfig(coherence.RaCCD, 16)
+	seq, err := Run(w, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.EngineRunSeconds <= 0 {
+		t.Errorf("seq run wall = %g, want > 0", seq.EngineRunSeconds)
+	}
+	if seq.EngineGenSeconds != 0 || seq.EngineCommitSeconds != 0 {
+		t.Errorf("seq engine reported epoch phases: gen=%g commit=%g",
+			seq.EngineGenSeconds, seq.EngineCommitSeconds)
+	}
+	epCfg := seqCfg
+	epCfg.Engine = "epoch"
+	epCfg.Shards = 4
+	ep, err := Run(w, epCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.EngineRunSeconds <= 0 {
+		t.Errorf("epoch run wall = %g, want > 0", ep.EngineRunSeconds)
+	}
+	if ep.EngineGenSeconds <= 0 || ep.EngineCommitSeconds <= 0 {
+		t.Errorf("epoch engine phases not reported: gen=%g commit=%g",
+			ep.EngineGenSeconds, ep.EngineCommitSeconds)
 	}
 }
 

@@ -6,6 +6,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"raccd/internal/coherence"
 	"raccd/internal/core"
@@ -206,6 +207,17 @@ type Result struct {
 	PrefetchLate     uint64  `json:",omitempty"`
 	PrefetchCoverage float64 `json:",omitempty"`
 
+	// Host-side wall times of this run: how long rt.Run took on the
+	// simulating machine, split into the engine's speculative-generation
+	// and serial-commit phases when the engine reports one (epoch; zero
+	// for seq). These are measurements of the host, not the simulated
+	// machine — nondeterministic, so excluded from JSON (a cached result
+	// must not replay another host's timings) and zeroed alongside
+	// Hierarchy in engine-equivalence comparisons.
+	EngineRunSeconds    float64 `json:"-"`
+	EngineGenSeconds    float64 `json:"-"`
+	EngineCommitSeconds float64 `json:"-"`
+
 	Hierarchy rts.Machine `json:"-"` // retained for test inspection
 	HStats    coherence.Stats
 	RStats    rts.Stats
@@ -299,7 +311,9 @@ func RunContext(ctx context.Context, w Workload, cfg Config) (Result, error) {
 	if ctx.Done() != nil {
 		rt.Cancel = ctx.Err
 	}
+	runStart := time.Now()
 	cycles := rt.Run(g)
+	runWall := time.Since(runStart)
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -345,9 +359,14 @@ func RunContext(ctx context.Context, w Workload, cfg Config) (Result, error) {
 		TasksRun:     rt.Stats.TasksRun,
 		GraphEdges:   g.NumEdges(),
 		ADRFinalSets: dir.SetsPerBank(),
-		Hierarchy:    h,
-		HStats:       hs,
-		RStats:       rt.Stats,
+
+		EngineRunSeconds:    runWall.Seconds(),
+		EngineGenSeconds:    rt.EnginePhases.GenSeconds,
+		EngineCommitSeconds: rt.EnginePhases.CommitSeconds,
+
+		Hierarchy: h,
+		HStats:    hs,
+		RStats:    rt.Stats,
 	}
 	if hs.LLCDemand > 0 {
 		res.LLCHitRatio = float64(hs.LLCDemandHits) / float64(hs.LLCDemand)

@@ -67,7 +67,12 @@ func TestZeroMachineCompatibility(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Host artifacts — the hierarchy handle and wall-time measurements —
+	// are not part of the simulated value.
 	a.Hierarchy, b.Hierarchy = nil, nil
+	a.EngineRunSeconds, b.EngineRunSeconds = 0, 0
+	a.EngineGenSeconds, b.EngineGenSeconds = 0, 0
+	a.EngineCommitSeconds, b.EngineCommitSeconds = 0, 0
 	if a != b {
 		t.Fatalf("implicit and explicit Paper16 runs diverge:\n%+v\n%+v", a, b)
 	}
