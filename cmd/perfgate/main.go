@@ -128,6 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	failed := 0
+	var rows []gateRow
 	for _, k := range keys {
 		rv, okRef := ref.Headline[k]
 		nv, okNew := cur.Headline[k]
@@ -140,6 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				missing = append(missing, "new")
 			}
 			fmt.Fprintf(stderr, "perfgate: key %q missing from %s record\n", k, strings.Join(missing, " and "))
+			rows = append(rows, gateRow{key: k, ref: rv, cur: nv, verdict: "MISSING"})
 			failed++
 			continue
 		}
@@ -150,6 +152,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			failed++
 		}
 		fmt.Fprintf(stdout, "%-32s ref=%.4f new=%.4f regression=%+.1f%% %s\n", k, rv, nv, reg*100, verdict)
+		rows = append(rows, gateRow{key: k, ref: rv, cur: nv, reg: reg, verdict: verdict})
+	}
+	// On GitHub Actions, mirror the comparison into the job summary so a
+	// reviewer sees the ratio table without opening the step log.
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		if err := appendSummary(path, *refPath, *newPath, *tolerance, ref, cur, rows); err != nil {
+			fmt.Fprintln(stderr, "perfgate: step summary:", err)
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(stderr, "perfgate: %d of %d gated ratios regressed more than %.0f%% (ref %s, %s; new %s, %s)\n",
@@ -158,6 +168,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "perfgate: %d ratios within %.0f%% of %s\n", len(keys), *tolerance*100, *refPath)
 	return 0
+}
+
+// gateRow is one gated ratio's comparison, kept for the job summary.
+type gateRow struct {
+	key      string
+	ref, cur float64
+	reg      float64
+	verdict  string
+}
+
+// appendSummary appends the comparison as a markdown table to the file
+// GitHub Actions names in $GITHUB_STEP_SUMMARY (always appended: gate
+// steps for several records share one summary file).
+func appendSummary(path, refPath, newPath string, tolerance float64, ref, cur bench, rows []gateRow) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	writeSummary(f, refPath, newPath, tolerance, ref, cur, rows)
+	return f.Close()
+}
+
+func writeSummary(w io.Writer, refPath, newPath string, tolerance float64, ref, cur bench, rows []gateRow) {
+	fmt.Fprintf(w, "### perfgate: %s vs %s\n\n", refPath, newPath)
+	fmt.Fprintf(w, "Reference %s (%s); new %s (%s); tolerance %.0f%%.\n\n",
+		ref.Machine, ref.Date, cur.Machine, cur.Date, tolerance*100)
+	fmt.Fprintln(w, "| ratio | reference | new | regression | verdict |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		if r.verdict == "MISSING" {
+			fmt.Fprintf(w, "| `%s` | — | — | — | ❌ %s |\n", r.key, r.verdict)
+			continue
+		}
+		mark := "✅"
+		if r.verdict != "ok" {
+			mark = "❌"
+		}
+		fmt.Fprintf(w, "| `%s` | %.4f | %.4f | %+.1f%% | %s %s |\n",
+			r.key, r.ref, r.cur, r.reg*100, mark, r.verdict)
+	}
+	fmt.Fprintln(w)
 }
 
 func main() {

@@ -29,9 +29,12 @@ func write(t *testing.T, name string, headline map[string]float64) string {
 	return path
 }
 
-// gate runs perfgate and returns its exit code and combined output.
+// gate runs perfgate and returns its exit code and combined output. The
+// step-summary env var is cleared so tests running under GitHub Actions
+// don't append fixture tables to the real job summary.
 func gate(t *testing.T, args ...string) (int, string) {
 	t.Helper()
+	t.Setenv("GITHUB_STEP_SUMMARY", "")
 	var out, errOut bytes.Buffer
 	code := run(args, &out, &errOut)
 	return code, out.String() + errOut.String()
@@ -132,6 +135,49 @@ func TestGateNoRatiosErrors(t *testing.T) {
 	cur := write(t, "new.json", map[string]float64{"seq_runs_per_s": 37})
 	if code, _ := gate(t, "-ref", ref, "-new", cur); code != 2 {
 		t.Fatal("reference without ratio fields should be a usage error")
+	}
+}
+
+// TestGateStepSummary pins the GitHub job-summary table: one markdown
+// table per invocation, appended (several gate steps share the file),
+// with per-ratio verdicts.
+func TestGateStepSummary(t *testing.T) {
+	ref := write(t, "ref.json", map[string]float64{
+		"speedup_epoch4_vs_seq": 1.0, "slowdown_64_vs_16": 1.5,
+	})
+	cur := write(t, "new.json", map[string]float64{
+		"speedup_epoch4_vs_seq": 0.5, "slowdown_64_vs_16": 1.5,
+	})
+	summary := filepath.Join(t.TempDir(), "summary.md")
+	t.Setenv("GITHUB_STEP_SUMMARY", summary)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-ref", ref, "-new", cur}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s%s", code, out.String(), errOut.String())
+	}
+	data, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatalf("no step summary written: %v", err)
+	}
+	for _, want := range []string{
+		"### perfgate:",
+		"| ratio | reference | new | regression | verdict |",
+		"| `speedup_epoch4_vs_seq` | 1.0000 | 0.5000 | +50.0% | ❌ REGRESSED |",
+		"| `slowdown_64_vs_16` | 1.5000 | 1.5000 | +0.0% | ✅ ok |",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("summary missing %q:\n%s", want, data)
+		}
+	}
+	// A second gate step appends rather than truncates.
+	if code := run([]string{"-ref", ref, "-new", ref}, &out, &errOut); code != 0 {
+		t.Fatalf("self-comparison exit %d", code)
+	}
+	data, err = os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "### perfgate:"); got != 2 {
+		t.Errorf("summary has %d tables after two invocations, want 2:\n%s", got, data)
 	}
 }
 

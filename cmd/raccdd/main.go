@@ -43,8 +43,8 @@ import (
 	"syscall"
 	"time"
 
-	"raccd/internal/obs"
-	"raccd/internal/resultstore"
+	"raccd/internal/obs"         //raccd:layering-ok the daemon owns the process: it constructs the JSON logger the service layer only consumes
+	"raccd/internal/resultstore" //raccd:layering-ok the daemon opens/evicts the on-disk store it hands to service.Options
 	"raccd/internal/service"
 )
 

@@ -30,8 +30,8 @@ import (
 	"syscall"
 
 	"raccd"
-	"raccd/internal/runner"
-	"raccd/internal/workloads/synth"
+	"raccd/internal/runner"          //raccd:layering-ok multi-bench -jobs fan-out uses the deterministic in-order worker pool, which has no public mirror
+	"raccd/internal/workloads/synth" //raccd:layering-ok -synth canonicalizes spec strings for run labels before simulation
 )
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {

@@ -31,11 +31,11 @@ import (
 	"strings"
 	"syscall"
 
-	"raccd/internal/cpu"
-	"raccd/internal/mem"
-	"raccd/internal/tracefile"
-	"raccd/internal/workloads"
-	"raccd/internal/workloads/synth"
+	"raccd/internal/cpu"             //raccd:layering-ok info -deltas reuses the prefetcher's delta trainer for trace profiling
+	"raccd/internal/mem"             //raccd:layering-ok record/replay addresses are mem.Addr; the RTF wire format is defined over them
+	"raccd/internal/tracefile"       //raccd:layering-ok raccdtrace IS the RTF tooling; encode/decode/validate have no public mirror beyond Read/WriteTrace
+	"raccd/internal/workloads"       //raccd:layering-ok record resolves bench names and scales through the registry
+	"raccd/internal/workloads/synth" //raccd:layering-ok synth subcommand parses/canonicalizes generator specs
 
 	"flag"
 )

@@ -1,0 +1,149 @@
+// Command raccdvet runs raccd's repo-specific static-analysis suite: a
+// set of hand-rolled go/ast + go/types analyzers that machine-check the
+// invariants the golden tests and reviewers used to police by hand —
+// deterministic iteration on output paths (maporder), the layering DAG
+// (layering), host-nondeterminism sources in sim-core (detsource),
+// context/logging hygiene (ctxlog) and fingerprint coverage of
+// sim.Config (fingerprint). See docs/ANALYSIS.md.
+//
+//	raccdvet ./...             # whole module (what CI runs)
+//	raccdvet -list             # print the analyzers
+//	raccdvet -run maporder,layering ./...
+//
+// Diagnostics print as file:line:col: analyzer: message. Exit status is
+// 0 when clean, 1 when any finding is reported, 2 on usage or load
+// errors. Findings are suppressed line-by-line with //raccd:<directive>
+// annotations carrying a mandatory reason; unused or malformed
+// directives are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"raccd/internal/analysis" //raccd:layering-ok the analyzer framework is raccdvet's own subsystem; it has no public surface by design
+)
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("raccdvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "print the analyzers and exit")
+		runSel  = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+		rootDir = fs.String("root", "", "module root (default: walk up from the working directory to go.mod)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	analyzers, err := analysis.Select(*runSel)
+	if err != nil {
+		fmt.Fprintln(stderr, "raccdvet:", err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			suffix := ""
+			if a.Directive != "" {
+				suffix = fmt.Sprintf(" (suppress: //raccd:%s <reason>)", a.Directive)
+			}
+			fmt.Fprintf(stdout, "%-12s %s%s\n", a.Name, a.Doc, suffix)
+		}
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "raccdvet: no packages named (try raccdvet ./...)")
+		fs.Usage()
+		return 2
+	}
+
+	root := *rootDir
+	if root == "" {
+		if root, err = findModuleRoot(); err != nil {
+			fmt.Fprintln(stderr, "raccdvet:", err)
+			return 2
+		}
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "raccdvet:", err)
+		return 2
+	}
+	pkgs, err := loadPatterns(loader, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "raccdvet:", err)
+		return 2
+	}
+	diags, err := analysis.Run(loader, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "raccdvet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "raccdvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// loadPatterns resolves the CLI package patterns. "./..." (or "all")
+// loads the whole module; a relative directory loads that one package.
+func loadPatterns(l *analysis.Loader, patterns []string) ([]*analysis.Package, error) {
+	for _, p := range patterns {
+		if p == "./..." || p == "..." || p == "all" {
+			return l.LoadAll()
+		}
+	}
+	var pkgs []*analysis.Package
+	for _, p := range patterns {
+		dir, err := filepath.Abs(p)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil || rel == ".." || filepath.IsAbs(rel) || len(rel) > 1 && rel[:3] == ".."+string(filepath.Separator) {
+			return nil, fmt.Errorf("%s: outside module root %s", p, l.Root)
+		}
+		path := l.Module
+		if rel != "." {
+			path = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod, mirroring the go tool's behaviour.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -46,10 +46,10 @@ import (
 	"strings"
 	"syscall"
 
-	"raccd/internal/machine"
+	"raccd"
 	"raccd/internal/report"
-	"raccd/internal/resultstore"
-	"raccd/internal/workloads/synth"
+	"raccd/internal/resultstore"     //raccd:layering-ok -cache shares the daemon's on-disk store; the store is service plumbing with no public mirror
+	"raccd/internal/workloads/synth" //raccd:layering-ok -synth validates/canonicalizes spec strings client-side before any run is spent
 )
 
 // figureOrder is every figure the sweep can render, in print order.
@@ -88,15 +88,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	mach, err := machine.Parse(*machName)
+	mach, err := raccd.ParseMachine(*machName)
 	if err != nil {
 		fmt.Fprintln(stderr, "sweep:", err)
 		return 2
 	}
-	var machines []machine.Machine
+	var machines []raccd.Machine
 	for _, name := range strings.Split(*machList, ",") {
 		if name = strings.TrimSpace(name); name != "" {
-			mc, err := machine.Parse(name)
+			mc, err := raccd.ParseMachine(name)
 			if err != nil {
 				fmt.Fprintln(stderr, "sweep:", err)
 				return 2

@@ -8,10 +8,10 @@ import (
 	"time"
 
 	"raccd/client"
-	"raccd/internal/obs"
+	"raccd/internal/obs" //raccd:layering-ok mints the fleet-wide trace ID workers must share; client deliberately redeclares rather than exports it
 	"raccd/internal/report"
 	"raccd/internal/service/fabric"
-	"raccd/internal/sim"
+	"raccd/internal/sim" //raccd:layering-ok remote CSV rows re-index by report.Key into sim.Result to merge byte-identically with local figures
 )
 
 // Transient worker hiccups (503 queue-full, connection refused during a

@@ -13,8 +13,8 @@ import (
 	"os"
 
 	"raccd"
-	"raccd/internal/rts"
-	"raccd/internal/workloads"
+	"raccd/internal/rts"       //raccd:layering-ok DOT rendering walks the raw task graph; the public API exposes results, not graphs
+	"raccd/internal/workloads" //raccd:layering-ok builds the graph for a named bench without simulating it
 )
 
 // run parses args and writes the DOT graph to stdout, statistics and

@@ -1,0 +1,198 @@
+// Package analysis is raccd's hand-rolled static-analysis framework: a
+// small go/ast + go/types harness that machine-checks the repo-specific
+// invariants every PR since the seed has staked correctness on —
+// deterministic iteration on output paths, the layering DAG, the absence
+// of host-nondeterminism sources in sim-core, context/logging hygiene,
+// and fingerprint coverage of sim.Config. The analyzers are run by
+// cmd/raccdvet in CI; see docs/ANALYSIS.md for the invariant catalogue
+// and the //raccd: directive grammar.
+//
+// The framework deliberately depends on nothing outside the standard
+// library: packages are loaded by walking the module tree, and imports
+// are resolved with go/importer's source importer for the standard
+// library plus a recursive in-module type-checker for raccd packages.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a human-readable message. String renders the go vet convention
+// `file:line:col: analyzer: message`.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects a single package
+// through its Pass and reports findings with Pass.Report.
+type Analyzer struct {
+	// Name is the analyzer's identifier in diagnostics, -run selection
+	// and the //raccd:<Name>-suffixed suppression directive.
+	Name string
+	// Doc is the one-line description `raccdvet -list` prints.
+	Doc string
+	// Directive is the //raccd: directive name that suppresses this
+	// analyzer's findings ("" if the analyzer has none).
+	Directive string
+	// NeedTypes requests type-checking; Pass.Types/Info are nil without
+	// it. Analyzers that only need syntax leave it false so raccdvet
+	// never pays for type-checking packages no type-aware rule targets.
+	NeedTypes bool
+	// Applies reports whether the analyzer has anything to say about
+	// the package with the given import path; packages it rejects are
+	// neither visited nor type-checked on its behalf.
+	Applies func(path string) bool
+	// Run inspects one package.
+	Run func(*Pass) error
+}
+
+// All is the full suite, in the order raccdvet runs it.
+var All = []*Analyzer{MapOrder, Layering, DetSource, CtxLog, Fingerprint}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string // import path
+	Fset     *token.FileSet
+	Files    []*ast.File // non-test sources only
+	// Types and Info are the type-checked package; nil unless the
+	// analyzer declared NeedTypes.
+	Types *types.Package
+	Info  *types.Info
+
+	pkg   *Package
+	diags *[]Diagnostic
+}
+
+// Report records a finding at pos unless a matching suppression
+// directive (the analyzer's Directive) annotates that line or the line
+// directly above it.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if d := p.pkg.directiveAt(position, p.Analyzer.Directive); d != nil {
+		d.used = true
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the given analyzers over the given packages and returns
+// every diagnostic sorted by position. Packages are type-checked at most
+// once, and only when an applicable analyzer needs types. Beyond the
+// analyzers' own findings, the framework reports malformed //raccd:
+// directives and directives that suppressed nothing (both keep the
+// annotation layer itself honest).
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ranDirectives := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Directive != "" {
+			ranDirectives[a.Directive] = true
+		}
+	}
+	for _, pkg := range pkgs {
+		if err := pkg.parseDirectives(); err != nil {
+			return nil, err
+		}
+		for _, bad := range pkg.malformed {
+			diags = append(diags, Diagnostic{Pos: bad.pos, Analyzer: "directive", Message: bad.msg})
+		}
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     l.Fset,
+				Files:    pkg.Files,
+				pkg:      pkg,
+				diags:    &diags,
+			}
+			if a.NeedTypes {
+				if err := l.Check(pkg); err != nil {
+					return nil, fmt.Errorf("%s: type-checking for %s: %w", pkg.Path, a.Name, err)
+				}
+				pass.Types = pkg.types
+				pass.Info = pkg.info
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+		for _, d := range pkg.sortedDirectives() {
+			if !d.used && ranDirectives[d.name] {
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "directive",
+					Message:  fmt.Sprintf("//raccd:%s suppresses nothing on this or the next line; delete it", d.name),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Select resolves a comma-separated analyzer-name list against All.
+func Select(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range splitComma(names) {
+		a := byName[n]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, analyzerNames())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range All {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDirectiveNamesMatchAnalyzers pins the two places a directive name
+// lives — the Analyzer.Directive field and the directiveNames grammar
+// table — to each other, so a renamed directive cannot half-land.
+func TestDirectiveNamesMatchAnalyzers(t *testing.T) {
+	byDirective := map[string]string{}
+	for _, a := range All {
+		if a.Directive == "" {
+			continue
+		}
+		if got, want := directiveNames[a.Directive], a.Name; got != want {
+			t.Errorf("directiveNames[%q] = %q, want analyzer %q", a.Directive, got, want)
+		}
+		byDirective[a.Directive] = a.Name
+	}
+	for name, analyzer := range directiveNames {
+		if byDirective[name] != analyzer {
+			t.Errorf("directiveNames[%q] = %q names no analyzer with that directive", name, analyzer)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(All) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want all %d", len(all), err, len(All))
+	}
+	two, err := Select("maporder, ctxlog")
+	if err != nil || len(two) != 2 || two[0] != MapOrder || two[1] != CtxLog {
+		t.Fatalf("Select(\"maporder, ctxlog\") = %v, err %v", two, err)
+	}
+	if _, err := Select("nope"); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Fatalf("Select(\"nope\") err = %v, want unknown-analyzer error", err)
+	}
+}
+
+// TestDirectiveMissingReason seeds the one grammar violation the
+// want-comment testdata cannot express: a reason-less directive, where
+// any same-line want comment would itself become the reason.
+func TestDirectiveMissingReason(t *testing.T) {
+	dir := t.TempDir()
+	src := `package foo
+
+import "context"
+
+func a() context.Context {
+	return context.Background() //raccd:ctxlog-ok
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir, "raccd/internal/foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(l, []*Package{pkg}, []*Analyzer{CtxLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawReason, sawCall bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "directive" && strings.Contains(d.Message, "needs a reason"):
+			sawReason = true
+		case d.Analyzer == "ctxlog" && strings.Contains(d.Message, "context.Background"):
+			// The malformed directive must NOT suppress the finding.
+			sawCall = true
+		}
+	}
+	if !sawReason || !sawCall || len(diags) != 2 {
+		t.Fatalf("diags = %v; want exactly the needs-a-reason finding plus the still-unsuppressed call", diags)
+	}
+}

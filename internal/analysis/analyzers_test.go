@@ -1,0 +1,47 @@
+package analysis
+
+// Per-analyzer acceptance tests: each analyzer must catch every seeded
+// violation in its bad testdata (and nothing else), stay silent on the
+// clean package, and honour its suppression directive. The testdata
+// directories are mounted at the virtual import paths the analyzers key
+// on — see harness_test.go.
+
+import "testing"
+
+func TestMapOrder(t *testing.T) {
+	runTestdata(t, "maporder/bad", "raccd/internal/report", MapOrder)
+	assertClean(t, "maporder/clean", "raccd/internal/report", MapOrder)
+	assertClean(t, "maporder/suppressed", "raccd/internal/report", MapOrder)
+}
+
+func TestLayering(t *testing.T) {
+	runTestdata(t, "layering/bad", "raccd/internal/sim", Layering)
+	runTestdata(t, "layering/badclient", "raccd/client", Layering)
+	runTestdata(t, "layering/badcmd", "raccd/cmd/fake", Layering)
+	assertClean(t, "layering/clean", "raccd/internal/sim", Layering)
+	assertClean(t, "layering/suppressed", "raccd/cmd/fake", Layering)
+}
+
+func TestDetSource(t *testing.T) {
+	runTestdata(t, "detsource/bad", "raccd/internal/sim", DetSource)
+	assertClean(t, "detsource/clean", "raccd/internal/sim", DetSource)
+	assertClean(t, "detsource/suppressed", "raccd/internal/sim", DetSource)
+}
+
+func TestCtxLog(t *testing.T) {
+	runTestdata(t, "ctxlog/bad", "raccd/internal/obsless", CtxLog)
+	assertClean(t, "ctxlog/clean", "raccd/internal/obsless", CtxLog)
+	assertClean(t, "ctxlog/suppressed", "raccd/internal/obsless", CtxLog)
+}
+
+func TestFingerprint(t *testing.T) {
+	runTestdata(t, "fingerprint/bad", "raccd/internal/sim", Fingerprint)
+	assertClean(t, "fingerprint/clean", "raccd/internal/sim", Fingerprint)
+	assertClean(t, "fingerprint/suppressed", "raccd/internal/sim", Fingerprint)
+}
+
+// TestDirectiveGrammar covers the framework's own findings: unknown
+// directive names and directives that suppress nothing.
+func TestDirectiveGrammar(t *testing.T) {
+	runTestdata(t, "directive/bad", "raccd/internal/foo", CtxLog)
+}

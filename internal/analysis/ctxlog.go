@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxLog enforces the PR 9 observability contract in library code
+// (every module package that is not a command or example):
+//
+//   - no context.Background() / context.TODO(): library code threads the
+//     caller's context so cancellation and trace IDs propagate end to
+//     end. The sanctioned exceptions — public Run convenience wrappers
+//     and the daemon's server-lifetime root — carry //raccd:ctxlog-ok
+//     directives naming themselves as such.
+//   - no fmt.Print/Printf/Println, log.Print*/Fatal*/Panic* or the
+//     print/println builtins: libraries log only through internal/obs
+//     (obs.Log with the caller's context) or return errors; stdout and
+//     the global logger belong to the process owner.
+var CtxLog = &Analyzer{
+	Name:      "ctxlog",
+	Doc:       "context.Background/TODO and direct printing in library code",
+	Directive: "ctxlog-ok",
+	Applies:   isLibrary,
+	Run:       runCtxLog,
+}
+
+var ctxForbiddenCalls = map[string][]string{
+	"context": {"Background", "TODO"},
+	"fmt":     {"Print", "Printf", "Println"},
+	"log": {"Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln",
+		"Panic", "Panicf", "Panicln"},
+}
+
+func runCtxLog(pass *Pass) error {
+	for _, f := range pass.Files {
+		imports := fileImports(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "print" || id.Name == "println") {
+				pass.Report(call.Pos(),
+					"builtin %s in library code: log through internal/obs with the caller's context, or return an error", id.Name)
+				return true
+			}
+			pkg, fn, ok := calleePkgFunc(call, imports)
+			if !ok {
+				return true
+			}
+			for _, bad := range ctxForbiddenCalls[pkg] {
+				if fn != bad {
+					continue
+				}
+				switch pkg {
+				case "context":
+					pass.Report(call.Pos(),
+						"context.%s in library code: thread the caller's ctx (obs trace IDs and cancellation ride on it) or annotate //raccd:ctxlog-ok <reason>", fn)
+				default:
+					pass.Report(call.Pos(),
+						"%s.%s in library code: stdout and the global logger belong to the process owner — use obs.Log(ctx, …) or return an error", pkg, fn)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

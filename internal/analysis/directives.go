@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The //raccd: directive grammar (docs/ANALYSIS.md):
+//
+//	//raccd:<name> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory — an unexplained suppression is itself a finding — and
+// the name must belong to a known analyzer. Each directive suppresses
+// exactly one analyzer's findings on its line; a directive that
+// suppresses nothing is reported so stale annotations cannot linger
+// after the code they excused is gone.
+const directivePrefix = "raccd:"
+
+// directiveNames is every valid directive, mapped to the analyzer it
+// belongs to (kept in sync with the Analyzer.Directive fields; the
+// framework test cross-checks).
+var directiveNames = map[string]string{
+	"unordered-ok":   "maporder",
+	"layering-ok":    "layering",
+	"detsource-ok":   "detsource",
+	"ctxlog-ok":      "ctxlog",
+	"fingerprint-ok": "fingerprint",
+}
+
+// directive is one parsed //raccd: annotation.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+type malformedDirective struct {
+	pos token.Position
+	msg string
+}
+
+// parseDirectives scans every comment in the package once, indexing
+// well-formed directives by file and line and collecting malformed ones.
+func (p *Package) parseDirectives() error {
+	if p.directives != nil {
+		return nil
+	}
+	p.directives = map[string]map[int]*directive{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := p.fset.Position(c.Pos())
+				name, reason, _ := strings.Cut(text, " ")
+				reason = strings.TrimSpace(reason)
+				if _, known := directiveNames[name]; !known {
+					p.malformed = append(p.malformed, malformedDirective{
+						pos: pos,
+						msg: "unknown //raccd: directive \"" + name + "\" (known: " + knownDirectives() + ")",
+					})
+					continue
+				}
+				if reason == "" {
+					p.malformed = append(p.malformed, malformedDirective{
+						pos: pos,
+						msg: "//raccd:" + name + " needs a reason: //raccd:" + name + " <why this line is exempt>",
+					})
+					continue
+				}
+				file := p.directives[pos.Filename]
+				if file == nil {
+					file = map[int]*directive{}
+					p.directives[pos.Filename] = file
+				}
+				file[pos.Line] = &directive{name: name, reason: reason, pos: pos}
+			}
+		}
+	}
+	return nil
+}
+
+// directiveAt returns the named directive annotating the given position:
+// on the same line, or on the line directly above (doc-comment style).
+func (p *Package) directiveAt(pos token.Position, name string) *directive {
+	if name == "" {
+		return nil
+	}
+	file := p.directives[pos.Filename]
+	if file == nil {
+		return nil
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d := file[line]; d != nil && d.name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// sortedDirectives returns every parsed directive in position order.
+func (p *Package) sortedDirectives() []*directive {
+	var out []*directive
+	for _, file := range p.directives {
+		for _, d := range file {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].pos, out[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
+func knownDirectives() string {
+	var names []string
+	for n := range directiveNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint cross-checks sim.Config against the canonical-key tables
+// in the fingerprint code, so a new Config (or coherence.Params) field
+// that is neither fingerprinted nor explicitly excluded fails vet with a
+// file:line diagnostic instead of waiting for the runtime field-count
+// guard test. Checked, in both directions:
+//
+//   - every field of Config — with the embedded Params struct flattened —
+//     appears in exactly one of fingerprintFields (field → canonical key)
+//     or fingerprintExcluded (field → reason), or carries a
+//     //raccd:fingerprint-ok directive;
+//   - every table entry names a field that still exists (no stale rows);
+//   - every canonical key declared in fingerprintFields is actually
+//     rendered by the Fingerprint method (a `"key="` string literal), and
+//     every rendered key is declared — the tables cannot drift from the
+//     rendering they describe.
+var Fingerprint = &Analyzer{
+	Name:      "fingerprint",
+	Doc:       "sim.Config fields missing from the fingerprint key/exclusion tables",
+	Directive: "fingerprint-ok",
+	NeedTypes: true,
+	Applies:   func(path string) bool { return path == modulePath+"/internal/sim" },
+	Run:       runFingerprint,
+}
+
+// renderedKeyPattern matches the `"key="` literals the Fingerprint
+// method concatenates values onto.
+var renderedKeyPattern = regexp.MustCompile(`^[a-z][a-z0-9]*=$`)
+
+func runFingerprint(pass *Pass) error {
+	fields, ok := configFields(pass)
+	if !ok {
+		// No Config struct: nothing to check (kept silent so partial
+		// testdata packages without a Config don't explode).
+		return nil
+	}
+
+	keyed, keyedPos := stringMapVar(pass, "fingerprintFields")
+	excluded, excludedPos := stringMapVar(pass, "fingerprintExcluded")
+	if keyed == nil || excluded == nil {
+		pass.Report(pass.Files[0].Pos(),
+			"package %s defines Config but not the fingerprintFields/fingerprintExcluded tables the fingerprint analyzer checks against", pass.Path)
+		return nil
+	}
+
+	rendered, haveFingerprintFn := renderedKeys(pass)
+
+	for name, pos := range fields {
+		_, inKeyed := keyed[name]
+		_, inExcluded := excluded[name]
+		switch {
+		case inKeyed && inExcluded:
+			pass.Report(pos, "Config field %s appears in both fingerprintFields and fingerprintExcluded — pick one", name)
+		case !inKeyed && !inExcluded:
+			pass.Report(pos,
+				"Config field %s (Params flattened) is neither fingerprinted nor excluded: add it to fingerprintFields with a canonical key and render it in Fingerprint, or to fingerprintExcluded with the reason it cannot affect results", name)
+		}
+	}
+	for name := range keyed {
+		if _, exists := fields[name]; !exists {
+			pass.Report(keyedPos[name], "fingerprintFields entry %q names no current Config/Params field — stale row", name)
+		}
+	}
+	for name := range excluded {
+		if _, exists := fields[name]; !exists {
+			pass.Report(excludedPos[name], "fingerprintExcluded entry %q names no current Config/Params field — stale row", name)
+		}
+	}
+
+	declaredKey := map[string]string{} // canonical key -> field
+	for field, key := range keyed {
+		if other, dup := declaredKey[key]; dup {
+			pass.Report(keyedPos[field], "canonical key %q is declared for both %s and %s", key, other, field)
+			continue
+		}
+		declaredKey[key] = field
+		if _, isRendered := rendered[key]; haveFingerprintFn && !isRendered {
+			pass.Report(keyedPos[field],
+				"canonical key %q (field %s) is declared but never rendered by Fingerprint — the table has drifted from the rendering", key, field)
+		}
+	}
+	for key, pos := range rendered {
+		if _, declared := declaredKey[key]; !declared {
+			pass.Report(pos,
+				"Fingerprint renders key %q that fingerprintFields does not declare — add the field→key row", key)
+		}
+	}
+	return nil
+}
+
+// configFields returns the flattened result-affecting field set of
+// Config: its own fields plus, in place of the Params struct field, the
+// fields of that struct. Positions point at the field declarations. A
+// field annotated //raccd:fingerprint-ok is treated as excluded.
+func configFields(pass *Pass) (map[string]token.Pos, bool) {
+	obj := pass.Types.Scope().Lookup("Config")
+	if obj == nil {
+		return nil, false
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, false
+	}
+	fields := map[string]token.Pos{}
+	var add func(s *types.Struct, flattenParams bool)
+	add = func(s *types.Struct, flattenParams bool) {
+		for i := 0; i < s.NumFields(); i++ {
+			f := s.Field(i)
+			if flattenParams && f.Name() == "Params" {
+				if inner, ok := f.Type().Underlying().(*types.Struct); ok {
+					add(inner, false)
+					continue
+				}
+			}
+			fields[f.Name()] = f.Pos()
+		}
+	}
+	add(st, true)
+	// Honour per-field //raccd:fingerprint-ok directives by dropping the
+	// field before the coverage check (Report would also suppress, but
+	// dropping here marks the directive used exactly once).
+	for name, pos := range fields {
+		position := pass.Fset.Position(pos)
+		if d := pass.pkg.directiveAt(position, "fingerprint-ok"); d != nil {
+			d.used = true
+			delete(fields, name)
+		}
+	}
+	return fields, true
+}
+
+// stringMapVar extracts a package-level map[string]string composite
+// literal by variable name, with the position of each entry.
+func stringMapVar(pass *Pass, name string) (map[string]string, map[string]token.Pos) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != name || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				entries := map[string]string{}
+				positions := map[string]token.Pos{}
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					k, kOK := stringLit(kv.Key)
+					v, vOK := stringLit(kv.Value)
+					if !kOK || !vOK {
+						continue
+					}
+					entries[k] = v
+					positions[k] = kv.Pos()
+				}
+				return entries, positions
+			}
+		}
+	}
+	return nil, nil
+}
+
+// renderedKeys collects every `"key="` string literal inside the
+// Fingerprint method body.
+func renderedKeys(pass *Pass) (map[string]token.Pos, bool) {
+	out := map[string]token.Pos{}
+	found := false
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Fingerprint" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			found = true
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil || !renderedKeyPattern.MatchString(s) {
+					return true
+				}
+				key := strings.TrimSuffix(s, "=")
+				if _, dup := out[key]; !dup {
+					out[key] = lit.Pos()
+				}
+				return true
+			})
+		}
+	}
+	return out, found
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

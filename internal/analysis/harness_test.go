@@ -1,0 +1,135 @@
+package analysis
+
+// The want-comment test harness: each analyzer's testdata directories
+// are mounted at the virtual import paths its rules key on (the loader
+// Overlay), analyzed, and the diagnostics compared line-by-line against
+// `// want "regex"` comments in the sources — the same assertion style
+// golang.org/x/tools/go/analysis/analysistest uses, hand-rolled to keep
+// the module dependency-free.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantPattern extracts the quoted regexes of one `// want` comment;
+// both Go-string and backquote quoting are accepted, analysistest-style.
+var wantPattern = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)$")
+
+var quotedPattern = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runTestdata analyzes testdata/<dir> mounted at virtualPath with the
+// given analyzers and asserts diagnostics == want comments, both ways.
+func runTestdata(t *testing.T, dir, virtualPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	diags := analyzeTestdata(t, dir, virtualPath, analyzers...)
+
+	var wants []*want
+	abs, err := filepath.Abs(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range collectWants(t, abs) {
+		wants = append(wants, w)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+// assertClean analyzes testdata/<dir> at virtualPath and requires zero
+// diagnostics (the clean-package and directive-suppression cases).
+func assertClean(t *testing.T, dir, virtualPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	for _, d := range analyzeTestdata(t, dir, virtualPath, analyzers...) {
+		t.Errorf("want clean, got: %s", d)
+	}
+}
+
+func analyzeTestdata(t *testing.T, dir, virtualPath string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Overlay = map[string]string{virtualPath: abs}
+	pkg, err := l.LoadDir(abs, virtualPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(l, []*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// collectWants parses the `// want` comments of every file in dir by
+// scanning source lines (wants may trail code the parser attaches
+// comments to unpredictably).
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantPattern.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedPattern.FindAllStringSubmatch(m[1], -1) {
+				expr := q[1]
+				if expr == "" {
+					expr = q[2]
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, expr, err)
+				}
+				wants = append(wants, &want{file: file, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded module package: parsed non-test sources plus
+// lazily filled type-check results and the //raccd: directive index.
+type Package struct {
+	Path  string // import path ("raccd/internal/sim")
+	Dir   string
+	Files []*ast.File
+
+	fset       *token.FileSet
+	types      *types.Package
+	info       *types.Info
+	checking   bool
+	directives map[string]map[int]*directive
+	malformed  []malformedDirective
+}
+
+// Loader loads and type-checks packages of one Go module from source.
+// Standard-library imports resolve through go/importer's source
+// importer (offline, no toolchain invocation); module-internal imports
+// are parsed and checked recursively. Both are cached per Loader.
+type Loader struct {
+	Root   string // module root directory (the one holding go.mod)
+	Module string // module path from go.mod
+	Fset   *token.FileSet
+	// Overlay maps an import path to a directory that shadows (or
+	// extends) the module tree — the test harness mounts testdata
+	// packages at the virtual paths the analyzers key their rules on.
+	Overlay map[string]string
+
+	pkgs map[string]*Package
+	std  types.Importer
+}
+
+// NewLoader reads go.mod under root and returns a ready Loader.
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("%s/go.mod: no module directive", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:   root,
+		Module: module,
+		Fset:   fset,
+		pkgs:   map[string]*Package{},
+		std:    importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// LoadAll walks the module tree and loads every package that has at
+// least one non-test Go file, skipping testdata, vendor, hidden and
+// underscore-prefixed directories. Returned in import-path order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		pkg, err := l.loadDirIfGo(path)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// importPathFor maps a module directory to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDirIfGo loads dir as a package, or returns (nil, nil) when it has
+// no non-test Go files.
+func (l *Loader) loadDirIfGo(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	hasGo := false
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			hasGo = true
+			break
+		}
+	}
+	if !hasGo {
+		return nil, nil
+	}
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDir(dir, path)
+}
+
+// LoadDir parses the non-test Go files of dir as the package with the
+// given import path. Results are cached by path.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir, fset: l.Fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files in %s", path, dir)
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Check type-checks pkg (and, recursively, its module-internal imports),
+// filling pkg.types and pkg.info. Idempotent.
+func (l *Loader) Check(pkg *Package) error {
+	if pkg.types != nil {
+		return nil
+	}
+	if pkg.checking {
+		return fmt.Errorf("import cycle through %s", pkg.Path)
+	}
+	pkg.checking = true
+	defer func() { pkg.checking = false }()
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkg.Path, l.Fset, pkg.Files, info)
+	if err != nil {
+		return err
+	}
+	pkg.types = tpkg
+	pkg.info = info
+	return nil
+}
+
+// Import implements types.Importer: module-internal (and overlay) paths
+// are loaded and checked from source; everything else falls through to
+// the standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir, inModule := "", false
+	switch {
+	case l.Overlay[path] != "":
+		dir, inModule = l.Overlay[path], true
+	case path == l.Module:
+		dir, inModule = l.Root, true
+	case strings.HasPrefix(path, l.Module+"/"):
+		dir, inModule = filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.Module+"/"))), true
+	}
+	if !inModule {
+		return l.std.Import(path)
+	}
+	pkg, err := l.LoadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Check(pkg); err != nil {
+		return nil, err
+	}
+	return pkg.types, nil
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map in the deterministic-output packages
+// (golden CSVs, rendered tables, Prometheus exposition, fabric routing):
+// Go randomizes map iteration order per run, so any map range on an
+// output path is a byte-determinism bug waiting for a hash-seed change.
+//
+// Two loop shapes are order-insensitive and allowed without annotation:
+//
+//   - collect loops — every statement appends to a slice
+//     (`keys = append(keys, k)`), the sort-then-iterate idiom's first half;
+//   - keyed-copy loops — every statement assigns `out[k] = …` indexed by
+//     the range key, building another map (distinct-key writes commute).
+//
+// Anything else — summing floats, writing output, appending values in
+// iteration order — needs the keys sorted first or a
+// `//raccd:unordered-ok <reason>` directive.
+var MapOrder = &Analyzer{
+	Name:      "maporder",
+	Doc:       "range over a map in a deterministic-output package",
+	Directive: "unordered-ok",
+	NeedTypes: true,
+	Applies:   isDeterministicOutput,
+	Run:       runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rangeBodyOrderInsensitive(rng) {
+				return true
+			}
+			pass.Report(rng.Pos(),
+				"range over map %s: iteration order is randomized — sort the keys first, or annotate //raccd:unordered-ok <reason> if order provably cannot reach any output", exprString(rng.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// rangeBodyOrderInsensitive recognizes the two allowed loop shapes.
+func rangeBodyOrderInsensitive(rng *ast.RangeStmt) bool {
+	keyName := ""
+	if id, ok := rng.Key.(*ast.Ident); ok {
+		keyName = id.Name
+	}
+	if len(rng.Body.List) == 0 {
+		return true
+	}
+	for _, stmt := range rng.Body.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return false
+		}
+		switch lhs := assign.Lhs[0].(type) {
+		case *ast.Ident:
+			// Collect shape: x = append(x, …).
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" || len(call.Args) < 2 {
+				return false
+			}
+			first, ok := call.Args[0].(*ast.Ident)
+			if !ok || first.Name != lhs.Name {
+				return false
+			}
+		case *ast.IndexExpr:
+			// Keyed-copy shape: out[k] = … with k the range key.
+			idx, ok := lhs.Index.(*ast.Ident)
+			if !ok || keyName == "" || idx.Name != keyName {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// exprString renders a short source-ish form of simple expressions for
+// diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	default:
+		return "expression"
+	}
+}

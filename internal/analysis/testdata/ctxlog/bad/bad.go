@@ -1,0 +1,23 @@
+// Package obsless is ctxlog seeded-violation testdata mounted at the
+// library path raccd/internal/obsless.
+package obsless
+
+import (
+	"context"
+	"fmt"
+	"log"
+)
+
+func root() context.Context {
+	return context.Background() // want `context.Background in library code`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO in library code`
+}
+
+func noisy() {
+	fmt.Println("hello")    // want `fmt.Println in library code`
+	log.Printf("x = %d", 1) // want `log.Printf in library code`
+	println("raw")          // want `builtin println in library code`
+}

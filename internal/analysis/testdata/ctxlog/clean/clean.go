@@ -1,0 +1,17 @@
+// Package obsless is ctxlog clean testdata: contexts threaded from the
+// caller, output written to injected writers.
+package obsless
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+func run(ctx context.Context, w io.Writer) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "ok") // writer-directed: allowed
+	return err
+}

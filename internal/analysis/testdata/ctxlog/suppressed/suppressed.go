@@ -1,0 +1,9 @@
+// Package obsless is ctxlog directive-suppression testdata.
+package obsless
+
+import "context"
+
+// Run mirrors the sanctioned public convenience-wrapper exception.
+func Run() context.Context {
+	return context.Background() //raccd:ctxlog-ok testdata justification: public no-ctx convenience wrapper
+}

@@ -1,0 +1,9 @@
+// Package sim is detsource directive-suppression testdata mounted at
+// raccd/internal/sim.
+package sim
+
+import "time"
+
+func wall() time.Time {
+	return time.Now() //raccd:detsource-ok testdata justification: host artifact set outside the metric path
+}

@@ -1,0 +1,17 @@
+// Package foo is framework testdata for the directive grammar itself:
+// unknown names and suppress-nothing annotations are findings. The
+// missing-reason case lives in directives_test.go — a same-line want
+// comment would itself be parsed as the reason, so it cannot be seeded
+// here.
+package foo
+
+import "context"
+
+//raccd:frobnicate-ok because reasons // want `unknown //raccd: directive "frobnicate-ok"`
+func a() context.Context {
+	return context.Background() // want `context.Background in library code`
+}
+
+func c() int {
+	return 1 //raccd:ctxlog-ok testdata justification: nothing to suppress // want `suppresses nothing on this or the next line`
+}

@@ -1,0 +1,52 @@
+// Package sim is fingerprint seeded-violation testdata mounted at
+// raccd/internal/sim: every drift direction the analyzer checks is
+// seeded once — an uncovered Config field, an uncovered (flattened)
+// Params field, a field booked in both tables, a stale table row, a
+// declared-but-never-rendered key, and a rendered-but-undeclared key.
+package sim
+
+type Params struct {
+	Cores         int
+	Seed          int64
+	NewParamsKnob int // want `Config field NewParamsKnob \(Params flattened\) is neither fingerprinted nor excluded`
+}
+
+type Config struct {
+	System   string
+	Params   Params
+	Validate bool
+	NewKnob  int // want `Config field NewKnob \(Params flattened\) is neither fingerprinted nor excluded`
+	Dup      int // want `Config field Dup appears in both fingerprintFields and fingerprintExcluded`
+	Quiet    int
+}
+
+var fingerprintFields = map[string]string{
+	"System": "system",
+	"Cores":  "cores",
+	"Seed":   "seed",
+	"Dup":    "dup",
+	"Quiet":  "quiet", // want `canonical key "quiet" \(field Quiet\) is declared but never rendered`
+	"Gone":   "gone",  // want `fingerprintFields entry "Gone" names no current Config/Params field` `canonical key "gone" \(field Gone\) is declared but never rendered`
+}
+
+var fingerprintExcluded = map[string]string{
+	"Validate": "toggles golden checking, not metrics",
+	"Dup":      "also excluded: the analyzer flags the double booking at the field",
+}
+
+func (c Config) Fingerprint() string {
+	pairs := []string{
+		"system=" + c.System,
+		"cores=" + itoa(c.Params.Cores),
+		"seed=" + itoa(int(c.Params.Seed)),
+		"dup=" + itoa(c.Dup),
+		"rogue=", // want `Fingerprint renders key "rogue" that fingerprintFields does not declare`
+	}
+	out := ""
+	for _, p := range pairs {
+		out += p + " "
+	}
+	return out
+}
+
+func itoa(int) string { return "" }

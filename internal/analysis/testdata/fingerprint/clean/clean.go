@@ -1,0 +1,40 @@
+// Package sim is fingerprint clean testdata mounted at
+// raccd/internal/sim: every field either keyed and rendered, or
+// excluded with a reason — the analyzer must stay silent.
+package sim
+
+type Params struct {
+	Cores int
+	Seed  int64
+}
+
+type Config struct {
+	System   string
+	Params   Params
+	Validate bool
+}
+
+var fingerprintFields = map[string]string{
+	"System": "system",
+	"Cores":  "cores",
+	"Seed":   "seed",
+}
+
+var fingerprintExcluded = map[string]string{
+	"Validate": "toggles golden checking, not metrics",
+}
+
+func (c Config) Fingerprint() string {
+	pairs := []string{
+		"system=" + c.System,
+		"cores=" + itoa(c.Params.Cores),
+		"seed=" + itoa(int(c.Params.Seed)),
+	}
+	out := ""
+	for _, p := range pairs {
+		out += p + " "
+	}
+	return out
+}
+
+func itoa(int) string { return "" }

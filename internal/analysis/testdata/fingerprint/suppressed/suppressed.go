@@ -1,0 +1,35 @@
+// Package sim is fingerprint directive-suppression testdata mounted at
+// raccd/internal/sim: a field exempted from coverage with a per-field
+// //raccd:fingerprint-ok directive instead of a fingerprintExcluded row.
+package sim
+
+type Params struct {
+	Cores int
+}
+
+type Config struct {
+	System  string
+	Params  Params
+	Scratch []byte //raccd:fingerprint-ok testdata justification: reusable scratch buffer, never observable in results
+}
+
+var fingerprintFields = map[string]string{
+	"System": "system",
+	"Cores":  "cores",
+}
+
+var fingerprintExcluded = map[string]string{}
+
+func (c Config) Fingerprint() string {
+	pairs := []string{
+		"system=" + c.System,
+		"cores=" + itoa(c.Params.Cores),
+	}
+	out := ""
+	for _, p := range pairs {
+		out += p + " "
+	}
+	return out
+}
+
+func itoa(int) string { return "" }

@@ -1,0 +1,14 @@
+// Package sim is layering seeded-violation testdata mounted at
+// raccd/internal/sim: a sim-core package reaching into the serving
+// layers. Blank imports keep the package parse-only valid; layering is
+// purely syntactic, so nothing here is type-checked.
+package sim
+
+import (
+	_ "raccd/internal/obs"            // want `imports serving-layer package raccd/internal/obs`
+	_ "raccd/internal/resultstore"    // want `imports serving-layer package raccd/internal/resultstore`
+	_ "raccd/internal/service"        // want `imports serving-layer package raccd/internal/service`
+	_ "raccd/internal/service/fabric" // want `imports serving-layer package raccd/internal/service/fabric`
+
+	_ "raccd/internal/mem" // sim-core importing sim-core: allowed
+)

@@ -1,0 +1,7 @@
+// Package client is layering testdata mounted at raccd/client: the
+// vendorable client must not depend on any internal package.
+package client
+
+import (
+	_ "raccd/internal/obs" // want `raccd/client imports raccd/internal/obs`
+)

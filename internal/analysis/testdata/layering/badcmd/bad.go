@@ -1,0 +1,11 @@
+// Package main is layering testdata mounted at raccd/cmd/fake: commands
+// reach internals only through internal/report and internal/service.
+package main
+
+import (
+	_ "raccd/internal/mem"     // want `raccd/cmd/fake imports raccd/internal/mem`
+	_ "raccd/internal/report"  // allowed
+	_ "raccd/internal/service" // allowed
+)
+
+func main() {}

@@ -1,0 +1,9 @@
+// Package sim is layering clean testdata mounted at raccd/internal/sim:
+// sim-core importing sim-core and the standard library only.
+package sim
+
+import (
+	_ "raccd/internal/coherence"
+	_ "raccd/internal/mem"
+	_ "sort"
+)

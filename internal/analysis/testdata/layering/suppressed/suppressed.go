@@ -1,0 +1,9 @@
+// Package main is layering directive-suppression testdata mounted at
+// raccd/cmd/fake: the internal import carries a justified directive.
+package main
+
+import (
+	_ "raccd/internal/mem" //raccd:layering-ok testdata justification: this tool inspects raw block storage with no public mirror
+)
+
+func main() {}

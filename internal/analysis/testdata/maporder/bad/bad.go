@@ -1,0 +1,37 @@
+// Package report is maporder seeded-violation testdata, mounted at the
+// virtual path raccd/internal/report by the harness.
+package report
+
+import "sort"
+
+func render(m map[string]int) string {
+	out := ""
+	for k, v := range m { // want `range over map m`
+		out += k
+		out += string(rune(v))
+	}
+
+	// Collect-then-sort is the sanctioned idiom: allowed unannotated.
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out += k
+	}
+
+	// Keyed copies commute: allowed unannotated.
+	snapshot := map[string]int{}
+	for k, v := range m {
+		snapshot[k] = v
+	}
+
+	// Accumulation is order-sensitive for floats: flagged.
+	sum := 0.0
+	for _, v := range m { // want `range over map m`
+		sum += float64(v)
+	}
+	_ = sum
+	return out
+}

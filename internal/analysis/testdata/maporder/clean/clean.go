@@ -1,0 +1,21 @@
+// Package report is maporder clean-package testdata: only the sanctioned
+// loop shapes, so the analyzer must stay silent.
+package report
+
+import "sort"
+
+func render(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	copies := map[string]int{}
+	for k, v := range m {
+		copies[k] = v
+	}
+	for _, pair := range [][2]int{{1, 2}} { // slice range: not a map
+		_ = pair
+	}
+	return keys
+}

@@ -1,0 +1,9 @@
+// Package report is maporder directive-suppression testdata: the map
+// range is order-sensitive but annotated, so the analyzer stays silent.
+package report
+
+func observe(m map[string]float64, record func(string, float64)) {
+	for k, v := range m { //raccd:unordered-ok each key feeds its own accumulator; cross-key order is commutative
+		record(k, v)
+	}
+}

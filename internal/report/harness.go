@@ -169,7 +169,7 @@ func (m Matrix) Keys() []Key {
 
 // Run executes the sweep and returns the indexed result set.
 func (m Matrix) Run() (*Set, error) {
-	return m.RunContext(context.Background())
+	return m.RunContext(context.Background()) //raccd:ctxlog-ok public no-ctx convenience wrapper over RunContext
 }
 
 // RunContext is Run with cancellation: when ctx is cancelled the sweep
@@ -207,7 +207,7 @@ var NCRTLatencies = []uint64{1, 2, 3, 5, 10}
 
 // RunNCRTSweep measures RaCCD cycles at each NCRT lookup latency.
 func (m Matrix) RunNCRTSweep() (map[uint64]map[string]uint64, error) {
-	return m.RunNCRTSweepContext(context.Background())
+	return m.RunNCRTSweepContext(context.Background()) //raccd:ctxlog-ok public no-ctx convenience wrapper over RunNCRTSweepContext
 }
 
 // RunNCRTSweepContext is RunNCRTSweep with cancellation, parallelized

@@ -20,7 +20,7 @@ type MachineSet struct {
 // RunMachines runs the matrix once per machine and returns the result sets
 // in machine order. An empty machine list runs the matrix's own Machine.
 func (m Matrix) RunMachines(machines []machine.Machine) ([]MachineSet, error) {
-	return m.RunMachinesContext(context.Background(), machines)
+	return m.RunMachinesContext(context.Background(), machines) //raccd:ctxlog-ok public no-ctx convenience wrapper over RunMachinesContext
 }
 
 // RunMachinesContext is RunMachines with cancellation. Progress lines are

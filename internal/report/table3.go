@@ -2,6 +2,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"raccd/internal/coherence"
@@ -79,12 +80,20 @@ func NCRTLatencyTable(latencies []uint64, cycles map[uint64]map[string]uint64) s
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "%-10s", "slowdown")
 	for _, l := range latencies {
+		// Sum in sorted-workload order: float addition does not commute
+		// bit-exactly, so map-order iteration would wobble the rendered
+		// average's last digit across runs.
+		var names []string
+		for w := range cycles[l] {
+			names = append(names, w)
+		}
+		sort.Strings(names)
 		sum, n := 0.0, 0
-		for w, c := range cycles[l] {
+		for _, w := range names {
 			if base[w] == 0 {
 				continue
 			}
-			sum += float64(c) / float64(base[w])
+			sum += float64(cycles[l][w]) / float64(base[w])
 			n++
 		}
 		if n == 0 {

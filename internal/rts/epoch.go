@@ -139,7 +139,7 @@ func (st *epochState) worker(next *atomic.Int64) {
 // commit time, in canonical order; a cancellation panic on the commit
 // goroutine (cancel non-nil) propagates instead.
 func (st *epochState) generate(t *Task, rec *taskRec, cancel func() error) {
-	genStart := time.Now()
+	genStart := time.Now() //raccd:detsource-ok host wall split (EnginePhases) — never enters metrics, surfaced as json:"-" Seconds fields only
 	defer func() { st.genNanos.Add(int64(time.Since(genStart))) }()
 	ctx := &Ctx{
 		Core:    0, // bodies are core-agnostic; see docs/ENGINE.md
@@ -198,7 +198,7 @@ func (st *epochState) runBody(c int, t *Task, ctx *Ctx) {
 	// Commit wall starts here: the stream is ready, everything below is
 	// the serial replay through the real machine. Waiting on workers
 	// above is idle time, charged to neither phase.
-	commitStart := time.Now()
+	commitStart := time.Now() //raccd:detsource-ok host wall split (EnginePhases) — never enters metrics, surfaced as json:"-" Seconds fields only
 	defer func() { st.commitNanos += int64(time.Since(commitStart)) }()
 	r := st.r
 	ctx.cycles += rec.pure

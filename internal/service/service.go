@@ -190,7 +190,7 @@ func New(opts Options) (*Server, error) {
 		ex:    exec.New(opts.Store, opts.SimJobs),
 		log:   opts.Logger,
 	}
-	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	s.runCtx, s.cancelRun = context.WithCancel(context.Background()) //raccd:ctxlog-ok server-lifetime root context, cancelled by Close/drain — there is no caller ctx at construction
 
 	var backends []fabric.Backend
 	if len(opts.Workers) > 0 {
@@ -255,7 +255,7 @@ func (s *Server) worker() {
 // breakdown into the /metrics phase histograms.
 func (s *Server) finishJobObs(j *queue.Job) {
 	st := j.Status()
-	for name, d := range j.Phases().Durations() {
+	for name, d := range j.Phases().Durations() { //raccd:unordered-ok each phase feeds its own histogram; cross-phase observation order is commutative
 		s.ex.Metrics().ObservePhase(name, d)
 	}
 	s.log.Info("job finished",

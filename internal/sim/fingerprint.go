@@ -26,6 +26,58 @@ import (
 // is a clean miss under v3.
 const fingerprintVersion = 3
 
+// fingerprintFields is the canonical coverage table: every
+// result-affecting field of Config — with Params flattened into it — and
+// the key that carries it in the canonical form. The raccdvet
+// fingerprint analyzer cross-checks this table in both directions
+// (struct ↔ table ↔ the `"key="` literals Fingerprint renders), so a new
+// Config or coherence.Params field fails `raccdvet ./...` with a
+// file:line diagnostic until it is either keyed here and rendered below,
+// or listed in fingerprintExcluded with the reason it cannot affect
+// results.
+var fingerprintFields = map[string]string{
+	"System":           "system",
+	"DirRatio":         "dirratio",
+	"ADR":              "adr",
+	"Scheduler":        "sched",
+	"SMTWays":          "smt",
+	"ComputePerAccess": "compute",
+	"Core":             "core",
+	"PrefetchDegree":   "pfdeg",
+	"PrefetchDistance": "pfdist",
+	// coherence.Params, flattened:
+	"Cores":             "cores",
+	"MeshW":             "meshw",
+	"MeshH":             "meshh",
+	"L1Sets":            "l1sets",
+	"L1Ways":            "l1ways",
+	"LLCSetsPerBank":    "llcsets",
+	"LLCWays":           "llcways",
+	"DirSetsPerBank":    "dirsets",
+	"DirWays":           "dirways",
+	"DirMinSetsPerBank": "dirminsets",
+	"NCRTEntries":       "ncrt",
+	"NCRTLookupCycles":  "ncrtlat",
+	"TLBEntries":        "tlb",
+	"L1HitCycles":       "l1hit",
+	"LLCCycles":         "llccyc",
+	"MemCycles":         "memcyc",
+	"WriteThrough":      "wt",
+	"Contiguity":        "contig",
+	"Seed":              "seed",
+	"NoCTopology":       "noc",
+}
+
+// fingerprintExcluded lists the Config fields deliberately NOT part of
+// the fingerprint, each with the contract that makes the exclusion
+// sound. Removing a row without removing the field (or vice versa) fails
+// raccdvet.
+var fingerprintExcluded = map[string]string{
+	"Validate": "toggles golden checking, not metrics: a validated and an unvalidated run return the same Result",
+	"Engine":   "host execution strategy; metric-identical by contract (TestEngineEquivalence), so engines share cache entries",
+	"Shards":   "host parallelism knob of the epoch engine; same equivalence contract as Engine",
+}
+
 // Fingerprint returns the canonical identity of the simulated machine this
 // configuration describes: two Configs produce the same fingerprint exactly
 // when they drive identical simulations. It is the configuration half of

@@ -164,3 +164,46 @@ func TestFingerprintCoversAllFields(t *testing.T) {
 		}
 	}
 }
+
+// TestFingerprintTablesConsistent is the runtime mirror of the raccdvet
+// fingerprint analyzer: the coverage tables, the structs and the
+// rendered canonical form must agree. The analyzer gives file:line
+// diagnostics at vet time; this keeps `go test` self-sufficient on
+// hosts that never run raccdvet.
+func TestFingerprintTablesConsistent(t *testing.T) {
+	fields := map[string]bool{}
+	cfg := reflect.TypeOf(Config{})
+	for i := 0; i < cfg.NumField(); i++ {
+		if cfg.Field(i).Name == "Params" {
+			continue // flattened below
+		}
+		fields[cfg.Field(i).Name] = true
+	}
+	params := reflect.TypeOf(coherence.Params{})
+	for i := 0; i < params.NumField(); i++ {
+		fields[params.Field(i).Name] = true
+	}
+	for name := range fields {
+		_, keyed := fingerprintFields[name]
+		_, excluded := fingerprintExcluded[name]
+		if keyed == excluded {
+			t.Errorf("field %s: keyed=%v excluded=%v, want exactly one", name, keyed, excluded)
+		}
+	}
+	for name := range fingerprintFields {
+		if !fields[name] {
+			t.Errorf("fingerprintFields has stale row %q: no such Config/Params field", name)
+		}
+	}
+	for name := range fingerprintExcluded {
+		if !fields[name] {
+			t.Errorf("fingerprintExcluded has stale row %q: no such Config/Params field", name)
+		}
+	}
+	fp := DefaultConfig(coherence.RaCCD, 1).Fingerprint()
+	for field, key := range fingerprintFields {
+		if got := strings.Count(fp, " "+key+"="); got != 1 {
+			t.Errorf("field %s: key %q rendered %d times in %q, want 1", field, key, got, fp)
+		}
+	}
+}

@@ -225,7 +225,7 @@ type Result struct {
 
 // Run executes workload w under cfg and returns the collected metrics.
 func Run(w Workload, cfg Config) (Result, error) {
-	return RunContext(context.Background(), w, cfg)
+	return RunContext(context.Background(), w, cfg) //raccd:ctxlog-ok public no-ctx convenience wrapper; callers who need cancellation use RunContext
 }
 
 // RunContext is Run with cancellation: the runtime polls ctx at every task
@@ -311,7 +311,7 @@ func RunContext(ctx context.Context, w Workload, cfg Config) (Result, error) {
 	if ctx.Done() != nil {
 		rt.Cancel = ctx.Err
 	}
-	runStart := time.Now()
+	runStart := time.Now() //raccd:detsource-ok host wall time for Result.EngineRunSeconds, a json:"-" artifact outside every metric path
 	cycles := rt.Run(g)
 	runWall := time.Since(runStart)
 	if err := ctx.Err(); err != nil {

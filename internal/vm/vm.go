@@ -16,7 +16,7 @@
 package vm
 
 import (
-	"math/rand"
+	"math/rand" //raccd:detsource-ok seeded from Params.Seed (part of the fingerprint); deterministic by construction
 
 	"raccd/internal/mem"
 )

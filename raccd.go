@@ -216,7 +216,7 @@ func WorkloadIdentity(name string, scale float64) (string, error) {
 // Run executes workload w under cfg. Invalid configurations fail with a
 // descriptive error before any simulation work (see Config.Check).
 func Run(w Workload, cfg Config) (Result, error) {
-	return RunContext(context.Background(), w, cfg)
+	return RunContext(context.Background(), w, cfg) //raccd:ctxlog-ok public no-ctx convenience wrapper; callers who need cancellation use RunContext
 }
 
 // RunContext is Run with cancellation: the simulator polls ctx at every
